@@ -1,0 +1,238 @@
+//! Bayes classification over KDE-estimated feature densities.
+//!
+//! Off-line training (paper §3.3): for each payload rate ωᵢ the adversary
+//! reconstructs the padding system, collects feature samples, and fits a
+//! Gaussian kernel density estimate `f̂(s|ωᵢ)`. Run-time classification
+//! applies the Bayes rule (eq. 1–2):
+//!
+//! ```text
+//! decide ωᵢ  where  i = argmaxᵢ  f̂(s|ωᵢ)·P(ωᵢ)
+//! ```
+//!
+//! For the two-class case, [`KdeBayes::two_class_threshold`] recovers the
+//! decision threshold `d` of eq. 3–4 (the crossing of the two posterior
+//! curves in Fig. 2).
+
+use linkpad_stats::kde::GaussianKde;
+use linkpad_stats::{Result, StatsError};
+
+/// A trained Bayes classifier: one KDE per class plus priors.
+#[derive(Debug, Clone)]
+pub struct KdeBayes {
+    classes: Vec<GaussianKde>,
+    ln_priors: Vec<f64>,
+}
+
+impl KdeBayes {
+    /// Train from per-class feature samples with equal priors.
+    pub fn train(features_per_class: &[Vec<f64>]) -> Result<Self> {
+        let m = features_per_class.len();
+        let priors = vec![1.0 / m as f64; m];
+        Self::train_with_priors(features_per_class, &priors)
+    }
+
+    /// Train with explicit priors `P(ωᵢ)` (must be positive and sum to 1
+    /// within tolerance).
+    pub fn train_with_priors(features_per_class: &[Vec<f64>], priors: &[f64]) -> Result<Self> {
+        if features_per_class.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                what: "bayes classifier classes",
+                needed: 2,
+                got: features_per_class.len(),
+            });
+        }
+        if priors.len() != features_per_class.len() {
+            return Err(StatsError::InsufficientData {
+                what: "bayes classifier priors",
+                needed: features_per_class.len(),
+                got: priors.len(),
+            });
+        }
+        let total: f64 = priors.iter().sum();
+        if priors.iter().any(|&p| !(p > 0.0)) || (total - 1.0).abs() > 1e-6 {
+            return Err(StatsError::InvalidProbability {
+                what: "bayes priors",
+                value: total,
+            });
+        }
+        let mut classes = Vec::with_capacity(features_per_class.len());
+        for feats in features_per_class {
+            classes.push(GaussianKde::fit(feats)?);
+        }
+        Ok(Self {
+            classes,
+            ln_priors: priors.iter().map(|p| p.ln()).collect(),
+        })
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Estimated class-conditional density `f̂(s|ωᵢ)`.
+    pub fn class_pdf(&self, class: usize, s: f64) -> f64 {
+        self.classes[class].pdf(s)
+    }
+
+    /// Log-posterior (up to the shared evidence constant):
+    /// `ln f̂(s|ωᵢ) + ln P(ωᵢ)`.
+    pub fn ln_score(&self, class: usize, s: f64) -> f64 {
+        self.classes[class].ln_pdf(s) + self.ln_priors[class]
+    }
+
+    /// Classify one feature value (eq. 1–2). Ties resolve to the lower
+    /// class index, deterministically.
+    pub fn classify(&self, s: f64) -> usize {
+        let mut best = 0;
+        let mut best_score = self.ln_score(0, s);
+        for i in 1..self.classes.len() {
+            let score = self.ln_score(i, s);
+            if score > best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    /// For a two-class classifier, the decision threshold `d` (eq. 3):
+    /// the feature value where the two weighted densities cross, located
+    /// between the two class means. Returns `None` for m > 2 or if no
+    /// sign change is bracketed (one class dominates everywhere).
+    pub fn two_class_threshold(&self) -> Option<f64> {
+        if self.classes.len() != 2 {
+            return None;
+        }
+        // Search between the medians-ish of the two training supports.
+        let (lo0, hi0) = self.classes[0].support_hint();
+        let (lo1, hi1) = self.classes[1].support_hint();
+        let lo = lo0.min(lo1);
+        let hi = hi0.max(hi1);
+        let g = |s: f64| self.ln_score(0, s) - self.ln_score(1, s);
+        // Grid scan for a sign change, then bisect.
+        const GRID: usize = 512;
+        let mut prev_s = lo;
+        let mut prev_g = g(lo);
+        for i in 1..=GRID {
+            let s = lo + (hi - lo) * i as f64 / GRID as f64;
+            let cur = g(s);
+            if prev_g == 0.0 {
+                return Some(prev_s);
+            }
+            if prev_g.signum() != cur.signum() {
+                // Bisection refine.
+                let (mut a, mut b) = (prev_s, s);
+                let (mut ga, _) = (prev_g, cur);
+                for _ in 0..80 {
+                    let mid = 0.5 * (a + b);
+                    let gm = g(mid);
+                    if gm == 0.0 {
+                        return Some(mid);
+                    }
+                    if ga.signum() != gm.signum() {
+                        b = mid;
+                    } else {
+                        a = mid;
+                        ga = gm;
+                    }
+                }
+                return Some(0.5 * (a + b));
+            }
+            prev_s = s;
+            prev_g = cur;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_stats::normal::Normal;
+    use linkpad_stats::rng::MasterSeed;
+
+    fn cloud(mu: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+        let d = Normal::new(mu, sigma).unwrap();
+        let mut rng = MasterSeed::new(seed).stream(0);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn well_separated_classes_classify_cleanly() {
+        let c = KdeBayes::train(&[cloud(0.0, 1.0, 400, 1), cloud(10.0, 1.0, 400, 2)]).unwrap();
+        assert_eq!(c.class_count(), 2);
+        assert_eq!(c.classify(-0.5), 0);
+        assert_eq!(c.classify(10.3), 1);
+        // Inside the reach of each training cloud (the dead zone between
+        // clouds is decided by nearest-kernel fallback, whose exact
+        // midpoint depends on sampled extremes).
+        assert_eq!(c.classify(4.0), 0);
+        assert_eq!(c.classify(6.0), 1);
+    }
+
+    #[test]
+    fn threshold_sits_between_separated_classes() {
+        let c = KdeBayes::train(&[cloud(0.0, 1.0, 500, 3), cloud(10.0, 1.0, 500, 4)]).unwrap();
+        let d = c.two_class_threshold().expect("threshold exists");
+        assert!((d - 5.0).abs() < 0.5, "d = {d}");
+        // The threshold is the point of score equality.
+        assert!((c.ln_score(0, d) - c.ln_score(1, d)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn priors_shift_the_decision() {
+        let feats = [cloud(0.0, 1.0, 500, 5), cloud(2.0, 1.0, 500, 6)];
+        let balanced = KdeBayes::train(&feats).unwrap();
+        let skewed = KdeBayes::train_with_priors(&feats, &[0.95, 0.05]).unwrap();
+        // At the balanced threshold, the skewed classifier must prefer
+        // the high-prior class.
+        let d = balanced.two_class_threshold().unwrap();
+        assert_eq!(skewed.classify(d), 0);
+    }
+
+    #[test]
+    fn overlapping_classes_get_near_chance_accuracy() {
+        // Same distribution for both classes: accuracy ~50%.
+        let c = KdeBayes::train(&[cloud(0.0, 1.0, 400, 7), cloud(0.0, 1.0, 400, 8)]).unwrap();
+        let probe = cloud(0.0, 1.0, 2000, 9);
+        let as_zero = probe.iter().filter(|&&s| c.classify(s) == 0).count();
+        let frac = as_zero as f64 / probe.len() as f64;
+        assert!((frac - 0.5).abs() < 0.15, "frac = {frac}");
+    }
+
+    #[test]
+    fn three_class_classification_works() {
+        let c = KdeBayes::train(&[
+            cloud(0.0, 0.5, 300, 10),
+            cloud(3.0, 0.5, 300, 11),
+            cloud(6.0, 0.5, 300, 12),
+        ])
+        .unwrap();
+        assert_eq!(c.classify(0.1), 0);
+        assert_eq!(c.classify(3.1), 1);
+        assert_eq!(c.classify(6.2), 2);
+        assert!(c.two_class_threshold().is_none()); // only defined for m=2
+    }
+
+    #[test]
+    fn training_validates_input() {
+        assert!(KdeBayes::train(&[cloud(0.0, 1.0, 100, 13)]).is_err()); // one class
+        assert!(KdeBayes::train(&[vec![1.0], cloud(0.0, 1.0, 100, 14)]).is_err()); // too few
+        let feats = [cloud(0.0, 1.0, 100, 15), cloud(1.0, 1.0, 100, 16)];
+        assert!(KdeBayes::train_with_priors(&feats, &[0.5]).is_err()); // wrong len
+        assert!(KdeBayes::train_with_priors(&feats, &[0.9, 0.3]).is_err()); // sum != 1
+        assert!(KdeBayes::train_with_priors(&feats, &[1.0, 0.0]).is_err()); // zero prior
+    }
+
+    #[test]
+    fn far_tail_queries_stay_deterministic() {
+        let c = KdeBayes::train(&[cloud(0.0, 1.0, 200, 17), cloud(5.0, 2.0, 200, 18)]).unwrap();
+        // Way outside both supports the scores stay finite, and the class
+        // with the wider bandwidth (heavier tails) wins both extremes —
+        // its log-density decays quadratically slower.
+        assert_eq!(c.classify(1e6), 1);
+        assert_eq!(c.classify(-1e6), 1);
+        assert!(c.ln_score(0, 1e6).is_finite() && c.ln_score(1, -1e6).is_finite());
+    }
+}

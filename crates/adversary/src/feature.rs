@@ -1,0 +1,214 @@
+//! Feature statistics over PIAT samples.
+//!
+//! The paper studies three: **sample mean**, **sample variance** and
+//! **sample entropy** (§3.3 step 1). Each maps a PIAT sample
+//! `{X₁ … Xₙ}` to one scalar the Bayes classifier consumes. The entropy
+//! feature uses the Moddemeijer histogram estimator with a *fixed* bin
+//! width, so the `ln Δh` term is a class-independent constant and drops
+//! out (paper eq. 24 → 25).
+//!
+//! [`MedianAbsDev`] is an extension feature for the robustness ablation:
+//! the paper observes (§5.2) that sample variance is "very sensitive to
+//! outliers"; MAD is its robust counterpart and quantifies how much of
+//! the variance feature's degradation under congestion is outlier damage.
+
+use linkpad_stats::histogram::HistogramSpec;
+use linkpad_stats::moments::{sample_mean, sample_variance};
+use linkpad_stats::quantiles::median_abs_deviation;
+use linkpad_stats::{Result, StatsError};
+
+/// A scalar statistic over a PIAT sample.
+pub trait Feature: Send + Sync {
+    /// Compute the statistic. Errors on samples too small to support it.
+    fn compute(&self, piats: &[f64]) -> Result<f64>;
+
+    /// Display name (used in bench output and reports).
+    fn name(&self) -> &'static str;
+
+    /// Smallest sample size this feature is defined for.
+    fn min_sample_size(&self) -> usize {
+        1
+    }
+}
+
+/// Sample mean `X̄` (paper eq. 17).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleMean;
+
+impl Feature for SampleMean {
+    fn compute(&self, piats: &[f64]) -> Result<f64> {
+        sample_mean(piats)
+    }
+    fn name(&self) -> &'static str {
+        "sample-mean"
+    }
+}
+
+/// Unbiased sample variance `Y` (paper eq. 19).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleVariance;
+
+impl Feature for SampleVariance {
+    fn compute(&self, piats: &[f64]) -> Result<f64> {
+        sample_variance(piats)
+    }
+    fn name(&self) -> &'static str {
+        "sample-variance"
+    }
+    fn min_sample_size(&self) -> usize {
+        2
+    }
+}
+
+/// Histogram sample entropy (paper eq. 25) with a fixed binning.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleEntropy {
+    spec: HistogramSpec,
+}
+
+impl SampleEntropy {
+    /// Entropy feature with an explicit binning.
+    pub fn new(spec: HistogramSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The binning used in all experiments of this workspace: origin 0,
+    /// bin width `bin_width` seconds. The paper requires only that the
+    /// bin size be held constant across the experiment; 2 µs resolves
+    /// the µs-scale gateway jitter of the calibrated system without
+    /// starving bins at n = 100.
+    pub fn with_bin_width(bin_width: f64) -> Result<Self> {
+        Ok(Self {
+            spec: HistogramSpec::new(0.0, bin_width)?,
+        })
+    }
+
+    /// The calibrated default (2 µs bins).
+    pub fn calibrated() -> Self {
+        Self::with_bin_width(2e-6).expect("constant is valid")
+    }
+
+    /// The binning spec.
+    pub fn spec(&self) -> HistogramSpec {
+        self.spec
+    }
+}
+
+impl Feature for SampleEntropy {
+    fn compute(&self, piats: &[f64]) -> Result<f64> {
+        if piats.is_empty() {
+            return Err(StatsError::InsufficientData {
+                what: "sample entropy",
+                needed: 1,
+                got: 0,
+            });
+        }
+        self.spec.histogram(piats).entropy()
+    }
+    fn name(&self) -> &'static str {
+        "sample-entropy"
+    }
+}
+
+/// Median absolute deviation — robust scale feature (extension).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MedianAbsDev;
+
+impl Feature for MedianAbsDev {
+    fn compute(&self, piats: &[f64]) -> Result<f64> {
+        median_abs_deviation(piats)
+    }
+    fn name(&self) -> &'static str {
+        "median-abs-dev"
+    }
+    fn min_sample_size(&self) -> usize {
+        2
+    }
+}
+
+/// The paper's three features boxed up for sweeps, in presentation order.
+pub fn paper_features() -> Vec<Box<dyn Feature>> {
+    vec![
+        Box::new(SampleMean),
+        Box::new(SampleVariance),
+        Box::new(SampleEntropy::calibrated()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_stats::normal::Normal;
+    use linkpad_stats::rng::MasterSeed;
+
+    fn sample(mu: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+        let d = Normal::new(mu, sigma).unwrap();
+        let mut rng = MasterSeed::new(seed).stream(0);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn mean_feature_recovers_tau() {
+        let xs = sample(0.010, 6e-6, 1000, 1);
+        let m = SampleMean.compute(&xs).unwrap();
+        assert!((m - 0.010).abs() < 1e-6);
+        assert_eq!(SampleMean.name(), "sample-mean");
+    }
+
+    #[test]
+    fn variance_feature_separates_classes() {
+        let lo = sample(0.010, 6e-6, 2000, 2);
+        let hi = sample(0.010, 8e-6, 2000, 3);
+        let v_lo = SampleVariance.compute(&lo).unwrap();
+        let v_hi = SampleVariance.compute(&hi).unwrap();
+        assert!(v_hi > v_lo);
+        assert_eq!(SampleVariance.min_sample_size(), 2);
+    }
+
+    #[test]
+    fn entropy_feature_separates_classes() {
+        let ent = SampleEntropy::calibrated();
+        let lo = sample(0.010, 6e-6, 2000, 4);
+        let hi = sample(0.010, 8e-6, 2000, 5);
+        assert!(ent.compute(&hi).unwrap() > ent.compute(&lo).unwrap());
+        assert_eq!(ent.name(), "sample-entropy");
+    }
+
+    #[test]
+    fn entropy_uses_fixed_binning() {
+        let ent = SampleEntropy::with_bin_width(1e-6).unwrap();
+        assert_eq!(ent.spec().bin_width(), 1e-6);
+        assert!(SampleEntropy::with_bin_width(0.0).is_err());
+        assert!(SampleEntropy::with_bin_width(-1.0).is_err());
+    }
+
+    #[test]
+    fn features_error_on_empty_input() {
+        assert!(SampleMean.compute(&[]).is_err());
+        assert!(SampleVariance.compute(&[]).is_err());
+        assert!(SampleVariance.compute(&[1.0]).is_err());
+        assert!(SampleEntropy::calibrated().compute(&[]).is_err());
+        assert!(MedianAbsDev.compute(&[]).is_err());
+    }
+
+    #[test]
+    fn mad_ignores_outliers_variance_does_not() {
+        let mut xs = sample(0.010, 6e-6, 1000, 6);
+        let v0 = SampleVariance.compute(&xs).unwrap();
+        let m0 = MedianAbsDev.compute(&xs).unwrap();
+        xs.push(1.0); // one second-long stall
+        let v1 = SampleVariance.compute(&xs).unwrap();
+        let m1 = MedianAbsDev.compute(&xs).unwrap();
+        assert!(v1 / v0 > 100.0);
+        assert!((m1 - m0).abs() / m0 < 0.05);
+    }
+
+    #[test]
+    fn paper_features_come_in_canonical_order() {
+        let fs = paper_features();
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0].name(), "sample-mean");
+        assert_eq!(fs[1].name(), "sample-variance");
+        assert_eq!(fs[2].name(), "sample-entropy");
+    }
+}

@@ -1,0 +1,32 @@
+//! # linkpad-adversary
+//!
+//! The statistical traffic-analysis adversary of Fu et al. (ICPP 2003),
+//! §3.3: a passive observer who taps the unprotected network, collects
+//! packet inter-arrival times (PIATs), summarizes each sample with a
+//! feature statistic, and classifies the hidden payload rate with a Bayes
+//! rule over Gaussian-KDE-estimated class-conditional densities.
+//!
+//! * [`feature`] — the feature statistics: sample mean (eq. 17), sample
+//!   variance (eq. 19), histogram sample entropy (eq. 24/25), plus a
+//!   robust MAD feature for the outlier ablation.
+//! * [`classifier`] — off-line training (KDE per class, eq. 1–2) and
+//!   run-time classification; two-class decision threshold extraction
+//!   (the `d` of Fig. 2 / eq. 3–4).
+//! * [`pipeline`] — the end-to-end experiment: slice PIAT streams into
+//!   samples of size *n*, train, test, and report a detection rate with
+//!   a Wilson confidence interval (eq. 6–7).
+//!
+//! **Information barrier.** Nothing in this crate accepts packet kinds,
+//! payload contents, or gateway state: the adversary sees `&[f64]` PIATs
+//! and nothing else, exactly as the threat model prescribes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod feature;
+pub mod pipeline;
+
+pub use classifier::KdeBayes;
+pub use feature::{Feature, MedianAbsDev, SampleEntropy, SampleMean, SampleVariance};
+pub use pipeline::{DetectionReport, DetectionStudy};

@@ -1,0 +1,312 @@
+//! The end-to-end detection experiment.
+//!
+//! This is the paper's §3.3 measurement loop: slice each class's PIAT
+//! stream into disjoint samples of size *n*, compute the feature on each
+//! sample, fit the per-class KDEs from training samples, classify held-out
+//! test samples, and report the **detection rate** — the probability of
+//! correct identification (eq. 6–7), the paper's security metric.
+
+use crate::classifier::KdeBayes;
+use crate::feature::Feature;
+use linkpad_stats::special::std_normal_quantile;
+use linkpad_stats::{Result, StatsError};
+
+/// Slice a PIAT stream into disjoint samples of `n` and compute the
+/// feature on each. Trailing PIATs that do not fill a sample are dropped.
+pub fn features_from_piats(feature: &dyn Feature, piats: &[f64], n: usize) -> Result<Vec<f64>> {
+    if n < feature.min_sample_size().max(1) {
+        return Err(StatsError::InsufficientData {
+            what: "feature sample size",
+            needed: feature.min_sample_size().max(1),
+            got: n,
+        });
+    }
+    let mut out = Vec::with_capacity(piats.len() / n);
+    for chunk in piats.chunks_exact(n) {
+        out.push(feature.compute(chunk)?);
+    }
+    if out.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "piat stream (no full sample)",
+            needed: n,
+            got: piats.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Result of one detection experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionReport {
+    /// Correct classifications.
+    pub correct: u64,
+    /// Total classifications attempted.
+    pub total: u64,
+    /// Per-class `(correct, total)`.
+    pub per_class: Vec<(u64, u64)>,
+    /// The two-class Bayes threshold `d`, when defined.
+    pub threshold: Option<f64>,
+}
+
+impl DetectionReport {
+    /// The detection rate `v` (eq. 7): fraction of correct
+    /// identifications over equal-prior test sets.
+    pub fn detection_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Wilson score interval for the detection rate at confidence
+    /// `1 − alpha` (e.g. `alpha = 0.05` for 95%).
+    pub fn wilson_interval(&self, alpha: f64) -> (f64, f64) {
+        if self.total == 0 {
+            return (0.0, 1.0);
+        }
+        let z = std_normal_quantile(1.0 - alpha / 2.0);
+        let n = self.total as f64;
+        let p = self.detection_rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Detection rate for a single class (recall of that class).
+    pub fn class_rate(&self, class: usize) -> f64 {
+        let (c, t) = self.per_class[class];
+        if t == 0 {
+            0.0
+        } else {
+            c as f64 / t as f64
+        }
+    }
+}
+
+/// Configuration of a detection experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionStudy {
+    /// Sample size n: PIATs per classified sample.
+    pub sample_size: usize,
+    /// Training samples per class.
+    pub train_samples: usize,
+    /// Test samples per class.
+    pub test_samples: usize,
+}
+
+impl DetectionStudy {
+    /// A study with the workspace's standard budget: 300 training and
+    /// 200 test samples per class — enough that the binomial error on the
+    /// detection rate is ~±2.5% at 95% confidence.
+    pub fn standard(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            train_samples: 300,
+            test_samples: 200,
+        }
+    }
+
+    /// PIATs needed per class for this study.
+    pub fn piats_needed(&self) -> usize {
+        (self.train_samples + self.test_samples) * self.sample_size
+    }
+
+    /// Run the study for one feature over per-class PIAT streams
+    /// (index = class). Streams must hold at least
+    /// [`DetectionStudy::piats_needed`] values each.
+    pub fn run(&self, feature: &dyn Feature, piats_per_class: &[Vec<f64>]) -> Result<DetectionReport> {
+        if self.train_samples < 2 || self.test_samples < 1 {
+            return Err(StatsError::InsufficientData {
+                what: "study sample budget",
+                needed: 2,
+                got: self.train_samples.min(self.test_samples),
+            });
+        }
+        let mut train_features = Vec::with_capacity(piats_per_class.len());
+        let mut test_features = Vec::with_capacity(piats_per_class.len());
+        for stream in piats_per_class {
+            let needed = self.piats_needed();
+            if stream.len() < needed {
+                return Err(StatsError::InsufficientData {
+                    what: "piat stream for study",
+                    needed,
+                    got: stream.len(),
+                });
+            }
+            let split = self.train_samples * self.sample_size;
+            train_features.push(features_from_piats(feature, &stream[..split], self.sample_size)?);
+            test_features.push(features_from_piats(
+                feature,
+                &stream[split..needed],
+                self.sample_size,
+            )?);
+        }
+        let classifier = KdeBayes::train(&train_features)?;
+        Ok(evaluate(&classifier, &test_features))
+    }
+}
+
+/// Score a trained classifier against per-class test features.
+pub fn evaluate(classifier: &KdeBayes, test_features_per_class: &[Vec<f64>]) -> DetectionReport {
+    let mut per_class = Vec::with_capacity(test_features_per_class.len());
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for (class, feats) in test_features_per_class.iter().enumerate() {
+        let mut class_correct = 0u64;
+        for &s in feats {
+            if classifier.classify(s) == class {
+                class_correct += 1;
+            }
+        }
+        correct += class_correct;
+        total += feats.len() as u64;
+        per_class.push((class_correct, feats.len() as u64));
+    }
+    DetectionReport {
+        correct,
+        total,
+        per_class,
+        threshold: classifier.two_class_threshold(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SampleEntropy, SampleMean, SampleVariance};
+    use linkpad_stats::normal::Normal;
+    use linkpad_stats::rng::MasterSeed;
+
+    /// Synthetic PIAT stream: N(τ, σ²), the paper's model at a tap next
+    /// to GW1.
+    fn piats(sigma: f64, count: usize, seed: u64) -> Vec<f64> {
+        let d = Normal::new(0.010, sigma).unwrap();
+        let mut rng = MasterSeed::new(seed).stream(0);
+        (0..count).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn features_from_piats_chunks_disjointly() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let feats = features_from_piats(&SampleMean, &xs, 5).unwrap();
+        assert_eq!(feats, vec![2.0, 7.0]);
+        // 3-chunks: drops the trailing partial chunk.
+        let feats = features_from_piats(&SampleMean, &xs, 3).unwrap();
+        assert_eq!(feats.len(), 3);
+    }
+
+    #[test]
+    fn features_from_piats_validates() {
+        assert!(features_from_piats(&SampleVariance, &[1.0, 2.0], 1).is_err()); // n < min
+        assert!(features_from_piats(&SampleMean, &[1.0], 5).is_err()); // no full chunk
+    }
+
+    #[test]
+    fn variance_feature_detects_wider_class() {
+        // σ_h/σ_l chosen so r ≈ 1.8 — easily detectable at n = 400.
+        let study = DetectionStudy {
+            sample_size: 400,
+            train_samples: 60,
+            test_samples: 60,
+        };
+        let lo = piats(6e-6, study.piats_needed(), 1);
+        let hi = piats(8e-6, study.piats_needed(), 2);
+        let report = study.run(&SampleVariance, &[lo, hi]).unwrap();
+        assert!(
+            report.detection_rate() > 0.9,
+            "rate = {}",
+            report.detection_rate()
+        );
+        assert!(report.threshold.is_some());
+    }
+
+    #[test]
+    fn entropy_feature_detects_wider_class() {
+        let study = DetectionStudy {
+            sample_size: 400,
+            train_samples: 60,
+            test_samples: 60,
+        };
+        let lo = piats(6e-6, study.piats_needed(), 3);
+        let hi = piats(8e-6, study.piats_needed(), 4);
+        let report = study
+            .run(&SampleEntropy::calibrated(), &[lo, hi])
+            .unwrap();
+        assert!(
+            report.detection_rate() > 0.85,
+            "rate = {}",
+            report.detection_rate()
+        );
+    }
+
+    #[test]
+    fn mean_feature_is_blind_when_means_match() {
+        let study = DetectionStudy {
+            sample_size: 400,
+            train_samples: 60,
+            test_samples: 60,
+        };
+        let lo = piats(6e-6, study.piats_needed(), 5);
+        let hi = piats(8e-6, study.piats_needed(), 6);
+        let report = study.run(&SampleMean, &[lo, hi]).unwrap();
+        let rate = report.detection_rate();
+        assert!(rate < 0.62, "sample mean should hover near chance: {rate}");
+    }
+
+    #[test]
+    fn per_class_rates_partition_total() {
+        let study = DetectionStudy {
+            sample_size: 200,
+            train_samples: 40,
+            test_samples: 30,
+        };
+        let lo = piats(6e-6, study.piats_needed(), 7);
+        let hi = piats(9e-6, study.piats_needed(), 8);
+        let report = study.run(&SampleVariance, &[lo, hi]).unwrap();
+        let sum: u64 = report.per_class.iter().map(|&(c, _)| c).sum();
+        assert_eq!(sum, report.correct);
+        let tot: u64 = report.per_class.iter().map(|&(_, t)| t).sum();
+        assert_eq!(tot, report.total);
+        assert_eq!(report.total, 60);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_rate() {
+        let report = DetectionReport {
+            correct: 80,
+            total: 100,
+            per_class: vec![(40, 50), (40, 50)],
+            threshold: None,
+        };
+        let (lo, hi) = report.wilson_interval(0.05);
+        assert!(lo < 0.8 && 0.8 < hi);
+        assert!(lo > 0.70 && hi < 0.89, "({lo}, {hi})");
+        // Degenerate case.
+        let empty = DetectionReport {
+            correct: 0,
+            total: 0,
+            per_class: vec![],
+            threshold: None,
+        };
+        assert_eq!(empty.wilson_interval(0.05), (0.0, 1.0));
+        assert_eq!(empty.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn insufficient_stream_is_an_error() {
+        let study = DetectionStudy::standard(100);
+        let too_short = piats(6e-6, 100, 9);
+        let ok = piats(8e-6, study.piats_needed(), 10);
+        assert!(study.run(&SampleVariance, &[too_short, ok]).is_err());
+    }
+
+    #[test]
+    fn standard_study_budget() {
+        let s = DetectionStudy::standard(1000);
+        assert_eq!(s.piats_needed(), 500 * 1000);
+        assert_eq!(s.train_samples, 300);
+        assert_eq!(s.test_samples, 200);
+    }
+}

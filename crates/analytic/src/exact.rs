@@ -1,0 +1,210 @@
+//! Exact (numerical) Bayes detection rates for the idealized feature
+//! sampling distributions.
+//!
+//! The paper's Theorems 1–3 are *approximations* (Chebyshev/Bhattacharyya
+//! style bounds turned into estimates). These routines compute the same
+//! detection rates exactly, under the model assumptions, so the bench
+//! suite can separate two very different gaps:
+//! "simulation vs theory-approximation" and "theory-approximation vs
+//! exact Bayes".
+//!
+//! * Mean feature: both classes give `X̄ ~ N(µ, σ²/n)` with common µ —
+//!   a two-sided threshold test between equal-mean Gaussians.
+//! * Variance feature: `(n−1)Y/σ² ~ χ²_{n−1}`, i.e. Y is Gamma-
+//!   distributed; the Bayes decision is a single threshold between two
+//!   Gamma laws with equal shape and scales in ratio r.
+//! * Entropy feature: via the normal approximation of `ln s²`
+//!   (`Var[ln s²] ≈ 2/(n−1)`), entropy separation is `½ ln r`.
+
+use linkpad_stats::special::{reg_lower_gamma, std_normal_cdf};
+use linkpad_stats::StatsError;
+
+fn check_r(r: f64) -> Result<f64, StatsError> {
+    if !r.is_finite() || r <= 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "variance ratio r",
+            value: r,
+        });
+    }
+    Ok(if r < 1.0 { 1.0 / r } else { r })
+}
+
+/// Exact Bayes detection rate for the **sample-mean** feature.
+///
+/// Classes: `N(µ, σ_l²/n)` vs `N(µ, σ_h²/n)`, equal priors. The Bayes
+/// regions are `|x − µ| ≤ c` → low, else high, with the density-crossing
+/// `c² = σ_l² σ_h² ln(σ_h²/σ_l²)/(σ_h² − σ_l²)` (per-observation σ's
+/// cancel out of the ratio, so v depends only on r — and not on n).
+///
+/// `v = ½ + Φ(c_l) − Φ(c_h)` with `c_l = √(r·ln r/(r−1))`,
+/// `c_h = c_l/√r`.
+pub fn mean_detection(r: f64) -> Result<f64, StatsError> {
+    let r = check_r(r)?;
+    if r - 1.0 < 1e-12 {
+        return Ok(0.5);
+    }
+    let c_l = (r * r.ln() / (r - 1.0)).sqrt();
+    let c_h = c_l / r.sqrt();
+    Ok(0.5 + std_normal_cdf(c_l) - std_normal_cdf(c_h))
+}
+
+/// Exact Bayes detection rate for the **sample-variance** feature at
+/// sample size `n`.
+///
+/// `Y_class ~ Gamma(k, θ_class)` with `k = (n−1)/2`,
+/// `θ_l ∝ σ_l²`, `θ_h ∝ σ_h²`. The likelihood-ratio threshold for equal
+/// shapes is `t* = k·ln r·θ_l·r/(r−1)`; then
+/// `v = ½·P(k, t*/θ_l) + ½·(1 − P(k, t*/θ_h))`
+/// with `P` the regularized lower incomplete gamma.
+pub fn variance_detection(r: f64, n: usize) -> Result<f64, StatsError> {
+    if n < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "sample size for exact variance rate",
+            needed: 2,
+            got: n,
+        });
+    }
+    let r = check_r(r)?;
+    if r - 1.0 < 1e-12 {
+        return Ok(0.5);
+    }
+    let k = (n as f64 - 1.0) / 2.0;
+    // Work in units of θ_l: t*/θ_l = k·ln r·r/(r−1); t*/θ_h = that / r.
+    let t_over_theta_l = k * r.ln() * r / (r - 1.0);
+    let t_over_theta_h = t_over_theta_l / r;
+    let p_low_correct = reg_lower_gamma(k, t_over_theta_l);
+    let p_high_correct = 1.0 - reg_lower_gamma(k, t_over_theta_h);
+    Ok(0.5 * p_low_correct + 0.5 * p_high_correct)
+}
+
+/// Detection rate for the **entropy** feature under the log-variance
+/// normal approximation: Ĥ differences concentrate at `½ ln r` with
+/// standard deviation `√(1/(2(n−1)))` per class, giving
+/// `v = Φ(√((n−1)/2)·ln r/2)`.
+pub fn entropy_detection(r: f64, n: usize) -> Result<f64, StatsError> {
+    if n < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "sample size for exact entropy rate",
+            needed: 2,
+            got: n,
+        });
+    }
+    let r = check_r(r)?;
+    // Ĥ ≈ ½·ln s² + const ⇒ per-class Ĥ ~ N(½·ln σ², 1/(2(n−1))).
+    // Equal-variance two-class Bayes: v = Φ(Δ/(2·sd)), Δ = ½·ln r.
+    let separation = 0.5 * r.ln();
+    let sd = (1.0 / (2.0 * (n as f64 - 1.0))).sqrt();
+    Ok(std_normal_cdf(separation / (2.0 * sd)).clamp(0.5, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorems;
+    use linkpad_stats::moments::sample_variance;
+    use linkpad_stats::normal::Normal;
+    use linkpad_stats::rng::MasterSeed;
+
+    #[test]
+    fn mean_detection_limits() {
+        assert_eq!(mean_detection(1.0).unwrap(), 0.5);
+        assert!(mean_detection(1e9).unwrap() > 0.99);
+        // Monotone in r.
+        let mut prev = 0.5;
+        for i in 1..50 {
+            let v = mean_detection(1.0 + i as f64 * 0.2).unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn mean_detection_close_to_theorem1_estimate() {
+        // The Bhattacharyya estimate should track the exact rate loosely
+        // (same value at r=1; same monotonicity; gap < 0.15 for r ≤ 4).
+        for &r in &[1.0, 1.2, 1.5, 2.0, 3.0, 4.0] {
+            let exact = mean_detection(r).unwrap();
+            let approx = theorems::detection_rate_mean(r).unwrap();
+            assert!((exact - approx).abs() < 0.15, "r={r}: {exact} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn variance_detection_limits_and_monotonicity() {
+        assert_eq!(variance_detection(1.0, 100).unwrap(), 0.5);
+        // Monotone in n.
+        let mut prev = 0.0;
+        for &n in &[2usize, 10, 50, 200, 1000, 5000] {
+            let v = variance_detection(1.4, n).unwrap();
+            assert!(v >= prev - 1e-12, "n={n}");
+            prev = v;
+        }
+        assert!(variance_detection(1.4, 100_000).unwrap() > 0.9999);
+        // Monotone in r.
+        assert!(
+            variance_detection(1.8, 200).unwrap() > variance_detection(1.2, 200).unwrap()
+        );
+    }
+
+    #[test]
+    fn variance_detection_against_monte_carlo() {
+        // Monte-Carlo the actual Bayes experiment at r = 1.5, n = 100.
+        let n = 100;
+        let r: f64 = 1.5;
+        let sigma_l = 1.0f64;
+        let sigma_h = r.sqrt();
+        let k = (n as f64 - 1.0) / 2.0;
+        let threshold = k * r.ln() * r / (r - 1.0) * (2.0 * sigma_l * sigma_l / (n as f64 - 1.0));
+        let mut rng = MasterSeed::new(42).stream(0);
+        let trials = 4000;
+        let mut correct = 0;
+        for t in 0..trials {
+            let (sigma, is_low) = if t % 2 == 0 {
+                (sigma_l, true)
+            } else {
+                (sigma_h, false)
+            };
+            let d = Normal::new(0.0, sigma).unwrap();
+            let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let y = sample_variance(&xs).unwrap();
+            let decide_low = y <= threshold;
+            if decide_low == is_low {
+                correct += 1;
+            }
+        }
+        let mc = correct as f64 / trials as f64;
+        let exact = variance_detection(r, n).unwrap();
+        assert!(
+            (mc - exact).abs() < 0.03,
+            "monte carlo {mc} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn entropy_detection_limits() {
+        assert_eq!(entropy_detection(1.0, 100).unwrap(), 0.5);
+        assert!(entropy_detection(1.5, 10_000).unwrap() > 0.99);
+        let mut prev = 0.0;
+        for &n in &[2usize, 10, 100, 1000] {
+            let v = entropy_detection(1.4, n).unwrap();
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(mean_detection(-1.0).is_err());
+        assert!(variance_detection(1.5, 1).is_err());
+        assert!(entropy_detection(1.5, 0).is_err());
+        assert!(mean_detection(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exact_rates_flip_r_below_one() {
+        assert_eq!(
+            variance_detection(0.5, 50).unwrap(),
+            variance_detection(2.0, 50).unwrap()
+        );
+    }
+}

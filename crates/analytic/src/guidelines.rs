@@ -1,0 +1,201 @@
+//! Design guidelines (paper §6): configure a padding system to meet a
+//! detection-rate budget.
+//!
+//! The paper's conclusion: CIT padding "may be compromised even at a
+//! remote site behind noisy routers"; VIT with sufficient σ_T is the
+//! recommended defence. [`DesignInput::recommend`] turns that into an
+//! actionable procedure: given the measured (or modeled) gateway and
+//! network variances, the attacker's feasible sample budget and the
+//! operator's detection-rate ceiling, produce the minimal σ_T, and report
+//! the residual risk per feature.
+
+use crate::planning::{sigma_t_for_infeasible_attack, FeatureKind};
+use crate::theorems::{detection_rate_entropy, detection_rate_mean, detection_rate_variance};
+use linkpad_stats::StatsError;
+
+/// What the operator knows / wants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignInput {
+    /// On-the-wire gateway variance at the low rate (s²), i.e.
+    /// `2·Var(δ_gw,l)` for an absolute timer.
+    pub sigma_gw_low_sq: f64,
+    /// On-the-wire gateway variance at the high rate (s²).
+    pub sigma_gw_high_sq: f64,
+    /// Network variance σ_net² at the adversary's assumed tap (s²). Use 0
+    /// for the conservative tap-at-gateway assumption.
+    pub sigma_net_sq: f64,
+    /// Largest PIAT sample the adversary is assumed able to collect at
+    /// one payload rate (the paper argues rates don't persist forever).
+    pub adversary_sample_budget: f64,
+    /// Detection-rate ceiling the operator accepts at that budget
+    /// (e.g. 0.55 — barely better than guessing).
+    pub max_detection_rate: f64,
+}
+
+impl DesignInput {
+    /// Conservative defaults for the calibrated gateway: tap at GW1
+    /// (σ_net = 0), adversary can gather 10⁶ PIATs, detection must stay
+    /// below 55%.
+    pub fn conservative(sigma_gw_low_sq: f64, sigma_gw_high_sq: f64) -> Self {
+        Self {
+            sigma_gw_low_sq,
+            sigma_gw_high_sq,
+            sigma_net_sq: 0.0,
+            adversary_sample_budget: 1e6,
+            max_detection_rate: 0.55,
+        }
+    }
+}
+
+/// The recommendation produced by [`DesignInput::recommend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignGuideline {
+    /// Minimal σ_T (seconds) meeting the budget; 0 means CIT already
+    /// suffices (e.g. the ambient network noise is overwhelming).
+    pub sigma_t: f64,
+    /// The variance ratio r at the recommendation.
+    pub r: f64,
+    /// Predicted detection rates at the adversary's full budget.
+    pub mean_rate: f64,
+    /// Predicted variance-feature rate at the budget.
+    pub variance_rate: f64,
+    /// Predicted entropy-feature rate at the budget.
+    pub entropy_rate: f64,
+}
+
+impl DesignInput {
+    fn r_at(&self, sigma_t: f64) -> f64 {
+        let st2 = sigma_t * sigma_t;
+        let r = (st2 + self.sigma_net_sq + self.sigma_gw_high_sq)
+            / (st2 + self.sigma_net_sq + self.sigma_gw_low_sq);
+        r.max(1.0)
+    }
+
+    /// Compute the minimal σ_T such that *every* feature's predicted
+    /// detection rate at the adversary's sample budget stays at or below
+    /// `max_detection_rate`.
+    pub fn recommend(&self) -> Result<DesignGuideline, StatsError> {
+        if !(0.5..1.0).contains(&self.max_detection_rate) {
+            return Err(StatsError::InvalidProbability {
+                what: "max detection rate",
+                value: self.max_detection_rate,
+            });
+        }
+        let n = self.adversary_sample_budget;
+        if !(n >= 2.0) || !n.is_finite() {
+            return Err(StatsError::NonPositive {
+                what: "adversary sample budget",
+                value: n,
+            });
+        }
+        // The binding constraint is whichever feature needs the larger
+        // σ_T; take the max over variance and entropy (mean is never
+        // binding — its rate is the smallest at any r in (1, ~3)).
+        let mut sigma_t: f64 = 0.0;
+        for feature in [FeatureKind::Variance, FeatureKind::Entropy] {
+            let st = sigma_t_for_infeasible_attack(
+                feature,
+                self.sigma_gw_low_sq,
+                self.sigma_gw_high_sq,
+                self.sigma_net_sq,
+                self.max_detection_rate,
+                n,
+            )?;
+            sigma_t = sigma_t.max(st);
+        }
+        let n_int = (n as usize).max(2);
+        let r = self.r_at(sigma_t);
+        Ok(DesignGuideline {
+            sigma_t,
+            r,
+            mean_rate: detection_rate_mean(r)?,
+            variance_rate: detection_rate_variance(r, n_int)?,
+            entropy_rate: detection_rate_entropy(r, n_int)?,
+        })
+    }
+
+    /// Predicted rates if the operator *keeps CIT* (σ_T = 0) — the "what
+    /// if we do nothing" row of a design report.
+    pub fn cit_exposure(&self) -> Result<DesignGuideline, StatsError> {
+        let r = self.r_at(0.0);
+        let n = (self.adversary_sample_budget as usize).max(2);
+        Ok(DesignGuideline {
+            sigma_t: 0.0,
+            r,
+            mean_rate: detection_rate_mean(r)?,
+            variance_rate: detection_rate_variance(r, n)?,
+            entropy_rate: detection_rate_entropy(r, n)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GW_LOW: f64 = 85.7e-12;
+    const GW_HIGH: f64 = 126.7e-12;
+
+    #[test]
+    fn cit_exposure_shows_the_leak() {
+        let input = DesignInput::conservative(GW_LOW, GW_HIGH);
+        let cit = input.cit_exposure().unwrap();
+        assert_eq!(cit.sigma_t, 0.0);
+        // At a 10⁶-sample budget CIT is fully compromised by variance
+        // and entropy…
+        assert!(cit.variance_rate > 0.99);
+        assert!(cit.entropy_rate > 0.99);
+        // …but not by the mean.
+        assert!(cit.mean_rate < 0.55);
+    }
+
+    #[test]
+    fn recommendation_meets_the_budget() {
+        let input = DesignInput::conservative(GW_LOW, GW_HIGH);
+        let rec = input.recommend().unwrap();
+        assert!(rec.sigma_t > 0.0);
+        assert!(
+            rec.variance_rate <= input.max_detection_rate + 1e-6,
+            "variance rate {}",
+            rec.variance_rate
+        );
+        assert!(rec.entropy_rate <= input.max_detection_rate + 1e-6);
+        assert!(rec.mean_rate <= input.max_detection_rate + 1e-6);
+        assert!(rec.r < 1.01, "r should be pushed near 1, got {}", rec.r);
+    }
+
+    #[test]
+    fn bigger_adversary_budget_needs_bigger_sigma_t() {
+        let mut input = DesignInput::conservative(GW_LOW, GW_HIGH);
+        input.adversary_sample_budget = 1e4;
+        let small = input.recommend().unwrap();
+        input.adversary_sample_budget = 1e8;
+        let big = input.recommend().unwrap();
+        assert!(
+            big.sigma_t > small.sigma_t,
+            "σ_T: {} vs {}",
+            big.sigma_t,
+            small.sigma_t
+        );
+    }
+
+    #[test]
+    fn noisy_network_reduces_required_sigma_t() {
+        let quiet = DesignInput::conservative(GW_LOW, GW_HIGH);
+        let mut noisy = quiet;
+        noisy.sigma_net_sq = 400e-12; // heavy cross traffic at the tap
+        let st_quiet = quiet.recommend().unwrap().sigma_t;
+        let st_noisy = noisy.recommend().unwrap().sigma_t;
+        assert!(st_noisy < st_quiet);
+    }
+
+    #[test]
+    fn inputs_are_validated() {
+        let mut input = DesignInput::conservative(GW_LOW, GW_HIGH);
+        input.max_detection_rate = 0.3;
+        assert!(input.recommend().is_err());
+        let mut input = DesignInput::conservative(GW_LOW, GW_HIGH);
+        input.adversary_sample_budget = 1.0;
+        assert!(input.recommend().is_err());
+    }
+}

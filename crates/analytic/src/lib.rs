@@ -1,0 +1,37 @@
+//! # linkpad-analytic
+//!
+//! The closed-form analytical model of Fu et al. (ICPP 2003), Section 4:
+//! detection-rate formulas for the three feature statistics, exact
+//! numerical Bayes rates to validate the approximations, sample-size
+//! planning (the basis of Fig. 5b), and the design guidelines the paper
+//! derives from them.
+//!
+//! * [`ratio`] — the variance ratio `r = σ_h²/σ_l²` (eq. 16) from PIAT
+//!   variance components, with the special cases of eq. 26/27/29.
+//! * [`theorems`] — Theorems 1–3: `v_mean(r)`, `v_var(r, n)`,
+//!   `v_ent(r, n)` with the constants `C_Y` (eq. 21) and `C_H` (eq. 23).
+//! * [`exact`] — exact (numerical) Bayes detection rates for the
+//!   idealized feature sampling distributions: two equal-mean Gaussians
+//!   for the mean feature, Gamma/χ² for the variance feature, and the
+//!   log-variance normal approximation for entropy. These bound how much
+//!   of any simulation/theory gap is the paper's approximation vs. ours.
+//! * [`planning`] — required sample size `n(p)` per feature and the
+//!   σ_T needed to push an attack beyond any feasible sample (Fig. 5b's
+//!   10¹¹-samples-for-99% result).
+//! * [`guidelines`] — §6-style design guidance: given measured gateway
+//!   and network variances and a detection-rate budget, recommend a VIT
+//!   σ_T.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod guidelines;
+pub mod planning;
+pub mod ratio;
+pub mod theorems;
+
+pub use guidelines::{DesignGuideline, DesignInput};
+pub use planning::required_sample_size;
+pub use ratio::VarianceComponents;
+pub use theorems::{detection_rate_entropy, detection_rate_mean, detection_rate_variance};

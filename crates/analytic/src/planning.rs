@@ -1,0 +1,269 @@
+//! Sample-size planning — the math behind Fig. 5(b).
+//!
+//! The paper asks: *"How large a sample has to be in order for the
+//! adversary to have sufficient high probability in making a correct
+//! detection?"* and answers with `n(p)`, the sample size achieving
+//! detection rate `p`. Inverting Theorems 2–3:
+//!
+//! ```text
+//! variance: n(p) = 1 + C_Y(r)/(1 − p)
+//! entropy:  n(p) =     C_H(r)/(1 − p)
+//! ```
+//!
+//! With VIT padding at σ_T = 1 ms on the calibrated gateway, `r − 1` is
+//! ~10⁻⁵ and `n(99%)` explodes past 10¹¹ — "virtually impossible for an
+//! attacker to retrieve such a sample" (the Fig. 5b result).
+
+use crate::theorems::{c_h, c_y, detection_rate_mean};
+use linkpad_stats::StatsError;
+
+/// Which feature statistic the adversary uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Sample mean (eq. 17).
+    Mean,
+    /// Sample variance (eq. 19).
+    Variance,
+    /// Sample entropy (eq. 24/25).
+    Entropy,
+}
+
+impl FeatureKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureKind::Mean => "sample-mean",
+            FeatureKind::Variance => "sample-variance",
+            FeatureKind::Entropy => "sample-entropy",
+        }
+    }
+}
+
+/// Sample size needed for detection rate `p` with the given feature at
+/// variance ratio `r`.
+///
+/// Returns `None` when no finite sample size achieves `p`:
+/// * always for [`FeatureKind::Mean`] when `v_mean(r) < p` (the rate is
+///   n-independent);
+/// * for variance/entropy when `r = 1` exactly (C = ∞).
+pub fn required_sample_size(
+    feature: FeatureKind,
+    r: f64,
+    p: f64,
+) -> Result<Option<f64>, StatsError> {
+    if !(0.5..1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability {
+            what: "target detection rate (must be in [0.5, 1))",
+            value: p,
+        });
+    }
+    let n = match feature {
+        FeatureKind::Mean => {
+            if detection_rate_mean(r)? >= p {
+                Some(1.0)
+            } else {
+                None
+            }
+        }
+        FeatureKind::Variance => {
+            let c = c_y(r)?;
+            if c.is_infinite() {
+                None
+            } else {
+                Some(1.0 + c / (1.0 - p))
+            }
+        }
+        FeatureKind::Entropy => {
+            let c = c_h(r)?;
+            if c.is_infinite() {
+                None
+            } else {
+                Some(c / (1.0 - p))
+            }
+        }
+    };
+    Ok(n)
+}
+
+/// The σ_T (seconds) that pushes the adversary's required sample size for
+/// a target detection rate `p` beyond `n_max`, given the gateway's
+/// on-the-wire variances (`sigma_gw_low_sq`, `sigma_gw_high_sq`, each
+/// already doubled for an absolute timer) and `sigma_net_sq`.
+///
+/// Solved by bisection on σ_T over [0, 10 s] — monotone because larger
+/// σ_T means r closer to 1 and a larger n(p). Returns 0 if even CIT
+/// already suffices.
+pub fn sigma_t_for_infeasible_attack(
+    feature: FeatureKind,
+    sigma_gw_low_sq: f64,
+    sigma_gw_high_sq: f64,
+    sigma_net_sq: f64,
+    p: f64,
+    n_max: f64,
+) -> Result<f64, StatsError> {
+    if !(n_max > 1.0) || !n_max.is_finite() {
+        return Err(StatsError::NonPositive {
+            what: "n_max",
+            value: n_max,
+        });
+    }
+    let needed_at = |sigma_t: f64| -> Result<Option<f64>, StatsError> {
+        let st2 = sigma_t * sigma_t;
+        let r = (st2 + sigma_net_sq + sigma_gw_high_sq) / (st2 + sigma_net_sq + sigma_gw_low_sq);
+        required_sample_size(feature, r.max(1.0), p)
+    };
+    // Feasibility check at σ_T = 0.
+    match needed_at(0.0)? {
+        None => return Ok(0.0),
+        Some(n) if n > n_max => return Ok(0.0),
+        _ => {}
+    }
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let infeasible = match needed_at(mid)? {
+            None => true,
+            Some(n) => n > n_max,
+        };
+        if infeasible {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Calibrated on-the-wire variances (2·Var(δ_gw)) in s².
+    const GW_LOW: f64 = 85.7e-12;
+    const GW_HIGH: f64 = 126.7e-12;
+
+    fn r_at_sigma_t(sigma_t: f64) -> f64 {
+        let st2 = sigma_t * sigma_t;
+        (st2 + GW_HIGH) / (st2 + GW_LOW)
+    }
+
+    #[test]
+    fn fig5b_regime_sample_size_explodes_at_one_ms() {
+        // σ_T = 1 ms ⇒ r − 1 ≈ 4×10⁻⁵ ⇒ n(99%) ≳ 10¹⁰–10¹².
+        let r = r_at_sigma_t(1e-3);
+        let n = required_sample_size(FeatureKind::Variance, r, 0.99)
+            .unwrap()
+            .unwrap();
+        assert!(n > 1e10, "n(99%) = {n:e}");
+        let n_ent = required_sample_size(FeatureKind::Entropy, r, 0.99)
+            .unwrap()
+            .unwrap();
+        assert!(n_ent > 1e10, "entropy n(99%) = {n_ent:e}");
+    }
+
+    #[test]
+    fn cit_needs_only_thousands_of_packets() {
+        // CIT (σ_T = 0): the Fig. 4b regime — n(99%) is ~10³.
+        let r = r_at_sigma_t(0.0);
+        let n = required_sample_size(FeatureKind::Variance, r, 0.99)
+            .unwrap()
+            .unwrap();
+        assert!(n > 100.0 && n < 10_000.0, "n = {n}");
+    }
+
+    #[test]
+    fn required_n_is_monotone_in_p_and_sigma_t() {
+        let r = r_at_sigma_t(0.0);
+        let n90 = required_sample_size(FeatureKind::Entropy, r, 0.90)
+            .unwrap()
+            .unwrap();
+        let n99 = required_sample_size(FeatureKind::Entropy, r, 0.99)
+            .unwrap()
+            .unwrap();
+        assert!(n99 > n90);
+        let mut prev = 0.0;
+        for &st in &[0.0, 1e-5, 1e-4, 1e-3, 1e-2] {
+            let n = required_sample_size(FeatureKind::Variance, r_at_sigma_t(st), 0.99)
+                .unwrap()
+                .unwrap();
+            assert!(n >= prev, "σ_T={st}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn mean_feature_is_hopeless_at_realistic_r() {
+        // v_mean(1.48) ≈ 0.503 — no n achieves 90%.
+        assert_eq!(
+            required_sample_size(FeatureKind::Mean, r_at_sigma_t(0.0), 0.90).unwrap(),
+            None
+        );
+        // But with an absurd r it works immediately.
+        assert_eq!(
+            required_sample_size(FeatureKind::Mean, 1e9, 0.51).unwrap(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn r_equal_one_means_no_finite_sample() {
+        assert_eq!(
+            required_sample_size(FeatureKind::Variance, 1.0, 0.99).unwrap(),
+            None
+        );
+        assert_eq!(
+            required_sample_size(FeatureKind::Entropy, 1.0, 0.99).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn target_rate_is_validated() {
+        assert!(required_sample_size(FeatureKind::Variance, 1.4, 0.4).is_err());
+        assert!(required_sample_size(FeatureKind::Variance, 1.4, 1.0).is_err());
+        assert!(required_sample_size(FeatureKind::Variance, 1.4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sigma_t_recommendation_blocks_the_attack() {
+        // Ask: make a 99%-confident attack need more than 10⁹ samples.
+        let st = sigma_t_for_infeasible_attack(
+            FeatureKind::Variance,
+            GW_LOW,
+            GW_HIGH,
+            0.0,
+            0.99,
+            1e9,
+        )
+        .unwrap();
+        assert!(st > 0.0 && st < 0.01, "σ_T = {st}");
+        // Verify: at the recommended σ_T the attack is indeed infeasible.
+        let r = r_at_sigma_t(st);
+        let n = required_sample_size(FeatureKind::Variance, r, 0.99)
+            .unwrap()
+            .unwrap();
+        assert!(n >= 1e9 * 0.9, "n = {n:e}");
+    }
+
+    #[test]
+    fn sigma_t_zero_when_already_safe() {
+        // Huge ambient noise: even CIT can't be attacked with n_max = 10.
+        let st = sigma_t_for_infeasible_attack(
+            FeatureKind::Entropy,
+            GW_LOW,
+            GW_HIGH,
+            1e-3, // ms²-scale network noise swamps everything
+            0.99,
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(st, 0.0);
+    }
+
+    #[test]
+    fn feature_kind_names() {
+        assert_eq!(FeatureKind::Mean.name(), "sample-mean");
+        assert_eq!(FeatureKind::Variance.name(), "sample-variance");
+        assert_eq!(FeatureKind::Entropy.name(), "sample-entropy");
+    }
+}

@@ -1,0 +1,193 @@
+//! The variance ratio `r` (paper eq. 16) and its special cases.
+//!
+//! Everything in the analytical model is a function of
+//!
+//! ```text
+//! r = σ_h²/σ_l² = (σ_T² + σ_net² + σ_gw,h²)/(σ_T² + σ_net² + σ_gw,l²)
+//! ```
+//!
+//! with the regimes the paper walks through:
+//! * eq. 26 — zero cross traffic (`σ_net = 0`, tap next to GW1);
+//! * eq. 27 — CIT + zero cross traffic (`σ_T = 0` too);
+//! * eq. 29 — CIT with cross traffic (`σ_T = 0`, `σ_net > 0`).
+
+use linkpad_stats::StatsError;
+
+/// PIAT variance components, all in seconds².
+///
+/// Components are *as observed on the wire*: if the padding gateway runs
+/// an absolute periodic timer, the per-tick disturbance δ appears twice
+/// in each inter-arrival (`X_i = T_i + δ_i − δ_{i−1}`), so pass
+/// `2·Var(δ_gw)` here. `linkpad_core::CalibratedDefaults::predicted_r`
+/// does exactly that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarianceComponents {
+    /// Designed timer interval variance σ_T² (0 for CIT).
+    pub sigma_t_sq: f64,
+    /// Network disturbance variance σ_net² (0 at the sender's egress).
+    pub sigma_net_sq: f64,
+    /// Gateway disturbance variance under the low payload rate.
+    pub sigma_gw_low_sq: f64,
+    /// Gateway disturbance variance under the high payload rate.
+    pub sigma_gw_high_sq: f64,
+}
+
+impl VarianceComponents {
+    /// Build and validate (all components finite and ≥ 0; the low-rate
+    /// denominator must end up positive).
+    pub fn new(
+        sigma_t_sq: f64,
+        sigma_net_sq: f64,
+        sigma_gw_low_sq: f64,
+        sigma_gw_high_sq: f64,
+    ) -> Result<Self, StatsError> {
+        for (what, v) in [
+            ("sigma_t_sq", sigma_t_sq),
+            ("sigma_net_sq", sigma_net_sq),
+            ("sigma_gw_low_sq", sigma_gw_low_sq),
+            ("sigma_gw_high_sq", sigma_gw_high_sq),
+        ] {
+            if !v.is_finite() {
+                return Err(StatsError::NonFinite { what, value: v });
+            }
+            if v < 0.0 {
+                return Err(StatsError::NonPositive { what, value: v });
+            }
+        }
+        let denom = sigma_t_sq + sigma_net_sq + sigma_gw_low_sq;
+        if denom <= 0.0 {
+            return Err(StatsError::NonPositive {
+                what: "total low-rate PIAT variance",
+                value: denom,
+            });
+        }
+        Ok(Self {
+            sigma_t_sq,
+            sigma_net_sq,
+            sigma_gw_low_sq,
+            sigma_gw_high_sq,
+        })
+    }
+
+    /// Eq. 26: zero cross traffic (tap adjacent to the sender gateway).
+    pub fn no_cross_traffic(
+        sigma_t_sq: f64,
+        sigma_gw_low_sq: f64,
+        sigma_gw_high_sq: f64,
+    ) -> Result<Self, StatsError> {
+        Self::new(sigma_t_sq, 0.0, sigma_gw_low_sq, sigma_gw_high_sq)
+    }
+
+    /// Eq. 27: CIT and zero cross traffic — the adversary's best case.
+    pub fn cit_no_cross_traffic(
+        sigma_gw_low_sq: f64,
+        sigma_gw_high_sq: f64,
+    ) -> Result<Self, StatsError> {
+        Self::new(0.0, 0.0, sigma_gw_low_sq, sigma_gw_high_sq)
+    }
+
+    /// Eq. 29: CIT with cross traffic.
+    pub fn cit_with_cross_traffic(
+        sigma_net_sq: f64,
+        sigma_gw_low_sq: f64,
+        sigma_gw_high_sq: f64,
+    ) -> Result<Self, StatsError> {
+        Self::new(0.0, sigma_net_sq, sigma_gw_low_sq, sigma_gw_high_sq)
+    }
+
+    /// The ratio `r` (eq. 16), clamped to ≥ 1 (classes are exchangeable;
+    /// the theorems are stated for r ≥ 1).
+    pub fn r(&self) -> f64 {
+        let num = self.sigma_t_sq + self.sigma_net_sq + self.sigma_gw_high_sq;
+        let den = self.sigma_t_sq + self.sigma_net_sq + self.sigma_gw_low_sq;
+        (num / den).max(den / num)
+    }
+
+    /// Total PIAT variance under the low rate.
+    pub fn sigma_low_sq(&self) -> f64 {
+        self.sigma_t_sq + self.sigma_net_sq + self.sigma_gw_low_sq
+    }
+
+    /// Total PIAT variance under the high rate.
+    pub fn sigma_high_sq(&self) -> f64 {
+        self.sigma_t_sq + self.sigma_net_sq + self.sigma_gw_high_sq
+    }
+}
+
+/// Empirical `r` from two measured PIAT variances (order-free).
+pub fn empirical_r(var_a: f64, var_b: f64) -> Result<f64, StatsError> {
+    if !(var_a > 0.0) || !(var_b > 0.0) || !var_a.is_finite() || !var_b.is_finite() {
+        return Err(StatsError::NonPositive {
+            what: "measured PIAT variance",
+            value: var_a.min(var_b),
+        });
+    }
+    Ok((var_a / var_b).max(var_b / var_a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_matches_hand_computation() {
+        // The calibrated regime: σ_gw,l² = 42.84, σ_gw,h² = 63.36 µs²
+        // (doubled on the wire): r = (2·63.36)/(2·42.84) with σ_T=σ_net=0.
+        let c = VarianceComponents::cit_no_cross_traffic(85.68e-12, 126.72e-12).unwrap();
+        assert!((c.r() - 1.479) < 0.01);
+        assert_eq!(c.sigma_low_sq(), 85.68e-12);
+        assert_eq!(c.sigma_high_sq(), 126.72e-12);
+    }
+
+    #[test]
+    fn sigma_t_drives_r_to_one() {
+        let r_at = |st2: f64| {
+            VarianceComponents::no_cross_traffic(st2, 80e-12, 120e-12)
+                .unwrap()
+                .r()
+        };
+        assert!(r_at(0.0) > r_at(1e-9));
+        assert!(r_at(1e-9) > r_at(1e-6));
+        assert!(r_at(1e-6) - 1.0 < 1e-4);
+        // Monotone decreasing toward 1.
+        let mut prev = r_at(0.0);
+        for e in [-12i32, -11, -10, -9, -8, -7, -6] {
+            let cur = r_at(10f64.powi(e));
+            assert!(cur <= prev + 1e-15);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn sigma_net_drives_r_to_one() {
+        let r_at = |sn2: f64| {
+            VarianceComponents::cit_with_cross_traffic(sn2, 80e-12, 120e-12)
+                .unwrap()
+                .r()
+        };
+        assert!(r_at(0.0) > r_at(100e-12));
+        assert!(r_at(100e-12) > r_at(1e-9));
+    }
+
+    #[test]
+    fn r_is_at_least_one_even_when_classes_swap() {
+        let c = VarianceComponents::new(0.0, 0.0, 120e-12, 80e-12).unwrap();
+        assert!(c.r() >= 1.0);
+        assert!((c.r() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_components() {
+        assert!(VarianceComponents::new(-1.0, 0.0, 1.0, 1.0).is_err());
+        assert!(VarianceComponents::new(f64::NAN, 0.0, 1.0, 1.0).is_err());
+        assert!(VarianceComponents::new(0.0, 0.0, 0.0, 1.0).is_err()); // zero denominator
+    }
+
+    #[test]
+    fn empirical_r_is_order_free() {
+        assert_eq!(empirical_r(2.0, 1.0).unwrap(), 2.0);
+        assert_eq!(empirical_r(1.0, 2.0).unwrap(), 2.0);
+        assert!(empirical_r(0.0, 1.0).is_err());
+        assert!(empirical_r(1.0, f64::INFINITY).is_err());
+    }
+}

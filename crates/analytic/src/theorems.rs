@@ -1,0 +1,257 @@
+//! Theorems 1–3: closed-form detection-rate estimates.
+//!
+//! All three are functions of the variance ratio `r ≥ 1` (eq. 16); the
+//! variance and entropy rates additionally depend on the sample size `n`.
+//! The three structural facts the paper derives — and every bench in this
+//! workspace reproduces — are:
+//!
+//! 1. **Sample mean is useless**: `v_mean` does not depend on n and stays
+//!    near 0.5 for the r values real gateways produce.
+//! 2. **Sample variance and entropy win eventually**: both rates increase
+//!    in n toward 1 for any fixed r > 1.
+//! 3. **VIT defeats them**: as σ_T grows, r → 1 and every rate collapses
+//!    to the 50% random-guessing floor.
+//!
+//! Note on Theorem 1's printed form: the paper's equation (18) is
+//! typeset with a garbled radical in the available text. We implement
+//! `v ≈ 1 − 1/√(2(1/√r + √r))` — the Bhattacharyya-bound estimate for
+//! two equal-mean Gaussians — which is the unique reading consistent
+//! with all three properties the paper states for it (v(1) = ½, strictly
+//! increasing in r, independent of n). [`crate::exact::mean_detection`]
+//! provides the exact Bayes rate for comparison.
+
+use linkpad_stats::StatsError;
+
+/// Validate r (must be finite and ≥ 1 after the caller's clamping; we
+/// also accept r in (0,1) and flip it, since classes are exchangeable).
+fn normalize_r(r: f64) -> Result<f64, StatsError> {
+    if !r.is_finite() || r <= 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "variance ratio r",
+            value: r,
+        });
+    }
+    Ok(if r < 1.0 { 1.0 / r } else { r })
+}
+
+/// Theorem 1: detection rate of the **sample-mean** feature,
+/// `v ≈ 1 − 1/√(2(1/√r + √r))`. Independent of sample size.
+pub fn detection_rate_mean(r: f64) -> Result<f64, StatsError> {
+    let r = normalize_r(r)?;
+    let s = r.sqrt();
+    Ok(1.0 - 1.0 / (2.0 * (1.0 / s + s)).sqrt())
+}
+
+/// The constant `C_Y` of Theorem 2 (eq. 21):
+/// `C_Y = 1/(2(1 − ln r/(r−1))²) + 1/(2(r·ln r/(r−1) − 1)²)`.
+///
+/// Diverges as r → 1 (detection impossible); returns `f64::INFINITY`
+/// there.
+pub fn c_y(r: f64) -> Result<f64, StatsError> {
+    let r = normalize_r(r)?;
+    if r - 1.0 < 1e-12 {
+        return Ok(f64::INFINITY);
+    }
+    let q = r.ln() / (r - 1.0); // ∈ (0, 1) for r > 1
+    let a = 1.0 - q; // h-side margin
+    let b = r * q - 1.0; // l-side margin
+    Ok(1.0 / (2.0 * a * a) + 1.0 / (2.0 * b * b))
+}
+
+/// Theorem 2: detection rate of the **sample-variance** feature with
+/// sample size `n`: `v ≈ max(1 − C_Y/(n−1), 0.5)`.
+pub fn detection_rate_variance(r: f64, n: usize) -> Result<f64, StatsError> {
+    if n < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "sample size for variance feature",
+            needed: 2,
+            got: n,
+        });
+    }
+    let c = c_y(r)?;
+    Ok((1.0 - c / (n as f64 - 1.0)).max(0.5))
+}
+
+/// The constant `C_H` of Theorem 3 (eq. 23):
+/// `C_H = 1/(2·ln²(r·ln r/(r−1))) + 1/(2·ln²((r−1)/ln r))`.
+pub fn c_h(r: f64) -> Result<f64, StatsError> {
+    let r = normalize_r(r)?;
+    if r - 1.0 < 1e-12 {
+        return Ok(f64::INFINITY);
+    }
+    let q = r.ln() / (r - 1.0);
+    let a = (r * q).ln(); // = ln(t*/σ_l²) > 0
+    let b = (1.0 / q).ln(); // = ln(σ_h²/t*) > 0
+    Ok(1.0 / (2.0 * a * a) + 1.0 / (2.0 * b * b))
+}
+
+/// Theorem 3: detection rate of the **sample-entropy** feature with
+/// sample size `n`: `v ≈ max(1 − C_H/n, 0.5)`.
+pub fn detection_rate_entropy(r: f64, n: usize) -> Result<f64, StatsError> {
+    if n == 0 {
+        return Err(StatsError::InsufficientData {
+            what: "sample size for entropy feature",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let c = c_h(r)?;
+    Ok((1.0 - c / n as f64).max(0.5))
+}
+
+/// All three theorem rates at once — convenient for printing paper-style
+/// rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoremRates {
+    /// Theorem 1 (sample mean).
+    pub mean: f64,
+    /// Theorem 2 (sample variance).
+    pub variance: f64,
+    /// Theorem 3 (sample entropy).
+    pub entropy: f64,
+}
+
+/// Evaluate Theorems 1–3 at `(r, n)`.
+pub fn theorem_rates(r: f64, n: usize) -> Result<TheoremRates, StatsError> {
+    Ok(TheoremRates {
+        mean: detection_rate_mean(r)?,
+        variance: detection_rate_variance(r, n)?,
+        entropy: detection_rate_entropy(r, n)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rates_hit_the_floor_at_r_equal_one() {
+        assert!((detection_rate_mean(1.0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(detection_rate_variance(1.0, 10_000).unwrap(), 0.5);
+        assert_eq!(detection_rate_entropy(1.0, 10_000).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn rates_increase_with_r() {
+        let mut prev_m = 0.0;
+        let mut prev_v = 0.0;
+        let mut prev_h = 0.0;
+        for i in 1..40 {
+            let r = 1.0 + i as f64 * 0.25;
+            let m = detection_rate_mean(r).unwrap();
+            let v = detection_rate_variance(r, 500).unwrap();
+            let h = detection_rate_entropy(r, 500).unwrap();
+            assert!(m >= prev_m);
+            assert!(v >= prev_v);
+            assert!(h >= prev_h);
+            prev_m = m;
+            prev_v = v;
+            prev_h = h;
+        }
+    }
+
+    #[test]
+    fn variance_and_entropy_rates_increase_with_n() {
+        let r = 1.4;
+        let mut prev_v = 0.0;
+        let mut prev_h = 0.0;
+        for n in [10usize, 50, 100, 500, 1000, 5000] {
+            let v = detection_rate_variance(r, n).unwrap();
+            let h = detection_rate_entropy(r, n).unwrap();
+            assert!(v >= prev_v);
+            assert!(h >= prev_h);
+            prev_v = v;
+            prev_h = h;
+        }
+        // …and both saturate toward 1.
+        assert!(detection_rate_variance(r, 1_000_000).unwrap() > 0.999);
+        assert!(detection_rate_entropy(r, 1_000_000).unwrap() > 0.999);
+    }
+
+    #[test]
+    fn mean_rate_is_independent_of_n_by_construction_and_small() {
+        // At the paper's r ≈ 1.4 the mean feature barely beats guessing.
+        let v = detection_rate_mean(1.4).unwrap();
+        assert!(v < 0.52, "v_mean = {v}");
+    }
+
+    #[test]
+    fn calibrated_regime_matches_fig4b_saturation() {
+        // r ≈ 1.4: variance/entropy detection ≈ 1 by n = 1000 (paper:
+        // "At sample size of 1,000, both features achieve almost 100%").
+        let r = 1.45;
+        assert!(detection_rate_variance(r, 1000).unwrap() > 0.95);
+        assert!(detection_rate_entropy(r, 1000).unwrap() > 0.95);
+        // …and are visibly partial at n = 100.
+        let v100 = detection_rate_variance(r, 100).unwrap();
+        assert!(v100 > 0.6 && v100 < 0.99, "v100 = {v100}");
+    }
+
+    #[test]
+    fn constants_diverge_at_r_one() {
+        assert!(c_y(1.0).unwrap().is_infinite());
+        assert!(c_h(1.0 + 1e-15).unwrap().is_infinite());
+        // And shrink with r.
+        assert!(c_y(1.2).unwrap() > c_y(2.0).unwrap());
+        assert!(c_h(1.2).unwrap() > c_h(2.0).unwrap());
+    }
+
+    #[test]
+    fn c_y_matches_hand_computation() {
+        // r = 2: q = ln2 ≈ 0.693147; a = 0.306853, b = 0.386294.
+        // C_Y = 1/(2a²) + 1/(2b²) ≈ 5.3095 + 3.3508 ≈ 8.6603
+        let c = c_y(2.0).unwrap();
+        assert!((c - 8.6603).abs() < 0.01, "C_Y(2) = {c}");
+    }
+
+    #[test]
+    fn c_h_matches_hand_computation() {
+        // r = 2: a = ln(2·0.693147) = ln 1.386294 ≈ 0.326634,
+        //        b = ln(1/0.693147) = 0.366513
+        // C_H = 1/(2a²) + 1/(2b²) ≈ 4.6868 + 3.7226 ≈ 8.4094
+        let c = c_h(2.0).unwrap();
+        assert!((c - 8.4094).abs() < 0.01, "C_H(2) = {c}");
+    }
+
+    #[test]
+    fn r_below_one_is_flipped_not_rejected() {
+        assert_eq!(
+            detection_rate_mean(0.5).unwrap(),
+            detection_rate_mean(2.0).unwrap()
+        );
+        assert_eq!(
+            detection_rate_variance(0.5, 100).unwrap(),
+            detection_rate_variance(2.0, 100).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(detection_rate_mean(0.0).is_err());
+        assert!(detection_rate_mean(f64::NAN).is_err());
+        assert!(detection_rate_variance(1.5, 1).is_err());
+        assert!(detection_rate_entropy(1.5, 0).is_err());
+    }
+
+    #[test]
+    fn theorem_rates_bundle_is_consistent() {
+        let t = theorem_rates(1.4, 1000).unwrap();
+        assert_eq!(t.mean, detection_rate_mean(1.4).unwrap());
+        assert_eq!(t.variance, detection_rate_variance(1.4, 1000).unwrap());
+        assert_eq!(t.entropy, detection_rate_entropy(1.4, 1000).unwrap());
+    }
+
+    #[test]
+    fn rates_always_live_in_half_open_unit_band() {
+        for &r in &[1.0, 1.01, 1.5, 3.0, 10.0, 1e6] {
+            for &n in &[2usize, 10, 1000, 1_000_000] {
+                let v = detection_rate_variance(r, n).unwrap();
+                let h = detection_rate_entropy(r, n).unwrap();
+                let m = detection_rate_mean(r).unwrap();
+                for x in [v, h, m] {
+                    assert!((0.5..=1.0).contains(&x), "rate {x} at r={r}, n={n}");
+                }
+            }
+        }
+    }
+}

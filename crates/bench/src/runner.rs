@@ -1,0 +1,172 @@
+//! Parallel experiment execution.
+
+use linkpad_adversary::feature::Feature;
+use linkpad_adversary::pipeline::{DetectionReport, DetectionStudy};
+use linkpad_sim::parallel::parallel_map;
+use linkpad_stats::rng::MasterSeed;
+use linkpad_workloads::scenario::{piats_for, ScenarioBuilder, TapPosition};
+
+/// Sample budgets per class for a detection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Training samples per class.
+    pub train: usize,
+    /// Test samples per class.
+    pub test: usize,
+}
+
+impl Budget {
+    /// Budget selected by the `LINKPAD_SCALE` environment variable:
+    /// `quick` → 60/40, anything else (default `paper`) → 150/100.
+    pub fn from_env() -> Self {
+        match std::env::var("LINKPAD_SCALE").as_deref() {
+            Ok("quick") => Budget { train: 60, test: 40 },
+            _ => Budget {
+                train: 150,
+                test: 100,
+            },
+        }
+    }
+
+    /// Total samples per class.
+    pub fn samples(&self) -> usize {
+        self.train + self.test
+    }
+
+    /// As a [`DetectionStudy`] at sample size `n`.
+    pub fn study(&self, n: usize) -> DetectionStudy {
+        DetectionStudy {
+            sample_size: n,
+            train_samples: self.train,
+            test_samples: self.test,
+        }
+    }
+}
+
+/// Collect `total` PIATs for one scenario class, fanning replications out
+/// over worker threads. Each replication's length is a multiple of
+/// `sample_multiple` so that downstream sample slicing never straddles a
+/// replication boundary.
+pub fn collect_piats_parallel(
+    builder: &ScenarioBuilder,
+    at: TapPosition,
+    total: usize,
+    sample_multiple: usize,
+) -> Vec<f64> {
+    let sample_multiple = sample_multiple.max(1);
+    // Target ~100k PIATs per task: large enough to amortize warmup,
+    // small enough to parallelize sweeps on a few cores.
+    let chunk = (100_000 / sample_multiple).max(1) * sample_multiple;
+    let tasks: Vec<(u64, usize)> = {
+        let mut tasks = Vec::new();
+        let mut remaining = total;
+        let mut k = 0u64;
+        while remaining > 0 {
+            let this = remaining.min(chunk);
+            // Round up to a multiple so every task is feature-aligned.
+            let this = this.div_ceil(sample_multiple) * sample_multiple;
+            tasks.push((k, this));
+            remaining = remaining.saturating_sub(this);
+            k += 1;
+        }
+        tasks
+    };
+    let base_seed = MasterSeed::new(builder_seed_of(builder));
+    let results = parallel_map(tasks, |(k, count)| {
+        let b = builder.clone().with_seed(base_seed.child(k).value());
+        piats_for(&b, at, count, 64).expect("scenario collection failed")
+    });
+    let mut out = Vec::with_capacity(total + chunk);
+    for r in results {
+        out.extend_from_slice(&r);
+    }
+    out.truncate(total.div_ceil(sample_multiple) * sample_multiple);
+    out
+}
+
+// ScenarioBuilder doesn't expose its seed; derive a stable one from its
+// debug formatting (configuration-unique), keeping the public API small.
+fn builder_seed_of(builder: &ScenarioBuilder) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    format!("{builder:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Run one full detection experiment: low-rate and high-rate scenario
+/// classes, a feature, a sample size, a budget.
+pub fn detection_for(
+    low: &ScenarioBuilder,
+    high: &ScenarioBuilder,
+    at: TapPosition,
+    feature: &dyn Feature,
+    n: usize,
+    budget: Budget,
+) -> DetectionReport {
+    detection_multi(low, high, at, &[feature], n, budget)
+        .pop()
+        .expect("one feature in, one report out")
+}
+
+/// Run several features against the *same* captured PIAT streams —
+/// collection dominates the cost, so sweeps that report multiple
+/// features should always go through this.
+pub fn detection_multi(
+    low: &ScenarioBuilder,
+    high: &ScenarioBuilder,
+    at: TapPosition,
+    features: &[&dyn Feature],
+    n: usize,
+    budget: Budget,
+) -> Vec<DetectionReport> {
+    let study = budget.study(n);
+    let needed = study.piats_needed();
+    let piats_low = collect_piats_parallel(low, at, needed, n);
+    let piats_high = collect_piats_parallel(high, at, needed, n);
+    let streams = [piats_low, piats_high];
+    features
+        .iter()
+        .map(|f| study.run(*f, &streams).expect("detection study failed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_adversary::feature::SampleVariance;
+
+    #[test]
+    fn budget_study_accounting() {
+        let b = Budget { train: 150, test: 100 };
+        assert_eq!(b.samples(), 250);
+        let study = b.study(500);
+        assert_eq!(study.piats_needed(), 250 * 500);
+    }
+
+    #[test]
+    fn collect_parallel_is_aligned_and_complete() {
+        let b = ScenarioBuilder::lab(5).with_payload_rate(10.0);
+        let piats = collect_piats_parallel(&b, TapPosition::SenderEgress, 25_000, 400);
+        assert!(piats.len() >= 25_000);
+        assert_eq!(piats.len() % 400, 0);
+        assert!(piats.iter().all(|&x| x > 0.005 && x < 0.015));
+    }
+
+    #[test]
+    fn detection_for_runs_end_to_end_small() {
+        let low = ScenarioBuilder::lab(1).with_payload_rate(10.0);
+        let high = ScenarioBuilder::lab(2).with_payload_rate(40.0);
+        let report = detection_for(
+            &low,
+            &high,
+            TapPosition::SenderEgress,
+            &SampleVariance,
+            400,
+            Budget { train: 20, test: 12 },
+        );
+        assert_eq!(report.total, 24);
+        let v = report.detection_rate();
+        assert!((0.4..=1.0).contains(&v), "v = {v}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Paper-style table output: aligned stdout rendering plus CSV files
+//! under `target/figures/` for plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV to `target/figures/<name>.csv`; returns the path.
+    pub fn save_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        write_csv(name, &self.headers, &self.rows)
+    }
+}
+
+/// Write rows as CSV under `target/figures/`.
+pub fn write_csv(
+    name: &str,
+    headers: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Format a rate as e.g. `0.873`.
+pub fn fmt_rate(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format seconds at nanosecond precision, e.g. `0.010000012`.
+pub fn fmt_secs(v: f64) -> String {
+    format!("{v:.9}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["n", "rate"]);
+        t.row(vec!["100".into(), "0.75".into()]);
+        t.row(vec!["2000".into(), "1.0".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("2000"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_written_to_target_figures() {
+        let mut t = Table::new("csv-test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.save_csv("unit_test_table").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("a,b\n1,2"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_rate(0.8734), "0.873");
+        assert!(fmt_secs(0.01).starts_with("0.0100000"));
+    }
+}

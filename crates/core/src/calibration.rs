@@ -1,0 +1,130 @@
+//! The calibrated default constants of the reproduction.
+//!
+//! The paper's experiments fix: timer mean interval 10 ms
+//! (`E(T) = 10 ms`), payload rates 10 pps and 40 pps with equal priors,
+//! fixed packet size, TimeSys Linux gateways whose timer jitter is
+//! microsecond-scale (Fig. 4a spans ±20 µs around 10 ms). The constants
+//! here place the simulated system in those regimes; DESIGN.md §5
+//! documents the derivation. Change them through the builders, not by
+//! editing — every bench prints the configuration it ran with.
+
+use crate::gateway::TimerDiscipline;
+use crate::jitter::GatewayJitterModel;
+use crate::schedule::PaddingSchedule;
+use linkpad_stats::StatsError;
+
+/// The defaults every scenario starts from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratedDefaults {
+    /// Mean padding timer interval τ (seconds). Paper: 10 ms.
+    pub tau: f64,
+    /// Low payload rate ω_l (packets/s). Paper: 10 pps.
+    pub rate_low: f64,
+    /// High payload rate ω_h (packets/s). Paper: 40 pps.
+    pub rate_high: f64,
+    /// Constant padded packet size (bytes).
+    pub packet_size: u32,
+    /// Shared-hop (lab router egress) link capacity, bits/s. The Fig. 6
+    /// decay shape calibrates against this: 400 Mb/s puts the M/G/1
+    /// queueing-delay variance of trimodal cross traffic at utilization
+    /// 0.4 near 270 µs² — the regime where entropy detection sits at
+    /// ~0.7 as in the paper.
+    pub link_bps: f64,
+    /// Gateway jitter model parameters.
+    pub jitter: GatewayJitterModel,
+    /// Timer discipline.
+    pub discipline: TimerDiscipline,
+}
+
+impl Default for CalibratedDefaults {
+    fn default() -> Self {
+        Self {
+            tau: 0.010,
+            rate_low: 10.0,
+            rate_high: 40.0,
+            packet_size: 500,
+            link_bps: 400e6,
+            jitter: GatewayJitterModel::calibrated(),
+            discipline: TimerDiscipline::Absolute,
+        }
+    }
+}
+
+impl CalibratedDefaults {
+    /// The paper's configuration (alias of `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// CIT schedule at the calibrated τ.
+    pub fn cit_schedule(&self) -> Result<PaddingSchedule, StatsError> {
+        PaddingSchedule::cit(self.tau)
+    }
+
+    /// VIT schedule at the calibrated τ with the given σ_T (seconds).
+    pub fn vit_schedule(&self, sigma_t: f64) -> Result<PaddingSchedule, StatsError> {
+        PaddingSchedule::vit_truncated_normal(self.tau, sigma_t)
+    }
+
+    /// Predicted per-tick δ_gw variance at a payload rate (the analytic
+    /// `σ_gw²` of eq. 13/15 for this configuration).
+    pub fn sigma_gw_sq(&self, payload_rate: f64) -> f64 {
+        self.jitter.variance_at_rate(payload_rate, self.tau)
+    }
+
+    /// Predicted variance ratio `r` (eq. 16) at a tap adjacent to GW1
+    /// (σ_net = 0) for a given σ_T. With the Absolute timer discipline
+    /// PIAT variance is `σ_T² + 2·Var(δ_gw)`, so
+    /// `r = (σ_T² + 2σ_gw,h²)/(σ_T² + 2σ_gw,l²)`.
+    pub fn predicted_r(&self, sigma_t: f64) -> f64 {
+        let st2 = sigma_t * sigma_t;
+        (st2 + 2.0 * self.sigma_gw_sq(self.rate_high))
+            / (st2 + 2.0 * self.sigma_gw_sq(self.rate_low))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let d = CalibratedDefaults::paper();
+        assert_eq!(d.tau, 0.010);
+        assert_eq!(d.rate_low, 10.0);
+        assert_eq!(d.rate_high, 40.0);
+        assert_eq!(d.discipline, TimerDiscipline::Absolute);
+    }
+
+    #[test]
+    fn cit_r_lands_in_the_papers_band() {
+        let d = CalibratedDefaults::paper();
+        let r = d.predicted_r(0.0);
+        assert!(r > 1.25 && r < 1.6, "r = {r}");
+    }
+
+    #[test]
+    fn vit_drives_r_toward_one() {
+        let d = CalibratedDefaults::paper();
+        let r_cit = d.predicted_r(0.0);
+        let r_small = d.predicted_r(100e-6); // σ_T = 100 µs
+        let r_big = d.predicted_r(1e-3); // σ_T = 1 ms
+        assert!(r_small < r_cit);
+        assert!(r_big < r_small);
+        assert!(r_big - 1.0 < 1e-3, "r(1ms) = {r_big}");
+    }
+
+    #[test]
+    fn schedules_build() {
+        let d = CalibratedDefaults::paper();
+        assert!(d.cit_schedule().is_ok());
+        assert!(d.vit_schedule(1e-3).is_ok());
+        assert!(d.vit_schedule(0.0).is_err());
+    }
+
+    #[test]
+    fn sigma_gw_increases_with_rate() {
+        let d = CalibratedDefaults::paper();
+        assert!(d.sigma_gw_sq(40.0) > d.sigma_gw_sq(10.0));
+    }
+}

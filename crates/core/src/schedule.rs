@@ -1,0 +1,224 @@
+//! Padding timer schedules: CIT and VIT.
+//!
+//! The paper (§3.2, remark 2): *"the only tunable parameter is the time
+//! interval between timer interrupts. … A system is said to have a
+//! constant interval timer (CIT) if the timer is a periodic one. … A
+//! system is said to have a variable interval timer (VIT) whenever the
+//! interval between two consecutive timer interrupts is a random variable
+//! and satisfies some distribution."*
+//!
+//! A [`PaddingSchedule`] produces the *designed* interval `T` of eq. 8/9:
+//! `T ~ N(τ, σ_T²)` with `σ_T = 0` for CIT. The canonical VIT law is a
+//! truncated normal (a real interval must stay positive); uniform and
+//! exponential laws are provided for the interval-law ablation, which
+//! shows the defence depends on `σ_T`, not on the particular law.
+
+use linkpad_stats::dist::{ContinuousDist, Deterministic, Exponential, TruncatedNormal, Uniform};
+use linkpad_stats::StatsError;
+use rand_core::RngCore;
+
+/// A padding schedule: the law of the designed timer interval `T`.
+#[derive(Debug)]
+pub struct PaddingSchedule {
+    law: Box<dyn ContinuousDist>,
+    kind: ScheduleKind,
+}
+
+/// Which family a schedule belongs to (for reporting and benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Constant interval timer: `σ_T = 0`.
+    Cit,
+    /// Variable interval timer, truncated-normal law (the paper's VIT).
+    VitTruncatedNormal,
+    /// Variable interval timer, uniform law (ablation).
+    VitUniform,
+    /// Variable interval timer, exponential law (ablation).
+    VitExponential,
+    /// User-supplied law.
+    Custom,
+}
+
+impl ScheduleKind {
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleKind::Cit => "CIT",
+            ScheduleKind::VitTruncatedNormal => "VIT(trunc-normal)",
+            ScheduleKind::VitUniform => "VIT(uniform)",
+            ScheduleKind::VitExponential => "VIT(exponential)",
+            ScheduleKind::Custom => "custom",
+        }
+    }
+}
+
+impl PaddingSchedule {
+    /// CIT with period `tau_secs` (e.g. `0.010` for the paper's 10 ms).
+    pub fn cit(tau_secs: f64) -> Result<Self, StatsError> {
+        Ok(Self {
+            law: Box::new(Deterministic::new(validate_tau(tau_secs)?)?),
+            kind: ScheduleKind::Cit,
+        })
+    }
+
+    /// The paper's VIT: `T ~ N(τ, σ_T²)` truncated to stay positive.
+    pub fn vit_truncated_normal(tau_secs: f64, sigma_t_secs: f64) -> Result<Self, StatsError> {
+        let tau = validate_tau(tau_secs)?;
+        Ok(Self {
+            law: Box::new(TruncatedNormal::vit_law(tau, sigma_t_secs)?),
+            kind: ScheduleKind::VitTruncatedNormal,
+        })
+    }
+
+    /// VIT with a uniform interval law of matching mean and σ_T.
+    pub fn vit_uniform(tau_secs: f64, sigma_t_secs: f64) -> Result<Self, StatsError> {
+        let tau = validate_tau(tau_secs)?;
+        Ok(Self {
+            law: Box::new(Uniform::with_mean_sigma(tau, sigma_t_secs)?),
+            kind: ScheduleKind::VitUniform,
+        })
+    }
+
+    /// VIT with exponential intervals of mean τ (σ_T = τ; maximal jitter
+    /// for a renewal law with this mean — the Poisson-padding limit).
+    pub fn vit_exponential(tau_secs: f64) -> Result<Self, StatsError> {
+        let tau = validate_tau(tau_secs)?;
+        Ok(Self {
+            law: Box::new(Exponential::new(tau)?),
+            kind: ScheduleKind::VitExponential,
+        })
+    }
+
+    /// A custom interval law. The law's mean must be positive.
+    pub fn custom(law: Box<dyn ContinuousDist>) -> Result<Self, StatsError> {
+        if !(law.mean() > 0.0) || !law.mean().is_finite() {
+            return Err(StatsError::NonPositive {
+                what: "custom schedule mean interval",
+                value: law.mean(),
+            });
+        }
+        Ok(Self {
+            law,
+            kind: ScheduleKind::Custom,
+        })
+    }
+
+    /// Draw the next designed interval, in seconds. Guaranteed positive
+    /// (laws are constructed positive; a defensive floor of 1 µs guards
+    /// custom laws).
+    pub fn next_interval_secs(&self, rng: &mut dyn RngCore) -> f64 {
+        self.law.sample(rng).max(1e-6)
+    }
+
+    /// Mean designed interval τ in seconds.
+    pub fn tau(&self) -> f64 {
+        self.law.mean()
+    }
+
+    /// Designed-interval standard deviation σ_T in seconds (0 for CIT).
+    pub fn sigma_t(&self) -> f64 {
+        self.law.std_dev()
+    }
+
+    /// Designed-interval variance σ_T² in seconds² (eq. 9).
+    pub fn sigma_t_sq(&self) -> f64 {
+        self.law.variance()
+    }
+
+    /// Mean padded-packet rate in packets/second (1/τ).
+    pub fn padding_rate(&self) -> f64 {
+        1.0 / self.tau()
+    }
+
+    /// The schedule family.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+}
+
+fn validate_tau(tau: f64) -> Result<f64, StatsError> {
+    if !tau.is_finite() {
+        return Err(StatsError::NonFinite {
+            what: "schedule tau",
+            value: tau,
+        });
+    }
+    if tau <= 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "schedule tau",
+            value: tau,
+        });
+    }
+    Ok(tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_stats::moments::RunningMoments;
+    use linkpad_stats::rng::MasterSeed;
+
+    #[test]
+    fn cit_intervals_are_exactly_tau() {
+        let s = PaddingSchedule::cit(0.010).unwrap();
+        let mut rng = MasterSeed::new(1).stream(0);
+        for _ in 0..100 {
+            assert_eq!(s.next_interval_secs(&mut rng), 0.010);
+        }
+        assert_eq!(s.tau(), 0.010);
+        assert_eq!(s.sigma_t(), 0.0);
+        assert_eq!(s.kind(), ScheduleKind::Cit);
+        assert!((s.padding_rate() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vit_truncated_normal_hits_requested_moments() {
+        let s = PaddingSchedule::vit_truncated_normal(0.010, 0.001).unwrap();
+        let mut rng = MasterSeed::new(2).stream(0);
+        let mut m = RunningMoments::new();
+        for _ in 0..100_000 {
+            m.push(s.next_interval_secs(&mut rng));
+        }
+        assert!((m.mean().unwrap() - 0.010).abs() < 5e-5);
+        assert!((m.std_dev().unwrap() - 0.001).abs() < 5e-5);
+        assert_eq!(s.kind().name(), "VIT(trunc-normal)");
+    }
+
+    #[test]
+    fn vit_intervals_are_always_positive() {
+        // Large σ_T relative to τ — truncation must keep intervals > 0.
+        let s = PaddingSchedule::vit_truncated_normal(0.010, 0.005).unwrap();
+        let mut rng = MasterSeed::new(3).stream(0);
+        for _ in 0..50_000 {
+            assert!(s.next_interval_secs(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn vit_uniform_and_exponential_report_sigma() {
+        let u = PaddingSchedule::vit_uniform(0.010, 0.002).unwrap();
+        assert!((u.sigma_t() - 0.002).abs() < 1e-9);
+        assert_eq!(u.kind(), ScheduleKind::VitUniform);
+        let e = PaddingSchedule::vit_exponential(0.010).unwrap();
+        assert!((e.sigma_t() - 0.010).abs() < 1e-12);
+        assert_eq!(e.kind(), ScheduleKind::VitExponential);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(PaddingSchedule::cit(0.0).is_err());
+        assert!(PaddingSchedule::cit(-1.0).is_err());
+        assert!(PaddingSchedule::cit(f64::NAN).is_err());
+        assert!(PaddingSchedule::vit_truncated_normal(0.010, 0.0).is_err());
+        assert!(PaddingSchedule::vit_uniform(0.010, 0.010).is_err()); // would cross zero
+    }
+
+    #[test]
+    fn custom_law_is_accepted_and_floored() {
+        let law = Box::new(linkpad_stats::dist::Deterministic::new(0.003).unwrap());
+        let s = PaddingSchedule::custom(law).unwrap();
+        assert_eq!(s.kind(), ScheduleKind::Custom);
+        let bad = Box::new(linkpad_stats::dist::Deterministic::new(-0.5).unwrap());
+        assert!(PaddingSchedule::custom(bad).is_err());
+    }
+}

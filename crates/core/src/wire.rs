@@ -1,0 +1,200 @@
+//! Fixed-size wire frames for the real-time testbed.
+//!
+//! The testbed (`linkpad-testbed`) moves packets between real threads
+//! over channels; to keep it honest it ships *encoded frames* of exactly
+//! the configured padded size, the way the real gateways ship fixed-size
+//! IPSec-encrypted datagrams. The frame header carries the simulation
+//! metadata (id, flow, kind, timestamps); the remainder is zero fill, as
+//! a stand-in for ciphertext.
+//!
+//! Encoding uses the `bytes` crate so frames can be sliced and shipped
+//! without copies.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use linkpad_sim::packet::{FlowId, Packet, PacketKind};
+use linkpad_sim::time::SimTime;
+
+/// Header length of the frame format.
+pub const HEADER_LEN: usize = 8 + 4 + 1 + 4 + 8 + 8;
+
+/// Errors from frame decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than a frame header.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The kind byte was not a known [`PacketKind`].
+    BadKind(u8),
+    /// The embedded size field disagrees with the frame length.
+    SizeMismatch {
+        /// Size claimed in the header.
+        claimed: u32,
+        /// Actual frame length.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "frame truncated: need {needed} bytes, got {got}")
+            }
+            WireError::BadKind(k) => write!(f, "unknown packet kind byte {k}"),
+            WireError::SizeMismatch { claimed, actual } => {
+                write!(f, "size field {claimed} != frame length {actual}")
+            }
+        }
+    }
+}
+impl std::error::Error for WireError {}
+
+fn kind_to_byte(kind: PacketKind) -> u8 {
+    match kind {
+        PacketKind::Payload => 0,
+        PacketKind::Dummy => 1,
+        PacketKind::Cross => 2,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<PacketKind, WireError> {
+    match b {
+        0 => Ok(PacketKind::Payload),
+        1 => Ok(PacketKind::Dummy),
+        2 => Ok(PacketKind::Cross),
+        other => Err(WireError::BadKind(other)),
+    }
+}
+
+/// Encode a packet as a frame of exactly `packet.size_bytes` bytes
+/// (padded with zeros beyond the header). Frames smaller than the header
+/// are bumped to the header size — the gateway configures sizes well
+/// above it.
+pub fn encode(packet: &Packet) -> Bytes {
+    let total = (packet.size_bytes as usize).max(HEADER_LEN);
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_u64(packet.id);
+    buf.put_u32(packet.flow.0);
+    buf.put_u8(kind_to_byte(packet.kind));
+    buf.put_u32(packet.size_bytes);
+    buf.put_u64(packet.created.as_nanos());
+    buf.put_u64(packet.enqueued.as_nanos());
+    buf.resize(total, 0);
+    buf.freeze()
+}
+
+/// Decode a frame back into a packet.
+pub fn decode(frame: &Bytes) -> Result<Packet, WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: frame.len(),
+        });
+    }
+    let mut buf = frame.clone();
+    let id = buf.get_u64();
+    let flow = FlowId(buf.get_u32());
+    let kind = kind_from_byte(buf.get_u8())?;
+    let size_bytes = buf.get_u32();
+    let expected = (size_bytes as usize).max(HEADER_LEN);
+    if expected != frame.len() {
+        return Err(WireError::SizeMismatch {
+            claimed: size_bytes,
+            actual: frame.len(),
+        });
+    }
+    let created = SimTime::from_nanos(buf.get_u64());
+    let enqueued = SimTime::from_nanos(buf.get_u64());
+    let mut pkt = Packet::new(id, flow, kind, size_bytes, created);
+    pkt.enqueued = enqueued;
+    Ok(pkt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> Packet {
+        let mut p = Packet::new(
+            0xDEAD_BEEF_1234_5678,
+            FlowId::PADDED,
+            PacketKind::Dummy,
+            500,
+            SimTime::from_nanos(42),
+        );
+        p.enqueued = SimTime::from_nanos(40);
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_all_fields() {
+        let p = sample_packet();
+        let frame = encode(&p);
+        assert_eq!(frame.len(), 500);
+        let q = decode(&frame).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn frames_have_constant_size_regardless_of_kind() {
+        let mut p = sample_packet();
+        let dummy_frame = encode(&p);
+        p.kind = PacketKind::Payload;
+        let payload_frame = encode(&p);
+        // The observable frame length must not reveal the kind.
+        assert_eq!(dummy_frame.len(), payload_frame.len());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let p = sample_packet();
+        let frame = encode(&p);
+        let short = frame.slice(0..HEADER_LEN - 1);
+        assert!(matches!(
+            decode(&short),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_kind_byte_is_rejected() {
+        let p = sample_packet();
+        let frame = encode(&p);
+        let mut raw = BytesMut::from(&frame[..]);
+        raw[12] = 99; // the kind byte (8 id + 4 flow)
+        let bad = raw.freeze();
+        assert_eq!(decode(&bad), Err(WireError::BadKind(99)));
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let p = sample_packet();
+        let frame = encode(&p);
+        let chopped = frame.slice(0..400);
+        assert!(matches!(
+            decode(&chopped),
+            Err(WireError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_sizes_are_bumped_to_header_len() {
+        let mut p = sample_packet();
+        p.size_bytes = 4;
+        let frame = encode(&p);
+        assert_eq!(frame.len(), HEADER_LEN);
+        let q = decode(&frame).unwrap();
+        assert_eq!(q.size_bytes, 4);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = WireError::Truncated { needed: 33, got: 5 };
+        assert!(e.to_string().contains("33"));
+        assert!(WireError::BadKind(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,573 @@
+//! The discrete-event engine: event heap, dispatch loop, and the
+//! [`Context`] handed to nodes.
+//!
+//! Events are processed in `(timestamp, sequence)` order; the sequence
+//! number is a global monotone counter, so simultaneous events fire in
+//! the order they were scheduled (FIFO tie-breaking). That rule is what
+//! makes simulations bit-for-bit deterministic.
+
+use crate::node::{Node, NodeId};
+use crate::packet::{FlowId, Packet, PacketKind};
+use crate::time::{SimDuration, SimTime};
+use linkpad_stats::rng::{MasterSeed, Xoshiro256StarStar};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an event does when it fires.
+#[derive(Debug)]
+enum EventKind {
+    /// Deliver a packet to the target node.
+    Deliver(Packet),
+    /// Fire a timer on the target node with the given tag.
+    Timer(u64),
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    target: usize,
+    kind: EventKind,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first.
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+
+/// Error from [`SimBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A reserved node slot was never installed.
+    MissingNode(usize),
+    /// The simulation has no nodes at all.
+    Empty,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingNode(i) => write!(f, "reserved node slot {i} was never installed"),
+            BuildError::Empty => write!(f, "simulation has no nodes"),
+        }
+    }
+}
+impl std::error::Error for BuildError {}
+
+/// Builds a [`Sim`]: allocate node ids, wire nodes together, build.
+///
+/// Two construction styles are supported:
+/// * downstream-first: `let sink = b.add_node(...); let link = b.add_node(Link::to(sink, ...));`
+/// * reserve-then-install, for wiring cycles or forward references:
+///   `let id = b.reserve(); ...; b.install(id, node);`
+pub struct SimBuilder {
+    seed: MasterSeed,
+    nodes: Vec<Option<Box<dyn Node>>>,
+}
+
+impl SimBuilder {
+    /// Start building with the master seed that will drive every RNG
+    /// stream in the simulation.
+    pub fn new(seed: MasterSeed) -> Self {
+        Self {
+            seed,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(Some(node));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Reserve an id to be installed later (forward wiring).
+    pub fn reserve(&mut self) -> NodeId {
+        self.nodes.push(None);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Install a node into a reserved slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is already occupied (a wiring bug worth failing
+    /// loudly on at build time).
+    pub fn install(&mut self, id: NodeId, node: Box<dyn Node>) {
+        let slot = &mut self.nodes[id.0];
+        assert!(slot.is_none(), "node slot {} installed twice", id.0);
+        *slot = Some(node);
+    }
+
+    /// Finish building. Every node receives an independent RNG substream
+    /// derived from `(seed, node index)`.
+    pub fn build(self) -> Result<Sim, BuildError> {
+        if self.nodes.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (i, slot) in self.nodes.into_iter().enumerate() {
+            match slot {
+                Some(n) => nodes.push(n),
+                None => return Err(BuildError::MissingNode(i)),
+            }
+        }
+        let rngs = (0..nodes.len())
+            .map(|i| self.seed.stream(i as u64))
+            .collect();
+        Ok(Sim {
+            nodes,
+            rngs,
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_packet_id: 0,
+            started: false,
+            events_processed: 0,
+        })
+    }
+}
+
+/// Statistics from a run segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Events dispatched during the segment.
+    pub events: u64,
+    /// Simulation clock at the end of the segment.
+    pub ended_at_nanos: u64,
+}
+
+/// A single discrete-event simulation instance.
+pub struct Sim {
+    nodes: Vec<Box<dyn Node>>,
+    rngs: Vec<Xoshiro256StarStar>,
+    heap: BinaryHeap<HeapEntry>,
+    now: SimTime,
+    seq: u64,
+    next_packet_id: u64,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Sim {
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Run until the clock reaches `until` (events at exactly `until` are
+    /// processed) or the event heap drains, whichever comes first.
+    pub fn run_until(&mut self, until: SimTime) -> RunStats {
+        self.ensure_started();
+        let mut events = 0u64;
+        while let Some(entry) = self.heap.peek() {
+            if entry.time > until {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.now = entry.time;
+            self.dispatch(entry);
+            events += 1;
+        }
+        // Advance the clock to the bound even if the heap drained early,
+        // so consecutive run_until calls observe monotone time.
+        if self.now < until && until != SimTime::MAX {
+            self.now = until;
+        }
+        self.events_processed += events;
+        RunStats {
+            events,
+            ended_at_nanos: self.now.as_nanos(),
+        }
+    }
+
+    /// Run for a span from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) -> RunStats {
+        let until = self.now + span;
+        self.run_until(until)
+    }
+
+    /// Process a single event. Returns `false` when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        match self.heap.pop() {
+            Some(entry) => {
+                self.now = entry.time;
+                self.dispatch(entry);
+                self.events_processed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let (node, mut ctx) = self.split_at(i);
+            node.on_start(&mut ctx);
+        }
+    }
+
+    fn dispatch(&mut self, entry: HeapEntry) {
+        let target = entry.target;
+        debug_assert!(target < self.nodes.len(), "event for unknown node");
+        let (node, mut ctx) = self.split_at(target);
+        match entry.kind {
+            EventKind::Deliver(pkt) => node.on_packet(pkt, &mut ctx),
+            EventKind::Timer(tag) => node.on_timer(tag, &mut ctx),
+        }
+    }
+
+    /// Split borrows: the node being dispatched and a context over the
+    /// rest of the engine state (heap, clock, counters, that node's RNG).
+    fn split_at(&mut self, index: usize) -> (&mut Box<dyn Node>, Context<'_>) {
+        // `nodes` and the remaining fields are disjoint; indexing keeps
+        // the borrow to one element while Context borrows the others.
+        let Sim {
+            nodes,
+            rngs,
+            heap,
+            now,
+            seq,
+            next_packet_id,
+            ..
+        } = self;
+        let node = &mut nodes[index];
+        let ctx = Context {
+            now: *now,
+            self_id: NodeId(index),
+            rng: &mut rngs[index],
+            heap,
+            seq,
+            next_packet_id,
+        };
+        (node, ctx)
+    }
+}
+
+/// The engine facilities a node may use while handling an event.
+pub struct Context<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    /// The node's private RNG stream.
+    pub rng: &'a mut Xoshiro256StarStar,
+    heap: &'a mut BinaryHeap<HeapEntry>,
+    seq: &'a mut u64,
+    next_packet_id: &'a mut u64,
+}
+
+impl Context<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node handling this event.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Deliver `packet` to `dst` after `delay`.
+    pub fn send_after(&mut self, delay: SimDuration, dst: NodeId, packet: Packet) {
+        let time = self.now + delay;
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            target: dst.0,
+            kind: EventKind::Deliver(packet),
+        });
+    }
+
+    /// Deliver `packet` to `dst` at the current timestamp (ordered after
+    /// everything already scheduled for this instant).
+    pub fn send_now(&mut self, dst: NodeId, packet: Packet) {
+        self.send_after(SimDuration::ZERO, dst, packet);
+    }
+
+    /// Arm a timer on the *calling* node: `on_timer(tag)` fires after
+    /// `delay`.
+    pub fn schedule_timer(&mut self, delay: SimDuration, tag: u64) {
+        let time = self.now + delay;
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            target: self.self_id.0,
+            kind: EventKind::Timer(tag),
+        });
+    }
+
+    /// Mint a new packet originating here and now, with a globally unique
+    /// id.
+    pub fn spawn_packet(&mut self, flow: FlowId, kind: PacketKind, size_bytes: u32) -> Packet {
+        let id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        Packet::new(id, flow, kind, size_bytes, self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Records every (time, note) it sees into a shared log.
+    struct Recorder {
+        log: Arc<Mutex<Vec<(u64, String)>>>,
+    }
+    impl Node for Recorder {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            self.log
+                .lock()
+                .unwrap()
+                .push((ctx.now().as_nanos(), format!("pkt {}", p.id)));
+        }
+        fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
+            self.log
+                .lock()
+                .unwrap()
+                .push((ctx.now().as_nanos(), format!("timer {tag}")));
+        }
+    }
+
+    /// Emits `count` packets to `dst` every `period` nanoseconds.
+    struct Ticker {
+        dst: NodeId,
+        period: u64,
+        count: u64,
+        emitted: u64,
+    }
+    impl Node for Ticker {
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.schedule_timer(SimDuration::from_nanos(self.period), 0);
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Context<'_>) {
+            let pkt = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 500);
+            ctx.send_now(self.dst, pkt);
+            self.emitted += 1;
+            if self.emitted < self.count {
+                ctx.schedule_timer(SimDuration::from_nanos(self.period), 0);
+            }
+        }
+    }
+
+    fn logger() -> (Arc<Mutex<Vec<(u64, String)>>>, Box<Recorder>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (log.clone(), Box::new(Recorder { log }))
+    }
+
+    #[test]
+    fn build_errors() {
+        let b = SimBuilder::new(MasterSeed::new(1));
+        assert!(matches!(b.build(), Err(BuildError::Empty)));
+        let mut b = SimBuilder::new(MasterSeed::new(1));
+        let _hole = b.reserve();
+        assert!(matches!(b.build(), Err(BuildError::MissingNode(0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "installed twice")]
+    fn double_install_panics() {
+        let mut b = SimBuilder::new(MasterSeed::new(1));
+        let (_, rec) = logger();
+        let id = b.reserve();
+        b.install(id, rec);
+        let (_, rec2) = logger();
+        b.install(id, rec2);
+    }
+
+    #[test]
+    fn ticker_emits_on_schedule() {
+        let mut b = SimBuilder::new(MasterSeed::new(2));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 1000,
+            count: 5,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        let stats = sim.run_until(SimTime::from_nanos(10_000));
+        // 5 timer fires + 5 deliveries
+        assert_eq!(stats.events, 10);
+        let log = log.lock().unwrap();
+        let times: Vec<u64> = log.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![1000, 2000, 3000, 4000, 5000]);
+    }
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let mut b = SimBuilder::new(MasterSeed::new(3));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+
+        /// Schedules three deliveries at the same instant plus one earlier.
+        struct Burst {
+            dst: NodeId,
+        }
+        impl Node for Burst {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let a = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                let b_ = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                let c = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                let d = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                ctx.send_after(SimDuration::from_nanos(500), self.dst, a); // id 0
+                ctx.send_after(SimDuration::from_nanos(500), self.dst, b_); // id 1
+                ctx.send_after(SimDuration::from_nanos(100), self.dst, c); // id 2, earlier
+                ctx.send_after(SimDuration::from_nanos(500), self.dst, d); // id 3
+            }
+        }
+        b.add_node(Box::new(Burst { dst }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_nanos(1_000));
+        let log = log.lock().unwrap();
+        let order: Vec<String> = log.iter().map(|(_, s)| s.clone()).collect();
+        assert_eq!(order, vec!["pkt 2", "pkt 0", "pkt 1", "pkt 3"]);
+    }
+
+    #[test]
+    fn run_until_respects_bound_and_resumes() {
+        let mut b = SimBuilder::new(MasterSeed::new(4));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 1000,
+            count: 10,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_nanos(3_000));
+        assert_eq!(log.lock().unwrap().len(), 3);
+        assert_eq!(sim.now(), SimTime::from_nanos(3_000));
+        sim.run_until(SimTime::from_nanos(10_000));
+        assert_eq!(log.lock().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn run_for_advances_relative_to_now() {
+        let mut b = SimBuilder::new(MasterSeed::new(5));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 1000,
+            count: 100,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_for(SimDuration::from_nanos(2_500));
+        sim.run_for(SimDuration::from_nanos(2_500));
+        assert_eq!(log.lock().unwrap().len(), 5); // events at 1..5 µs
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn step_processes_one_event() {
+        let mut b = SimBuilder::new(MasterSeed::new(6));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 10,
+            count: 2,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        assert!(sim.step()); // timer 1
+        assert!(sim.step()); // delivery 1
+        assert_eq!(log.lock().unwrap().len(), 1);
+        assert!(sim.step());
+        assert!(sim.step());
+        assert!(!sim.step(), "heap must drain");
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn packet_ids_are_unique_across_nodes() {
+        let mut b = SimBuilder::new(MasterSeed::new(7));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+        for _ in 0..3 {
+            b.add_node(Box::new(Ticker {
+                dst,
+                period: 100,
+                count: 5,
+                emitted: 0,
+            }));
+        }
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_nanos(10_000));
+        let log = log.lock().unwrap();
+        let mut ids: Vec<&String> = log.iter().map(|(_, s)| s).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate packet id observed");
+        assert_eq!(before, 15);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        fn run(seed: u64) -> Vec<(u64, String)> {
+            let mut b = SimBuilder::new(MasterSeed::new(seed));
+            let (log, rec) = logger();
+            let dst = b.add_node(rec);
+            b.add_node(Box::new(Ticker {
+                dst,
+                period: 777,
+                count: 50,
+                emitted: 0,
+            }));
+            let mut sim = b.build().unwrap();
+            sim.run_until(SimTime::from_nanos(100_000));
+            let out = log.lock().unwrap().clone();
+            out
+        }
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn node_count_reported() {
+        let mut b = SimBuilder::new(MasterSeed::new(8));
+        let (_, rec) = logger();
+        b.add_node(rec);
+        let sim = b.build().unwrap();
+        assert_eq!(sim.node_count(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # linkpad-sim
+//!
+//! A discrete-event network simulator — the substrate standing in for the
+//! physical testbeds of Fu et al. (ICPP 2003): the laboratory LAN with its
+//! Marconi ESR-5000 router (Fig. 3), the Texas A&M campus network and the
+//! Ohio→Texas Internet path (Fig. 7).
+//!
+//! The simulator is deliberately small and sharply focused on what the
+//! paper's experiments need:
+//!
+//! * **Nodes** ([`node::Node`]) exchange fixed-size encrypted
+//!   [`packet::Packet`]s; the engine ([`engine::Sim`]) dispatches packet
+//!   deliveries and timer fires in global timestamp order with FIFO
+//!   tie-breaking.
+//! * **Links** ([`link::Link`]) model serialization (finite bandwidth) and
+//!   propagation delay.
+//! * **Routers** ([`router::Router`]) are FIFO output-queued store-and-
+//!   forwards; queueing behind cross traffic is exactly the paper's
+//!   `δ_net` disturbance (eq. 10) and drives the Fig. 6 / Fig. 8 results.
+//! * **Taps** ([`tap::Tap`]) are passive timestamp recorders — the
+//!   "Agilent J6841A network analyzer" the paper's adversary uses.
+//! * **Sources** ([`source::DistSource`]) emit traffic with pluggable
+//!   inter-arrival and packet-size laws from `linkpad-stats`.
+//! * **Parallel sweeps** ([`parallel::parallel_map`]) fan independent
+//!   simulations out over scoped threads; every simulation owns a
+//!   deterministic RNG substream, so results are bit-identical regardless
+//!   of thread count.
+//!
+//! Determinism is a hard guarantee: `(MasterSeed, topology, duration)`
+//! fully determines every event. The engine is single-threaded per
+//! simulation (events are causally ordered); parallelism happens *across*
+//! simulations, which is where all the throughput in a detection-rate
+//! sweep lives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod parallel;
+pub mod router;
+pub mod sink;
+pub mod source;
+pub mod tap;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Context, RunStats, Sim, SimBuilder};
+pub use link::Link;
+pub use node::{Node, NodeId};
+pub use packet::{FlowId, Packet, PacketKind};
+pub use parallel::parallel_map;
+pub use router::Router;
+pub use sink::{Sink, SinkHandle};
+pub use source::DistSource;
+pub use tap::{Tap, TapHandle};
+pub use trace::{PacketTrace, TraceEntry, TraceRecorder, TraceSource};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,206 @@
+//! Point-to-point link: serialization (finite bandwidth) + propagation.
+//!
+//! A link transmits packets one at a time. A packet arriving while the
+//! link is busy waits for the wire (pure FIFO, infinite buffer — bounded
+//! buffering belongs to [`crate::router::Router`]). The receiver sees the
+//! packet after `serialization + propagation`.
+
+use crate::engine::Context;
+use crate::node::{Node, NodeId};
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+
+/// A unidirectional link.
+#[derive(Debug)]
+pub struct Link {
+    next: NodeId,
+    bits_per_sec: f64,
+    propagation: SimDuration,
+    /// When the transmitter becomes free.
+    busy_until: SimTime,
+    /// Cumulative bytes accepted (for utilization accounting).
+    bytes_carried: u64,
+    label: String,
+}
+
+impl Link {
+    /// A link to `next` with the given capacity and propagation delay.
+    ///
+    /// # Panics
+    /// Panics if `bits_per_sec` is not strictly positive and finite — a
+    /// topology constant, so misconfiguration should fail at build time.
+    pub fn new(next: NodeId, bits_per_sec: f64, propagation: SimDuration) -> Self {
+        assert!(
+            bits_per_sec.is_finite() && bits_per_sec > 0.0,
+            "link bandwidth must be positive, got {bits_per_sec}"
+        );
+        Self {
+            next,
+            bits_per_sec,
+            propagation,
+            busy_until: SimTime::ZERO,
+            bytes_carried: 0,
+            label: "link".to_string(),
+        }
+    }
+
+    /// Builder-style label for diagnostics.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Bytes accepted so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Link capacity in bits per second.
+    pub fn bits_per_sec(&self) -> f64 {
+        self.bits_per_sec
+    }
+}
+
+impl Node for Link {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        let start = self.busy_until.max(ctx.now());
+        let tx = SimDuration::from_secs_f64(packet.tx_time_secs(self.bits_per_sec));
+        let done = start + tx;
+        self.busy_until = done;
+        self.bytes_carried += packet.size_bytes as u64;
+        let deliver_at = done + self.propagation;
+        let delay = deliver_at.saturating_since(ctx.now());
+        ctx.send_after(delay, self.next, packet);
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimBuilder;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::sink::Sink;
+    use crate::time::SimTime;
+    use linkpad_stats::rng::MasterSeed;
+
+    /// Pushes `n` packets into the link back-to-back at t = 0.
+    struct Blaster {
+        link: NodeId,
+        n: usize,
+        size: u32,
+    }
+    impl Node for Blaster {
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.n {
+                let pkt = ctx.spawn_packet(FlowId::PADDED, PacketKind::Payload, self.size);
+                ctx.send_now(self.link, pkt);
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_spaces_back_to_back_packets() {
+        let mut b = SimBuilder::new(MasterSeed::new(1));
+        let (handle, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        // 100 Mb/s, zero propagation: 500 B → 40 µs each.
+        let link = b.add_node(Box::new(Link::new(sink_id, 100e6, SimDuration::ZERO)));
+        b.add_node(Box::new(Blaster {
+            link,
+            n: 3,
+            size: 500,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let arrivals = handle.arrival_times();
+        assert_eq!(arrivals.len(), 3);
+        let ns: Vec<u64> = arrivals.iter().map(|t| t.as_nanos()).collect();
+        assert_eq!(ns, vec![40_000, 80_000, 120_000]);
+    }
+
+    #[test]
+    fn propagation_adds_constant_delay() {
+        let mut b = SimBuilder::new(MasterSeed::new(2));
+        let (handle, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        let prop = SimDuration::from_millis_f64(5.0);
+        let link = b.add_node(Box::new(Link::new(sink_id, 100e6, prop)));
+        b.add_node(Box::new(Blaster {
+            link,
+            n: 1,
+            size: 1000,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let arrivals = handle.arrival_times();
+        // 80 µs serialization + 5 ms propagation
+        assert_eq!(arrivals[0].as_nanos(), 80_000 + 5_000_000);
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut b = SimBuilder::new(MasterSeed::new(3));
+        let (handle, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        let link_id = b.add_node(Box::new(Link::new(sink_id, 1e9, SimDuration::ZERO)));
+
+        /// Sends one packet at t=1ms and another at t=2ms (link idle between).
+        struct Spaced {
+            link: NodeId,
+            sent: u32,
+        }
+        impl Node for Spaced {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.schedule_timer(SimDuration::from_millis_f64(1.0), 0);
+            }
+            fn on_timer(&mut self, _tag: u64, ctx: &mut Context<'_>) {
+                let pkt = ctx.spawn_packet(FlowId::PADDED, PacketKind::Payload, 125);
+                ctx.send_now(self.link, pkt);
+                self.sent += 1;
+                if self.sent < 2 {
+                    ctx.schedule_timer(SimDuration::from_millis_f64(1.0), 0);
+                }
+            }
+        }
+        b.add_node(Box::new(Spaced { link: link_id, sent: 0 }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let ns: Vec<u64> = handle.arrival_times().iter().map(|t| t.as_nanos()).collect();
+        // 125 B at 1 Gb/s = 1 µs serialization.
+        assert_eq!(ns, vec![1_001_000, 2_001_000]);
+    }
+
+    #[test]
+    fn bytes_carried_accumulates() {
+        let mut link = Link::new(NodeId(0), 1e6, SimDuration::ZERO).with_label("l0");
+        assert_eq!(link.bytes_carried(), 0);
+        assert_eq!(link.label(), "l0");
+        assert_eq!(link.bits_per_sec(), 1e6);
+        // Drive it through a sim to exercise on_packet.
+        let mut b = SimBuilder::new(MasterSeed::new(4));
+        let (handle, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        link.next = sink_id; // retarget to the actual sink
+        let link_id = b.add_node(Box::new(link));
+        b.add_node(Box::new(Blaster {
+            link: link_id,
+            n: 4,
+            size: 250,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(handle.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_is_a_build_error() {
+        let _ = Link::new(NodeId(0), 0.0, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,105 @@
+//! The network packet model.
+//!
+//! The paper's threat model (§3.2 remark 1) assumes packet contents are
+//! perfectly encrypted — the adversary "cannot distinguish between payload
+//! packets and dummy packets". We carry a [`PacketKind`] on every packet
+//! for *instrumentation* (overhead accounting, QoS measurement, test
+//! assertions), but the adversary-facing tap API exposes only timestamps;
+//! nothing in `linkpad-adversary` can observe a kind. Remark 3 fixes the
+//! packet size to a constant, which scenario builders honour for the
+//! protected flow (cross traffic uses realistic size mixes).
+
+use crate::time::SimTime;
+
+/// Identifies a traffic flow (e.g. the padded flow vs. cross traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// Conventional id for the protected (padded) flow in scenarios.
+    pub const PADDED: FlowId = FlowId(0);
+    /// Conventional id for cross traffic in scenarios.
+    pub const CROSS: FlowId = FlowId(1);
+}
+
+/// What a packet carries. Invisible to the adversary (encryption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Real user payload.
+    Payload,
+    /// Padding injected by a gateway to fill a timer slot.
+    Dummy,
+    /// Background traffic from unrelated hosts.
+    Cross,
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Globally unique id (assigned by the engine).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Payload/dummy/cross marker — instrumentation only.
+    pub kind: PacketKind,
+    /// On-the-wire size in bytes (headers included).
+    pub size_bytes: u32,
+    /// When the packet was created at its origin.
+    pub created: SimTime,
+    /// When the *payload inside it* entered the sending gateway's queue
+    /// (equal to `created` for non-gateway traffic). Used for end-to-end
+    /// QoS accounting across the padding system.
+    pub enqueued: SimTime,
+}
+
+impl Packet {
+    /// Construct a packet; `enqueued` defaults to `created`.
+    pub fn new(id: u64, flow: FlowId, kind: PacketKind, size_bytes: u32, created: SimTime) -> Self {
+        Packet {
+            id,
+            flow,
+            kind,
+            size_bytes,
+            created,
+            enqueued: created,
+        }
+    }
+
+    /// Serialization time of this packet on a link of `bits_per_sec`.
+    pub fn tx_time_secs(&self, bits_per_sec: f64) -> f64 {
+        debug_assert!(bits_per_sec > 0.0);
+        (self.size_bytes as f64 * 8.0) / bits_per_sec
+    }
+
+    /// Whether this packet belongs to the padded (protected) flow.
+    pub fn is_padded_flow(&self) -> bool {
+        self.flow == FlowId::PADDED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_matches_hand_calculation() {
+        let p = Packet::new(1, FlowId::PADDED, PacketKind::Dummy, 500, SimTime::ZERO);
+        // 500 B = 4000 bits on 100 Mb/s → 40 µs
+        assert!((p.tx_time_secs(100e6) - 40e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn flow_helpers() {
+        let p = Packet::new(2, FlowId::PADDED, PacketKind::Payload, 500, SimTime::ZERO);
+        assert!(p.is_padded_flow());
+        let c = Packet::new(3, FlowId::CROSS, PacketKind::Cross, 1500, SimTime::ZERO);
+        assert!(!c.is_padded_flow());
+    }
+
+    #[test]
+    fn enqueued_defaults_to_created() {
+        let t = SimTime::from_secs_f64(1.5);
+        let p = Packet::new(4, FlowId::PADDED, PacketKind::Payload, 500, t);
+        assert_eq!(p.enqueued, t);
+    }
+}

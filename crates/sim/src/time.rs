@@ -1,0 +1,233 @@
+//! Simulation time: nanosecond-resolution fixed-point timestamps.
+//!
+//! Timestamps are `u64` nanoseconds from simulation start. Nanosecond
+//! integer arithmetic (rather than `f64` seconds) keeps event ordering
+//! exact: the experiments classify jitter at the microsecond scale on a
+//! 10 ms period, and accumulated floating-point drift across a day-long
+//! simulated capture would otherwise alias into exactly the signal the
+//! adversary is looking for.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Nanoseconds per second, as f64 for conversions.
+const NANOS_PER_SEC: f64 = 1_000_000_000.0;
+
+/// An absolute simulation timestamp (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulation time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Time zero (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future — useful as an "infinite" run bound.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From (possibly fractional) seconds; saturates below zero to 0.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_nanos(secs))
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// Duration since an earlier timestamp; saturates to zero if `earlier`
+    /// is actually later (callers treat causality violations as zero
+    /// spans, never as huge wrapped values).
+    pub fn saturating_since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From (possibly fractional) seconds; negative values clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_to_nanos(secs))
+    }
+
+    /// From microseconds.
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_secs_f64(us * 1e-6)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms * 1e-3)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// As floating-point microseconds.
+    pub fn as_micros_f64(&self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating sum of two durations.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+fn secs_to_nanos(secs: f64) -> u64 {
+    if !secs.is_finite() || secs <= 0.0 {
+        return 0;
+    }
+    let ns = secs * NANOS_PER_SEC;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        // Round to nearest to keep e.g. 10ms exactly 10_000_000 ns.
+        (ns + 0.5) as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs > self`; saturates in release.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs <= self, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs_f64(0.01);
+        assert_eq!(t.as_nanos(), 10_000_000);
+        assert!((t.as_secs_f64() - 0.01).abs() < 1e-15);
+        let d = SimDuration::from_micros_f64(6.0);
+        assert_eq!(d.as_nanos(), 6_000);
+        assert!((d.as_micros_f64() - 6.0).abs() < 1e-12);
+        assert_eq!(SimDuration::from_millis_f64(10.0).as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-5.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn huge_seconds_saturate() {
+        assert_eq!(SimTime::from_secs_f64(1e30), SimTime::MAX);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_nanos(100);
+        let d = SimDuration::from_nanos(50);
+        assert_eq!((t + d).as_nanos(), 150);
+        let mut u = t;
+        u += d;
+        assert_eq!(u.as_nanos(), 150);
+        assert_eq!((u - t).as_nanos(), 50);
+        assert_eq!((d + d).as_nanos(), 100);
+    }
+
+    #[test]
+    fn saturating_since_never_wraps() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert_eq!(b.saturating_since(a).as_nanos(), 10);
+        assert_eq!(a.saturating_since(b).as_nanos(), 0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_nanos(5),
+            SimTime::ZERO,
+            SimTime::from_nanos(2),
+        ];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|t| t.as_nanos()).collect::<Vec<_>>(),
+            vec![0, 2, 5]
+        );
+    }
+
+    #[test]
+    fn ten_ms_is_exact() {
+        // The paper's timer period must not pick up representation error.
+        let tau = SimDuration::from_millis_f64(10.0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100_000 {
+            t += tau;
+        }
+        assert_eq!(t.as_nanos(), 1_000_000_000_000); // exactly 1000 s
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(0.25)), "0.250000000s");
+    }
+}

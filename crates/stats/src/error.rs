@@ -1,0 +1,148 @@
+//! Error type shared by the statistics substrate.
+
+use std::fmt;
+
+/// Errors produced by statistical constructors and estimators.
+///
+/// The substrate never panics on bad numeric input from callers; every
+/// fallible operation returns `Result<_, StatsError>` so failure injection
+/// tests can exercise degenerate configurations (empty samples, non-finite
+/// parameters, zero-width bins, …).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A parameter was not finite (NaN or ±∞).
+    NonFinite {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An operation needed more data points than it was given.
+    InsufficientData {
+        /// Which operation.
+        what: &'static str,
+        /// Points required.
+        needed: usize,
+        /// Points available.
+        got: usize,
+    },
+    /// An interval `[lo, hi]` had `lo >= hi` (or was otherwise empty).
+    EmptyInterval {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A probability-like quantity fell outside `[0, 1]`.
+    InvalidProbability {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Weights for a mixture/categorical distribution were unusable
+    /// (all zero, or containing negatives).
+    BadWeights,
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// Which routine.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NonFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            StatsError::NonPositive { what, value } => {
+                write!(f, "{what} must be > 0, got {value}")
+            }
+            StatsError::InsufficientData { what, needed, got } => {
+                write!(f, "{what} needs at least {needed} data points, got {got}")
+            }
+            StatsError::EmptyInterval { what, lo, hi } => {
+                write!(f, "{what}: empty interval [{lo}, {hi}]")
+            }
+            StatsError::InvalidProbability { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            StatsError::BadWeights => write!(f, "weights must be non-negative and sum to > 0"),
+            StatsError::NoConvergence { what } => write!(f, "{what} failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Validate that `value` is finite, tagging errors with `what`.
+pub(crate) fn ensure_finite(what: &'static str, value: f64) -> crate::Result<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(StatsError::NonFinite { what, value })
+    }
+}
+
+/// Validate that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(what: &'static str, value: f64) -> crate::Result<f64> {
+    ensure_finite(what, value)?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(StatsError::NonPositive { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_parameter() {
+        let e = StatsError::NonPositive {
+            what: "sigma",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("sigma"));
+        let e = StatsError::InsufficientData {
+            what: "kde",
+            needed: 2,
+            got: 0,
+        };
+        assert!(e.to_string().contains("kde"));
+    }
+
+    #[test]
+    fn ensure_finite_rejects_nan_and_inf() {
+        assert!(ensure_finite("x", f64::NAN).is_err());
+        assert!(ensure_finite("x", f64::INFINITY).is_err());
+        assert_eq!(ensure_finite("x", 1.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_and_negative() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", -3.0).is_err());
+        assert_eq!(ensure_positive("x", 2.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StatsError::BadWeights, StatsError::BadWeights);
+        assert_ne!(
+            StatsError::BadWeights,
+            StatsError::NoConvergence { what: "bisect" }
+        );
+    }
+}

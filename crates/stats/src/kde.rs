@@ -1,0 +1,351 @@
+//! Gaussian kernel density estimation.
+//!
+//! Step 2 of the paper's off-line training (§3.3): "the adversary derives
+//! the Probability Density Functions (PDF) of the selected statistical
+//! feature. As histograms are usually too coarse for the distribution
+//! estimation, we assume that the adversary uses the Gaussian kernel
+//! estimator of PDF [Silverman 1986]".
+//!
+//! The estimator is `f̂(x) = (1/(n·h)) Σᵢ φ((x − xᵢ)/h)` with bandwidth
+//! `h`; the default bandwidth is Silverman's rule-of-thumb
+//! `h = 0.9·min(σ̂, IQR/1.34)·n^{−1/5}`.
+//!
+//! Evaluation sorts the training points once and then only visits points
+//! within `±CUTOFF·h` of the query (binary search + early exit), so
+//! classifying a large test set stays fast even with thousands of
+//! training features.
+
+use crate::error::StatsError;
+use crate::moments::RunningMoments;
+use crate::quantiles::quantile_of_sorted;
+use crate::Result;
+
+/// Kernel contributions beyond `CUTOFF` standard deviations are below
+/// 3.7e-6 of the peak and are skipped during evaluation.
+const CUTOFF: f64 = 5.0;
+
+/// A fitted one-dimensional Gaussian KDE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianKde {
+    /// Training points, sorted ascending.
+    points: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Fit with Silverman's rule-of-thumb bandwidth.
+    ///
+    /// Errors when fewer than two points are given, when any point is
+    /// non-finite, or when the data are completely degenerate (zero
+    /// spread), in which case a bandwidth cannot be chosen automatically —
+    /// use [`GaussianKde::with_bandwidth`] instead.
+    pub fn fit(data: &[f64]) -> Result<Self> {
+        let h = silverman_bandwidth(data)?;
+        Self::with_bandwidth(data, h)
+    }
+
+    /// Fit with an explicit bandwidth `h > 0`.
+    pub fn with_bandwidth(data: &[f64], bandwidth: f64) -> Result<Self> {
+        if data.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                what: "gaussian kde",
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
+            return Err(StatsError::NonPositive {
+                what: "kde bandwidth",
+                value: bandwidth,
+            });
+        }
+        if let Some(&bad) = data.iter().find(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite {
+                what: "kde training point",
+                value: bad,
+            });
+        }
+        let mut points = data.to_vec();
+        points.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+        Ok(Self { points, bandwidth })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no training points are held (cannot happen via the
+    /// constructors; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Density estimate `f̂(x)`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return 0.0;
+        }
+        let h = self.bandwidth;
+        let lo = x - CUTOFF * h;
+        let hi = x + CUTOFF * h;
+        // First training point ≥ lo:
+        let start = self.points.partition_point(|&p| p < lo);
+        let mut acc = 0.0;
+        for &p in &self.points[start..] {
+            if p > hi {
+                break;
+            }
+            let z = (x - p) / h;
+            acc += (-0.5 * z * z).exp();
+        }
+        const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+        acc * INV_SQRT_2PI / (self.points.len() as f64 * h)
+    }
+
+    /// Natural log of the density, with a floor so that far-tail queries
+    /// return a large negative number instead of `−∞` (keeps Bayes
+    /// comparisons well-defined for outlier features).
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let p = self.pdf(x);
+        if p > 0.0 {
+            p.ln()
+        } else {
+            // Fall back to the nearest-kernel log density (exact when one
+            // kernel dominates), which preserves ordering between classes
+            // far outside both training supports.
+            let nearest = self.nearest_point(x);
+            let z = (x - nearest) / self.bandwidth;
+            const LN_INV_SQRT_2PI: f64 = -0.918_938_533_204_672_7;
+            LN_INV_SQRT_2PI
+                - 0.5 * z * z
+                - (self.points.len() as f64 * self.bandwidth).ln()
+        }
+    }
+
+    fn nearest_point(&self, x: f64) -> f64 {
+        let idx = self.points.partition_point(|&p| p < x);
+        let after = self.points.get(idx).copied();
+        let before = if idx > 0 {
+            Some(self.points[idx - 1])
+        } else {
+            None
+        };
+        match (before, after) {
+            (Some(b), Some(a)) => {
+                if (x - b).abs() <= (a - x).abs() {
+                    b
+                } else {
+                    a
+                }
+            }
+            (Some(b), None) => b,
+            (None, Some(a)) => a,
+            (None, None) => x,
+        }
+    }
+
+    /// CDF estimate `F̂(x)` (mixture of normal CDFs).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let mut acc = 0.0;
+        for &p in &self.points {
+            acc += crate::special::std_normal_cdf((x - p) / h);
+        }
+        acc / self.points.len() as f64
+    }
+
+    /// Smallest and largest training points.
+    pub fn support_hint(&self) -> (f64, f64) {
+        (
+            *self.points.first().expect("non-empty by construction"),
+            *self.points.last().expect("non-empty by construction"),
+        )
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth
+/// `h = 0.9·min(σ̂, IQR/1.34)·n^{−1/5}`.
+///
+/// Errors on fewer than two points or zero spread.
+pub fn silverman_bandwidth(data: &[f64]) -> Result<f64> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "silverman bandwidth",
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    let m = RunningMoments::from_slice(data);
+    let sd = m.std_dev().unwrap_or(0.0);
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b).ok_or(()).map_err(|_| ()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let iqr = quantile_of_sorted(&sorted, 0.75) - quantile_of_sorted(&sorted, 0.25);
+    let spread = if iqr > 0.0 {
+        sd.min(iqr / 1.34)
+    } else {
+        sd
+    };
+    if spread <= 0.0 || !spread.is_finite() {
+        return Err(StatsError::NonPositive {
+            what: "data spread for silverman bandwidth",
+            value: spread,
+        });
+    }
+    Ok(0.9 * spread * (data.len() as f64).powf(-0.2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::Normal;
+    use crate::rng::MasterSeed;
+
+    fn normal_sample(n: usize, mu: f64, sigma: f64, seed: u64) -> Vec<f64> {
+        let dist = Normal::new(mu, sigma).unwrap();
+        let mut rng = MasterSeed::new(seed).stream(0);
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(GaussianKde::fit(&[]).is_err());
+        assert!(GaussianKde::fit(&[1.0]).is_err());
+        assert!(GaussianKde::fit(&[1.0, 1.0, 1.0]).is_err()); // zero spread
+        assert!(GaussianKde::with_bandwidth(&[1.0, 2.0], 0.0).is_err());
+        assert!(GaussianKde::with_bandwidth(&[1.0, f64::NAN], 0.1).is_err());
+        assert!(GaussianKde::with_bandwidth(&[1.0, 1.0], 0.5).is_ok()); // explicit h is fine
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let data = normal_sample(500, 3.0, 2.0, 1);
+        let kde = GaussianKde::fit(&data).unwrap();
+        // Trapezoid over a wide window.
+        let (lo, hi) = (-10.0, 16.0);
+        let steps = 4000;
+        let dx = (hi - lo) / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..=steps {
+            let x = lo + i as f64 * dx;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            acc += w * kde.pdf(x) * dx;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral = {acc}");
+    }
+
+    #[test]
+    fn pdf_tracks_true_density() {
+        let data = normal_sample(4000, 0.0, 1.0, 2);
+        let kde = GaussianKde::fit(&data).unwrap();
+        let truth = Normal::standard();
+        // Tolerances widen in the tails where relative KDE error is
+        // naturally larger (boundary bias + fewer kernels).
+        for &(x, tol) in &[(-2.0, 0.2), (-1.0, 0.1), (0.0, 0.1), (0.5, 0.1), (1.5, 0.15)] {
+            let est = kde.pdf(x);
+            let want = truth.pdf(x);
+            assert!(
+                (est - want).abs() / want < tol,
+                "pdf({x}) = {est}, want ≈ {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_is_permutation_invariant() {
+        // Fixed bandwidth: Silverman's rule itself accumulates moments in
+        // data order, so only the *density* (post-sort) is exactly
+        // order-free.
+        let mut data = normal_sample(100, 5.0, 1.0, 3);
+        let kde1 = GaussianKde::with_bandwidth(&data, 0.4).unwrap();
+        data.reverse();
+        let kde2 = GaussianKde::with_bandwidth(&data, 0.4).unwrap();
+        for &x in &[3.0, 5.0, 7.0] {
+            assert_eq!(kde1.pdf(x), kde2.pdf(x));
+        }
+    }
+
+    #[test]
+    fn ln_pdf_matches_pdf_in_support() {
+        let data = normal_sample(200, 0.0, 1.0, 4);
+        let kde = GaussianKde::fit(&data).unwrap();
+        for &x in &[-1.0, 0.0, 2.0] {
+            assert!((kde.ln_pdf(x) - kde.pdf(x).ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ln_pdf_far_tail_is_finite_and_ordered() {
+        // Two KDEs with different spreads: far in the tail the wider one
+        // must win, and neither may return −∞/NaN.
+        let narrow = GaussianKde::fit(&normal_sample(300, 0.0, 1.0, 5)).unwrap();
+        let wide = GaussianKde::fit(&normal_sample(300, 0.0, 4.0, 6)).unwrap();
+        let x = 1e3;
+        let ln_n = narrow.ln_pdf(x);
+        let ln_w = wide.ln_pdf(x);
+        assert!(ln_n.is_finite() && ln_w.is_finite());
+        assert!(ln_w > ln_n, "wider density must dominate at {x}");
+        assert_eq!(narrow.pdf(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let data = normal_sample(300, 0.0, 1.0, 7);
+        let kde = GaussianKde::fit(&data).unwrap();
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let x = i as f64 * 0.2;
+            let c = kde.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!(kde.cdf(-50.0) < 1e-6);
+        assert!(kde.cdf(50.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn silverman_matches_hand_computation() {
+        // For data with sd ≈ 1, IQR/1.34 ≈ 1: h ≈ 0.9·n^{-1/5}.
+        let data = normal_sample(1000, 0.0, 1.0, 8);
+        let h = silverman_bandwidth(&data).unwrap();
+        let expect = 0.9 * (1000.0f64).powf(-0.2);
+        assert!((h - expect).abs() / expect < 0.15, "h = {h}, ≈ {expect}");
+    }
+
+    #[test]
+    fn cutoff_does_not_distort_density() {
+        // pdf at a point must equal the brute-force sum (within the mass
+        // that the 5σ cutoff legitimately ignores).
+        let data = normal_sample(500, 0.0, 1.0, 9);
+        let kde = GaussianKde::fit(&data).unwrap();
+        let h = kde.bandwidth();
+        let x = 0.37;
+        let brute: f64 = data
+            .iter()
+            .map(|&p| {
+                let z = (x - p) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * 0.398_942_280_401_432_7
+            / (data.len() as f64 * h);
+        assert!((kde.pdf(x) - brute).abs() / brute < 1e-6);
+    }
+
+    #[test]
+    fn support_hint_brackets_data() {
+        let data = vec![3.0, 1.0, 2.0, 10.0];
+        let kde = GaussianKde::with_bandwidth(&data, 0.5).unwrap();
+        assert_eq!(kde.support_hint(), (1.0, 10.0));
+        assert_eq!(kde.len(), 4);
+        assert!(!kde.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! # linkpad-stats
+//!
+//! Statistics substrate for the `linkpad` reproduction of Fu et al.,
+//! *"Analytical and Empirical Analysis of Countermeasures to Traffic
+//! Analysis Attacks"* (ICPP 2003).
+//!
+//! Everything the padding system, the simulated network, the adversary and
+//! the analytical model need from statistics lives here:
+//!
+//! * [`special`] — error function, log-gamma, regularized incomplete gamma,
+//!   inverse normal CDF; the numerical bedrock for the closed-form
+//!   detection-rate theorems.
+//! * [`normal`] — the normal distribution (pdf/cdf/quantile/sampling). The
+//!   paper models every component of the packet inter-arrival time (PIAT)
+//!   decomposition `X = T + δ_gw + δ_net` as normal (eq. 8–15).
+//! * [`dist`] — the distribution toolbox used for VIT timer-interval laws
+//!   and cross-traffic models (uniform, exponential, truncated normal,
+//!   log-normal, Pareto, mixtures).
+//! * [`moments`] — single-pass (Welford) moment accumulation with parallel
+//!   merge, sample mean/variance (the adversary's first two features,
+//!   eq. 17 and 19), and autocovariance diagnostics.
+//! * [`histogram`] — fixed-bin-width histograms and the robust Moddemeijer
+//!   entropy estimator `Ĥ = −Σ (kᵢ/n)·ln(kᵢ/n)` (paper eq. 24–25, the
+//!   adversary's third feature).
+//! * [`kde`] — Gaussian kernel density estimation with Silverman's
+//!   bandwidth; the adversary trains class-conditional feature densities
+//!   with it (paper §3.3 step 2).
+//! * [`rng`] — deterministic xoshiro256★★ random streams with stable
+//!   per-component substreams so whole experiments are reproducible
+//!   bit-for-bit regardless of thread interleaving.
+//! * [`quantiles`] — order statistics, median, MAD (used by the robustness
+//!   ablation: the paper remarks that sample variance is outlier-sensitive).
+//!
+//! The crate is `#![forbid(unsafe_code)]` and allocation-free on its hot
+//! paths (moment accumulation, histogram updates, KDE evaluation after
+//! construction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Reference constants for special functions are kept at full published
+// precision even where f64 rounds them.
+#![allow(clippy::excessive_precision)]
+
+pub mod dist;
+pub mod error;
+pub mod histogram;
+pub mod kde;
+pub mod moments;
+pub mod normal;
+pub mod quantiles;
+pub mod rng;
+pub mod special;
+
+pub use dist::{
+    Categorical, ContinuousDist, Deterministic, Exponential, LogNormal, Mixture, Pareto,
+    TruncatedNormal, Uniform,
+};
+pub use error::StatsError;
+pub use histogram::{FixedWidthHistogram, HistogramSpec};
+pub use kde::GaussianKde;
+pub use moments::{sample_mean, sample_variance, RunningMoments};
+pub use normal::Normal;
+pub use quantiles::{median, median_abs_deviation, quantile};
+pub use rng::{MasterSeed, Xoshiro256StarStar};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,398 @@
+//! Sample moments: the adversary's first two feature statistics.
+//!
+//! The paper's adversary computes the **sample mean** (eq. 17) and the
+//! **sample variance** (eq. 19) of a PIAT sample `{X₁ … Xₙ}`. Both are
+//! provided as one-shot functions over slices and as the single-pass
+//! [`RunningMoments`] accumulator (Welford's algorithm with higher-moment
+//! extensions and a parallel `merge`, per Chan et al.), which the
+//! simulator and testbed use so PIATs never need to be buffered twice.
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// Sample mean `X̄ = Σ Xᵢ / n` (paper eq. 17). Errors on an empty slice.
+pub fn sample_mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "sample mean",
+            needed: 1,
+            got: 0,
+        });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance `Y = Σ (Xᵢ − X̄)² / (n − 1)` (paper eq. 19).
+/// Errors when `n < 2`.
+///
+/// Two-pass formulation for accuracy (the PIAT samples cluster tightly
+/// around 10 ms where the single-pass textbook formula would cancel
+/// catastrophically: variances of interest are ~10⁻¹¹ s² on means of
+/// ~10⁻² s).
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "sample variance",
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    let mean = sample_mean(xs)?;
+    let mut acc = 0.0;
+    let mut comp = 0.0; // second-order correction term Σd
+    for &x in xs {
+        let d = x - mean;
+        acc += d * d;
+        comp += d;
+    }
+    // Björck correction: subtract (Σd)²/n to cancel rounding in the mean.
+    let n = xs.len() as f64;
+    Ok((acc - comp * comp / n) / (n - 1.0))
+}
+
+/// Sample standard deviation `√Y`.
+pub fn sample_std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(sample_variance(xs)?.sqrt())
+}
+
+/// Lag-`k` sample autocovariance `(1/n) Σ (Xᵢ−X̄)(Xᵢ₊ₖ−X̄)`.
+///
+/// Diagnostic for the timer-discipline ablation: an absolute (periodic)
+/// timer makes consecutive PIATs negatively correlated at lag 1, a
+/// relative (re-arming) timer does not.
+pub fn autocovariance(xs: &[f64], lag: usize) -> Result<f64> {
+    if xs.len() < lag + 2 {
+        return Err(StatsError::InsufficientData {
+            what: "autocovariance",
+            needed: lag + 2,
+            got: xs.len(),
+        });
+    }
+    let mean = sample_mean(xs)?;
+    let n = xs.len();
+    let mut acc = 0.0;
+    for i in 0..n - lag {
+        acc += (xs[i] - mean) * (xs[i + lag] - mean);
+    }
+    Ok(acc / n as f64)
+}
+
+/// Lag-`k` autocorrelation (autocovariance normalized by lag-0).
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
+    let c0 = autocovariance(xs, 0)?;
+    if c0 <= 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "lag-0 autocovariance",
+            value: c0,
+        });
+    }
+    Ok(autocovariance(xs, lag)? / c0)
+}
+
+/// Single-pass accumulator for count/mean/variance/skewness/kurtosis with
+/// O(1) updates and an exact parallel merge.
+///
+/// Numerically this is Welford's algorithm extended to third and fourth
+/// central moments (Pébay 2008); `merge` implements the pairwise-combine
+/// update so per-thread accumulators can be reduced without losing
+/// accuracy — the idiom used by all parallel sweeps in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningMoments {
+    /// Same as [`RunningMoments::new`] — an empty accumulator (min/max
+    /// seeded at ±∞, not zero).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Fold in a whole slice.
+    pub fn push_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Build an accumulator from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Self::new();
+        m.push_all(xs);
+        m
+    }
+
+    /// Merge another accumulator (exact pairwise combination).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. `None` until at least one observation arrives.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance. `None` until two observations arrive.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Population variance (divide by n).
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Skewness `g₁ = (m₃/n) / (m₂/n)^{3/2}`. `None` for degenerate data.
+    pub fn skewness(&self) -> Option<f64> {
+        if self.n < 3 || self.m2 <= 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some((n.sqrt() * self.m3) / self.m2.powf(1.5))
+    }
+
+    /// Excess kurtosis `g₂ = n·m₄/m₂² − 3`. `None` for degenerate data.
+    pub fn kurtosis(&self) -> Option<f64> {
+        if self.n < 4 || self.m2 <= 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some(n * self.m4 / (self.m2 * self.m2) - 3.0)
+    }
+
+    /// Minimum observation (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(sample_mean(&xs).unwrap(), 5.0);
+        // Σ(x−5)² = 9+1+1+1+0+0+4+16 = 32; 32/7
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-14);
+        assert!((sample_std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_errors() {
+        assert!(sample_mean(&[]).is_err());
+        assert!(sample_variance(&[1.0]).is_err());
+        assert!(sample_variance(&[]).is_err());
+        assert!(autocovariance(&[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn variance_is_accurate_at_piat_scale() {
+        // 10ms mean with µs-scale jitter: classic catastrophic-cancellation
+        // territory. True variance of {10ms ± 5µs alternating} is 25e-12.
+        let mut xs = Vec::new();
+        for i in 0..1000 {
+            let jitter = if i % 2 == 0 { 5e-6 } else { -5e-6 };
+            xs.push(10e-3 + jitter);
+        }
+        let v = sample_variance(&xs).unwrap();
+        let want = 25e-12 * 1000.0 / 999.0;
+        assert!(
+            ((v - want) / want).abs() < 1e-9,
+            "v = {v:e}, want = {want:e}"
+        );
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..500).map(|i| 10e-3 + (i as f64).sin() * 1e-5).collect();
+        let m = RunningMoments::from_slice(&xs);
+        assert!((m.mean().unwrap() - sample_mean(&xs).unwrap()).abs() < 1e-15);
+        let rel = (m.variance().unwrap() - sample_variance(&xs).unwrap()).abs()
+            / sample_variance(&xs).unwrap();
+        assert!(rel < 1e-9, "relative error {rel}");
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.7).cos() * 3.0 + 1.0)
+            .collect();
+        let whole = RunningMoments::from_slice(&xs);
+        for split in [1, 17, 500, 999] {
+            let mut a = RunningMoments::from_slice(&xs[..split]);
+            let b = RunningMoments::from_slice(&xs[split..]);
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-12);
+            assert!(
+                (a.variance().unwrap() - whole.variance().unwrap()).abs()
+                    / whole.variance().unwrap()
+                    < 1e-10
+            );
+            assert!((a.skewness().unwrap() - whole.skewness().unwrap()).abs() < 1e-8);
+            assert!((a.kurtosis().unwrap() - whole.kurtosis().unwrap()).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        let mut a = RunningMoments::from_slice(&xs);
+        let before = a;
+        a.merge(&RunningMoments::new());
+        assert_eq!(a, before);
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn running_moments_min_max() {
+        let m = RunningMoments::from_slice(&[3.0, -1.0, 7.0]);
+        assert_eq!(m.min(), -1.0);
+        assert_eq!(m.max(), 7.0);
+        let e = RunningMoments::new();
+        assert!(e.min().is_infinite() && e.max().is_infinite());
+    }
+
+    #[test]
+    fn skewness_and_kurtosis_of_known_shapes() {
+        // Symmetric data → skewness ≈ 0.
+        let sym: Vec<f64> = (-500..=500).map(|i| i as f64).collect();
+        let m = RunningMoments::from_slice(&sym);
+        assert!(m.skewness().unwrap().abs() < 1e-12);
+        // Uniform distribution has excess kurtosis −1.2.
+        assert!((m.kurtosis().unwrap() + 1.2).abs() < 0.01);
+        // Right-skewed data → positive skewness.
+        let skewed: Vec<f64> = (0..1000).map(|i| ((i % 10) as f64).powi(3)).collect();
+        assert!(RunningMoments::from_slice(&skewed).skewness().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_moment_queries_return_none() {
+        let mut m = RunningMoments::new();
+        assert!(m.mean().is_none());
+        assert!(m.variance().is_none());
+        m.push(5.0);
+        assert_eq!(m.mean(), Some(5.0));
+        assert!(m.variance().is_none());
+        assert!(m.skewness().is_none());
+        // Constant data → zero variance → skew/kurtosis undefined
+        let c = RunningMoments::from_slice(&[2.0; 10]);
+        assert_eq!(c.variance(), Some(0.0));
+        assert!(c.skewness().is_none());
+        assert!(c.kurtosis().is_none());
+    }
+
+    #[test]
+    fn autocovariance_of_alternating_sequence() {
+        // x alternates ±1: lag-0 cov = 1, lag-1 cov ≈ −1 (exactly −(n−1)/n).
+        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let c0 = autocovariance(&xs, 0).unwrap();
+        let c1 = autocovariance(&xs, 1).unwrap();
+        assert!((c0 - 1.0).abs() < 1e-12);
+        assert!((c1 + 1.0).abs() < 2e-3);
+        let rho = autocorrelation(&xs, 1).unwrap();
+        assert!(rho < -0.99);
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_is_small() {
+        use crate::rng::MasterSeed;
+        let mut rng = MasterSeed::new(5).stream(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.next_f64()).collect();
+        let rho = autocorrelation(&xs, 1).unwrap();
+        assert!(rho.abs() < 0.02, "rho = {rho}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The normal distribution `N(µ, σ²)`.
+//!
+//! The paper's analytical model (Sec. 4.1.2) assumes every PIAT component
+//! is normal: the VIT timer interval `T ~ N(τ, σ_T²)`, the gateway
+//! disturbance `δ_gw ~ N(0, σ_gw²)` and the network disturbance
+//! `δ_net ~ N(0, σ_net²)`. This module provides the pdf/cdf/quantile and
+//! exact sampling used everywhere those assumptions appear.
+
+use crate::error::{ensure_finite, ensure_positive};
+use crate::special::{std_normal_cdf, std_normal_pdf, std_normal_quantile};
+use crate::Result;
+use rand_core::RngCore;
+
+/// A normal (Gaussian) distribution with mean `mu` and standard deviation
+/// `sigma > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create `N(mu, sigma²)`. Fails if `mu` is not finite or `sigma ≤ 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        ensure_finite("normal mean", mu)?;
+        ensure_positive("normal sigma", sigma)?;
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Mean µ.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation σ.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Variance σ².
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Probability density function at `x`.
+    #[inline]
+    pub fn pdf(&self, x: f64) -> f64 {
+        std_normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    /// Natural log of the pdf at `x` (numerically stable in the tails).
+    #[inline]
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Cumulative distribution function at `x`.
+    #[inline]
+    pub fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    #[inline]
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * std_normal_quantile(p)
+    }
+
+    /// Differential entropy `½·ln(2πe·σ²)` in nats.
+    ///
+    /// This identity is what lets Theorem 3 relate sample entropy to the
+    /// PIAT variance ratio r.
+    #[inline]
+    pub fn entropy(&self) -> f64 {
+        0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * self.variance()).ln()
+    }
+
+    /// Draw one sample using the Marsaglia polar method.
+    ///
+    /// The polar method produces pairs; we deliberately discard the second
+    /// variate instead of caching it so the sampler stays stateless — a
+    /// stateless sampler keeps component RNG streams independent of call
+    /// interleaving, which the reproducibility tests rely on.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * standard_normal_sample(rng)
+    }
+
+    /// Fill `out` with iid samples.
+    pub fn sample_into<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+/// One standard-normal variate via the Marsaglia polar method.
+pub fn standard_normal_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * unit_f64(rng) - 1.0;
+        let v = 2.0 * unit_f64(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from any `RngCore` (53-bit mantissa).
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::MasterSeed;
+    use crate::StatsError;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(matches!(
+            Normal::new(0.0, f64::INFINITY),
+            Err(StatsError::NonFinite { .. })
+        ));
+        assert!(Normal::new(5.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean_and_is_symmetric() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        assert!(n.pdf(3.0) > n.pdf(4.0));
+        assert!((n.pdf(3.0 + 1.3) - n.pdf(3.0 - 1.3)).abs() < 1e-15);
+        // Peak value = 1/(σ√(2π))
+        let want = 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((n.pdf(3.0) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ln_pdf_matches_pdf() {
+        let n = Normal::new(-1.0, 0.5).unwrap();
+        for &x in &[-3.0, -1.0, 0.0, 2.0] {
+            assert!((n.ln_pdf(x) - n.pdf(x).ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let n = Normal::new(10.0e-3, 6.0e-6).unwrap(); // the paper's 10ms timer scale
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-10, "p={p}");
+        }
+    }
+
+    #[test]
+    fn entropy_matches_closed_form() {
+        // H(N(µ,σ²)) = ½ ln(2πeσ²); for σ=1: ≈ 1.4189385332046727
+        let n = Normal::new(0.0, 1.0).unwrap();
+        assert!((n.entropy() - 1.418_938_533_204_672_7).abs() < 1e-14);
+        // Entropy grows with ln σ: doubling σ adds ln 2.
+        let w = Normal::new(0.0, 2.0).unwrap();
+        assert!((w.entropy() - n.entropy() - (2.0f64).ln()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sample_moments_converge() {
+        let n = Normal::new(4.0, 3.0).unwrap();
+        let mut rng = MasterSeed::new(7).stream(0);
+        let count = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..count {
+            let x = n.sample(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / count as f64;
+        let var = sum2 / count as f64 - mean * mean;
+        assert!((mean - 4.0).abs() < 0.03, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn sampled_cdf_is_uniform() {
+        // Kolmogorov–Smirnov-ish check: max |F̂ − F| small.
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = MasterSeed::new(21).stream(5);
+        let count = 50_000;
+        let mut us: Vec<f64> = (0..count).map(|_| n.cdf(n.sample(&mut rng))).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut dmax: f64 = 0.0;
+        for (i, u) in us.iter().enumerate() {
+            let emp = (i + 1) as f64 / count as f64;
+            dmax = dmax.max((emp - u).abs());
+        }
+        // KS critical value at alpha=0.001 is ~1.95/sqrt(n) ≈ 0.0087
+        assert!(dmax < 0.01, "KS statistic = {dmax}");
+    }
+
+    #[test]
+    fn sample_into_fills_buffer() {
+        let n = Normal::standard();
+        let mut rng = MasterSeed::new(3).stream(1);
+        let mut buf = [0.0; 64];
+        n.sample_into(&mut rng, &mut buf);
+        assert!(buf.iter().any(|&x| x != 0.0));
+    }
+}

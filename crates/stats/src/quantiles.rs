@@ -1,0 +1,131 @@
+//! Order statistics: quantiles, median, and the median absolute deviation.
+//!
+//! The MAD backs the robustness ablation: the paper observes (§5.2) that
+//! sample variance is "very sensitive to outliers" under congested
+//! cross-traffic, losing detection rate to the entropy feature. A robust
+//! scale feature (MAD) makes that comparison concrete in the `ablations`
+//! bench.
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// Linear-interpolated quantile of *unsorted* data, `q ∈ [0, 1]`
+/// (type-7 / NumPy default definition).
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "quantile",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(StatsError::InvalidProbability {
+            what: "quantile level",
+            value: q,
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(quantile_of_sorted(&sorted, q))
+}
+
+/// Quantile of already-sorted data (no validation, used on hot paths).
+pub(crate) fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Median absolute deviation `MAD = median(|xᵢ − median(x)|)`.
+///
+/// Scaled by 1.4826 it is a consistent estimator of σ for normal data;
+/// this function returns the *raw* MAD — apply
+/// [`MAD_NORMAL_CONSISTENCY`] for the σ-consistent version.
+pub fn median_abs_deviation(xs: &[f64]) -> Result<f64> {
+    let med = median(xs)?;
+    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// Multiply a raw MAD by this to estimate σ under normality.
+pub const MAD_NORMAL_CONSISTENCY: f64 = 1.482_602_218_505_602;
+
+/// Interquartile range `Q3 − Q1`.
+pub fn interquartile_range(xs: &[f64]) -> Result<f64> {
+    Ok(quantile(xs, 0.75)? - quantile(xs, 0.25)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::Normal;
+    use crate::rng::MasterSeed;
+
+    #[test]
+    fn quantiles_of_small_sets() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        // type-7 interpolation: h = 0.25·3 = 0.75 → 1.75
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_validates_inputs() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+        assert!(quantile(&[1.0], f64::NAN).is_err());
+        assert_eq!(quantile(&[7.0], 0.3).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn median_handles_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&xs).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn mad_estimates_sigma_for_normal_data() {
+        let dist = Normal::new(0.0, 2.0).unwrap();
+        let mut rng = MasterSeed::new(5).stream(0);
+        let xs: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        let sigma_hat = median_abs_deviation(&xs).unwrap() * MAD_NORMAL_CONSISTENCY;
+        assert!((sigma_hat - 2.0).abs() < 0.05, "sigma_hat = {sigma_hat}");
+    }
+
+    #[test]
+    fn mad_is_robust_to_outliers() {
+        let mut xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.01).collect();
+        let clean = median_abs_deviation(&xs).unwrap();
+        xs.push(1e9);
+        let dirty = median_abs_deviation(&xs).unwrap();
+        assert!((dirty - clean).abs() / clean < 0.05);
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert!((interquartile_range(&xs).unwrap() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the statistics substrate.
+//!
+//! These lock in the invariants the rest of the workspace leans on:
+//! monotone CDFs, quantile/CDF round trips, Welford ≡ two-pass moments,
+//! entropy invariances, and KDE sanity.
+
+use linkpad_stats::histogram::HistogramSpec;
+use linkpad_stats::moments::{sample_mean, sample_variance, RunningMoments};
+use linkpad_stats::normal::Normal;
+use linkpad_stats::quantiles::{median, quantile};
+use linkpad_stats::rng::MasterSeed;
+use linkpad_stats::special::{
+    erf, erfc, reg_lower_gamma, reg_upper_gamma, std_normal_cdf, std_normal_quantile,
+};
+use linkpad_stats::GaussianKde;
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    -1e6f64..1e6f64
+}
+
+fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(finite_f64(), 2..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn erf_is_bounded_and_odd(x in -30.0f64..30.0) {
+        let e = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((e + erf(-x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_erfc_sum_to_one(x in -10.0f64..10.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_is_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(erf(lo) <= erf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn normal_cdf_quantile_round_trip(p in 0.0005f64..0.9995) {
+        let x = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(x) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(std_normal_cdf(lo) <= std_normal_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn incomplete_gamma_complements(a in 0.1f64..100.0, x in 0.0f64..200.0) {
+        let p = reg_lower_gamma(a, x);
+        let q = reg_upper_gamma(a, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "P={p}");
+        prop_assert!((p + q - 1.0).abs() < 1e-10, "P+Q = {}", p + q);
+    }
+
+    #[test]
+    fn incomplete_gamma_monotone_in_x(a in 0.1f64..50.0, x in 0.0f64..100.0, dx in 0.0f64..10.0) {
+        prop_assert!(reg_lower_gamma(a, x) <= reg_lower_gamma(a, x + dx) + 1e-10);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in small_vec()) {
+        let m = RunningMoments::from_slice(&xs);
+        let mean = sample_mean(&xs).unwrap();
+        prop_assert!((m.mean().unwrap() - mean).abs() <= 1e-9 * (1.0 + mean.abs()));
+        let var = sample_variance(&xs).unwrap();
+        let scale = 1.0 + var.abs();
+        prop_assert!((m.variance().unwrap() - var).abs() <= 1e-6 * scale,
+            "welford {} vs two-pass {}", m.variance().unwrap(), var);
+    }
+
+    #[test]
+    fn welford_merge_is_order_free(xs in small_vec(), split in 1usize..100) {
+        let k = split.min(xs.len() - 1);
+        let mut left = RunningMoments::from_slice(&xs[..k]);
+        let right = RunningMoments::from_slice(&xs[k..]);
+        left.merge(&right);
+        let whole = RunningMoments::from_slice(&xs);
+        prop_assert_eq!(left.count(), whole.count());
+        let scale = 1.0 + whole.variance().unwrap().abs();
+        prop_assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-6 * scale);
+    }
+
+    #[test]
+    fn variance_is_non_negative_and_shift_invariant(xs in small_vec(), shift in -1e3f64..1e3) {
+        let v = sample_variance(&xs).unwrap();
+        prop_assert!(v >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let vs = sample_variance(&shifted).unwrap();
+        let scale = 1.0 + v.abs();
+        prop_assert!((v - vs).abs() < 1e-6 * scale, "v={v} vs shifted {vs}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(xs in small_vec(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = quantile(&xs, lo_q).unwrap();
+        let hi = quantile(&xs, hi_q).unwrap();
+        prop_assert!(lo <= hi);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min && hi <= max);
+    }
+
+    #[test]
+    fn median_is_between_min_and_max(xs in small_vec()) {
+        let m = median(&xs).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min && m <= max);
+    }
+
+    #[test]
+    fn histogram_entropy_bounds(xs in small_vec(), width in 0.001f64..100.0) {
+        let spec = HistogramSpec::new(0.0, width).unwrap();
+        let h = spec.histogram(&xs).entropy().unwrap();
+        // 0 ≤ H ≤ ln(number of occupied bins) ≤ ln n
+        prop_assert!(h >= -1e-12);
+        let bins = spec.histogram(&xs).occupied_bins() as f64;
+        prop_assert!(h <= bins.ln() + 1e-9, "H={h} > ln bins={}", bins.ln());
+    }
+
+    #[test]
+    fn histogram_total_matches_input_len(xs in small_vec(), width in 0.001f64..10.0) {
+        let spec = HistogramSpec::new(-0.5, width).unwrap();
+        prop_assert_eq!(spec.histogram(&xs).total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn master_seed_streams_reproduce(seed in any::<u64>(), id in 0u64..1000) {
+        let s = MasterSeed::new(seed);
+        let mut a = s.stream(id);
+        let mut b = s.stream(id);
+        use rand_core::RngCore;
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn normal_sampling_round_trip_cdf_is_uniformish(mu in -100.0f64..100.0, sigma in 0.01f64..100.0, seed in any::<u64>()) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let mut rng = MasterSeed::new(seed).stream(0);
+        let mut below_half = 0usize;
+        let total = 200;
+        for _ in 0..total {
+            if n.cdf(n.sample(&mut rng)) < 0.5 { below_half += 1; }
+        }
+        // Binomial(200, 0.5): allow ±6σ ≈ ±42.
+        prop_assert!((below_half as i64 - 100).abs() < 45, "below_half = {below_half}");
+    }
+}
+
+proptest! {
+    // KDE fitting is costlier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kde_pdf_is_non_negative_everywhere(
+        xs in proptest::collection::vec(-100.0f64..100.0, 8..64),
+        probe in -200.0f64..200.0,
+    ) {
+        if let Ok(kde) = GaussianKde::fit(&xs) {
+            prop_assert!(kde.pdf(probe) >= 0.0);
+            prop_assert!(kde.ln_pdf(probe).is_finite());
+        }
+    }
+
+    #[test]
+    fn kde_cdf_hits_both_limits(xs in proptest::collection::vec(-50.0f64..50.0, 8..64)) {
+        if let Ok(kde) = GaussianKde::fit(&xs) {
+            prop_assert!(kde.cdf(-1e4) < 1e-9);
+            prop_assert!(kde.cdf(1e4) > 1.0 - 1e-9);
+        }
+    }
+}

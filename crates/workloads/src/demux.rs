@@ -1,0 +1,116 @@
+//! Flow demultiplexer: after a shared egress link, padded traffic
+//! continues toward GW2 while cross traffic peels off toward its own
+//! subnet (Fig. 3: the ESR-5000's outgoing link fans out to Subnet B's
+//! gateway and to Subnet D's cross-traffic receiver).
+
+use linkpad_sim::engine::Context;
+use linkpad_sim::node::{Node, NodeId};
+use linkpad_sim::packet::Packet;
+
+/// Routes packets by flow: padded flow → `padded_next`, everything else
+/// → `other_next` (dropped when `None`).
+#[derive(Debug)]
+pub struct FlowDemux {
+    padded_next: NodeId,
+    other_next: Option<NodeId>,
+    padded_count: u64,
+    other_count: u64,
+}
+
+impl FlowDemux {
+    /// Create a demux.
+    pub fn new(padded_next: NodeId, other_next: Option<NodeId>) -> Self {
+        Self {
+            padded_next,
+            other_next,
+            padded_count: 0,
+            other_count: 0,
+        }
+    }
+
+    /// Packets forwarded along the padded path.
+    pub fn padded_count(&self) -> u64 {
+        self.padded_count
+    }
+
+    /// Packets routed off-path (or dropped).
+    pub fn other_count(&self) -> u64 {
+        self.other_count
+    }
+}
+
+impl Node for FlowDemux {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if packet.is_padded_flow() {
+            self.padded_count += 1;
+            ctx.send_now(self.padded_next, packet);
+        } else {
+            self.other_count += 1;
+            if let Some(next) = self.other_next {
+                ctx.send_now(next, packet);
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "demux"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_sim::engine::SimBuilder;
+    use linkpad_sim::packet::{FlowId, PacketKind};
+    use linkpad_sim::sink::Sink;
+    use linkpad_sim::source::DistSource;
+    use linkpad_sim::time::SimTime;
+    use linkpad_stats::dist::Deterministic;
+    use linkpad_stats::rng::MasterSeed;
+
+    #[test]
+    fn demux_splits_flows() {
+        let mut b = SimBuilder::new(MasterSeed::new(1));
+        let (padded_handle, padded_sink) = Sink::new();
+        let padded_id = b.add_node(Box::new(padded_sink));
+        let (cross_handle, cross_sink) = Sink::new();
+        let cross_id = b.add_node(Box::new(cross_sink));
+        let demux = b.add_node(Box::new(FlowDemux::new(padded_id, Some(cross_id))));
+        for (flow, kind, period) in [
+            (FlowId::PADDED, PacketKind::Dummy, 0.010),
+            (FlowId::CROSS, PacketKind::Cross, 0.004),
+        ] {
+            b.add_node(Box::new(DistSource::new(
+                demux,
+                flow,
+                kind,
+                Box::new(Deterministic::new(period).unwrap()),
+                Box::new(Deterministic::new(500.0).unwrap()),
+            )));
+        }
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(padded_handle.count(), 100);
+        assert_eq!(cross_handle.count(), 250);
+        assert_eq!(padded_handle.count_kind(PacketKind::Cross), 0);
+        assert_eq!(cross_handle.count_kind(PacketKind::Dummy), 0);
+    }
+
+    #[test]
+    fn cross_traffic_can_be_dropped() {
+        let mut b = SimBuilder::new(MasterSeed::new(2));
+        let (padded_handle, padded_sink) = Sink::new();
+        let padded_id = b.add_node(Box::new(padded_sink));
+        let demux = b.add_node(Box::new(FlowDemux::new(padded_id, None)));
+        b.add_node(Box::new(DistSource::new(
+            demux,
+            FlowId::CROSS,
+            PacketKind::Cross,
+            Box::new(Deterministic::new(0.01).unwrap()),
+            Box::new(Deterministic::new(100.0).unwrap()),
+        )));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(0.5));
+        assert_eq!(padded_handle.count(), 0); // nothing leaked across
+    }
+}

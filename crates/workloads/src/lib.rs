@@ -1,0 +1,37 @@
+//! # linkpad-workloads
+//!
+//! Traffic workloads and ready-made experiment scenarios for the linkpad
+//! reproduction of Fu et al. (ICPP 2003):
+//!
+//! * [`spec`] — cloneable specifications for payload traffic, padding
+//!   schedules and per-hop cross traffic, so sweeps can describe hundreds
+//!   of configurations cheaply and materialize them per run.
+//! * [`cross`] — cross-traffic models: packet-size mixes, the
+//!   utilization→rate helper, and diurnal (hour-of-day) utilization
+//!   profiles for the campus and WAN experiments of Fig. 8.
+//! * [`demux`] — a flow demultiplexer so cross traffic leaves the padded
+//!   path at each hop's egress, as in the paper's Fig. 3 topology.
+//! * [`switching`] — a payload source that switches between the low and
+//!   high rate over time (the hidden state the adversary estimates).
+//! * [`scenario`] — the three experiment topologies as builders:
+//!   **lab** (GW1 → ESR-5000-style router with cross traffic → GW2,
+//!   Fig. 3), **campus** (3-hop chain, Fig. 7a) and **wan** (15-hop
+//!   chain, Ohio→Texas, Fig. 7b), each returning a runnable simulation
+//!   plus tap/gateway handles and a PIAT collector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod cross;
+pub mod demux;
+pub mod scenario;
+pub mod spec;
+pub mod switching;
+
+pub use background::BackgroundNoiseHop;
+pub use cross::{cross_rate_for_utilization, DiurnalProfile, SizeMix};
+pub use demux::FlowDemux;
+pub use scenario::{BuiltScenario, ScenarioBuilder, TapPosition};
+pub use spec::{HopSpec, PayloadSpec, ScheduleSpec};
+pub use switching::SwitchingSource;

@@ -1,0 +1,544 @@
+//! The paper's experiment topologies as builders.
+//!
+//! * **lab** (Fig. 3): `source → GW1 → [tap] → ESR-5000-style router
+//!   (shared with a cross-traffic workstation) → [tap] → GW2 → sink`.
+//!   With the cross source off this is §5.1's zero-cross-traffic setup —
+//!   the adversary's best case; with it on, it is the Fig. 6 sweep.
+//! * **campus** (Fig. 7a): the same, but the padded flow traverses a
+//!   3-router enterprise chain with light cross traffic at every hop and
+//!   the adversary taps right in front of the receiver gateway.
+//! * **wan** (Fig. 7b): a 15-router chain ("the path … spans over 15
+//!   routers") with heavy cross traffic — the Ohio→Texas configuration.
+//!
+//! Every built scenario exposes two taps (sender egress and receiver
+//! ingress) so experiments choose the adversary's vantage point, plus
+//! gateway/receiver handles for QoS and overhead accounting.
+
+use crate::cross::{cross_interval_law, cross_rate_for_utilization, SizeMix};
+use crate::demux::FlowDemux;
+use crate::spec::{HopSpec, PayloadSpec, ScheduleSpec};
+use linkpad_core::calibration::CalibratedDefaults;
+use linkpad_core::gateway::{
+    GatewayHandle, ReceiverGateway, ReceiverHandle, SenderGateway, TimerDiscipline,
+};
+use linkpad_sim::engine::{BuildError, Sim, SimBuilder};
+use linkpad_sim::packet::{FlowId, PacketKind};
+use linkpad_sim::router::Router;
+use linkpad_sim::sink::{Sink, SinkHandle};
+use linkpad_sim::source::DistSource;
+use linkpad_sim::tap::{Tap, TapHandle};
+use linkpad_sim::time::SimDuration;
+use linkpad_stats::rng::MasterSeed;
+use linkpad_stats::StatsError;
+
+/// Where the adversary's analyzer is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapPosition {
+    /// Right at the output of the sender gateway GW1 — minimum δ_net,
+    /// the adversary's best case (paper §5.1).
+    SenderEgress,
+    /// Right in front of the receiver gateway GW2 — maximum accumulated
+    /// δ_net (paper §5.3, campus/WAN).
+    ReceiverIngress,
+}
+
+/// Errors from building or driving a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// Invalid statistical configuration.
+    Stats(StatsError),
+    /// Topology wiring failure.
+    Build(BuildError),
+    /// The tap did not accumulate enough packets within the run budget.
+    CollectionStalled {
+        /// Timestamps needed.
+        needed: usize,
+        /// Timestamps captured when the budget ran out.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Stats(e) => write!(f, "scenario configuration: {e}"),
+            ScenarioError::Build(e) => write!(f, "scenario wiring: {e}"),
+            ScenarioError::CollectionStalled { needed, got } => {
+                write!(f, "tap stalled: needed {needed} packets, got {got}")
+            }
+        }
+    }
+}
+impl std::error::Error for ScenarioError {}
+
+impl From<StatsError> for ScenarioError {
+    fn from(e: StatsError) -> Self {
+        ScenarioError::Stats(e)
+    }
+}
+impl From<BuildError> for ScenarioError {
+    fn from(e: BuildError) -> Self {
+        ScenarioError::Build(e)
+    }
+}
+
+/// Configurable scenario description. Cloneable; `build()` may be called
+/// repeatedly (each call materializes fresh RNG streams from the seed).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    /// Calibrated constants (τ, rates, packet size, link speed, jitter).
+    pub defaults: CalibratedDefaults,
+    seed: u64,
+    payload: PayloadSpec,
+    schedule: ScheduleSpec,
+    hops: Vec<HopSpec>,
+    size_mix: SizeMix,
+    hop_propagation: f64,
+    /// Capacity of the shared hop links (bits/s). Defaults to the
+    /// calibrated lab value; campus/wan presets use faster links.
+    hop_link_bps: f64,
+    discipline: TimerDiscipline,
+    label: &'static str,
+}
+
+impl ScenarioBuilder {
+    /// The laboratory topology (Fig. 3): one shared router, cross traffic
+    /// off by default (§5.1 zero-cross case). Turn the cross source on
+    /// with [`ScenarioBuilder::with_hops`] or
+    /// [`ScenarioBuilder::with_uniform_utilization`].
+    pub fn lab(seed: u64) -> Self {
+        let defaults = CalibratedDefaults::paper();
+        Self {
+            defaults,
+            seed,
+            payload: PayloadSpec::Cbr {
+                rate: defaults.rate_low,
+            },
+            schedule: ScheduleSpec::Cit,
+            hops: vec![HopSpec::quiet()],
+            size_mix: SizeMix::InternetTrimodal,
+            hop_propagation: 0.5e-3,
+            hop_link_bps: defaults.link_bps,
+            discipline: defaults.discipline,
+            label: "lab",
+        }
+    }
+
+    /// The campus topology (Fig. 7a): 3 routers on 600 Mb/s enterprise
+    /// links with light cross traffic (fluid background model — see
+    /// `crate::background`).
+    pub fn campus(seed: u64, utilization: f64) -> Self {
+        let mut s = Self::lab(seed);
+        s.hops = vec![HopSpec::background(utilization); 3];
+        s.hop_link_bps = 600e6;
+        s.label = "campus";
+        s
+    }
+
+    /// The WAN topology (Fig. 7b): 15 routers on ~1.3 Gb/s backbone
+    /// links ("the path … spans over 15 routers"), heavy cross traffic
+    /// (fluid background model).
+    pub fn wan(seed: u64, utilization: f64) -> Self {
+        let mut s = Self::lab(seed);
+        s.hops = vec![HopSpec::background(utilization); 15];
+        s.hop_link_bps = 1.3e9;
+        s.label = "wan";
+        s
+    }
+
+    /// Override the shared hop link capacity (bits/s).
+    pub fn with_hop_link_bps(mut self, bps: f64) -> Self {
+        self.hop_link_bps = bps;
+        self
+    }
+
+    /// Set the payload law (rate class ω).
+    pub fn with_payload(mut self, payload: PayloadSpec) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Set CBR payload at `rate` pps (shorthand).
+    pub fn with_payload_rate(self, rate: f64) -> Self {
+        self.with_payload(PayloadSpec::Cbr { rate })
+    }
+
+    /// Set the padding schedule spec.
+    pub fn with_schedule(mut self, schedule: ScheduleSpec) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Replace the hop list.
+    pub fn with_hops(mut self, hops: Vec<HopSpec>) -> Self {
+        self.hops = hops;
+        self
+    }
+
+    /// Set every existing hop to the same Poisson utilization.
+    pub fn with_uniform_utilization(mut self, utilization: f64) -> Self {
+        for h in &mut self.hops {
+            *h = HopSpec::poisson(utilization);
+        }
+        self
+    }
+
+    /// Cross-traffic packet-size mix.
+    pub fn with_size_mix(mut self, mix: SizeMix) -> Self {
+        self.size_mix = mix;
+        self
+    }
+
+    /// Gateway timer discipline (ablation).
+    pub fn with_discipline(mut self, discipline: TimerDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Override the calibrated defaults wholesale.
+    pub fn with_defaults(mut self, defaults: CalibratedDefaults) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// Use a different seed (e.g. per replication).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The payload spec currently configured.
+    pub fn payload(&self) -> PayloadSpec {
+        self.payload
+    }
+
+    /// The schedule spec currently configured.
+    pub fn schedule(&self) -> ScheduleSpec {
+        self.schedule
+    }
+
+    /// Number of hops in the unprotected path.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Scenario family name ("lab" / "campus" / "wan").
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Materialize the simulation.
+    pub fn build(&self) -> Result<BuiltScenario, ScenarioError> {
+        let d = self.defaults;
+        let mut b = SimBuilder::new(MasterSeed::new(self.seed));
+
+        // Downstream first: subnet-B sink ← GW2 ← receiver tap.
+        let (payload_sink, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink.with_label("subnet-b")));
+        let (receiver, gw2) = ReceiverGateway::new(Some(sink_id));
+        let gw2_id = b.add_node(Box::new(gw2));
+        let (receiver_tap, rtap) = Tap::on_padded_flow(Some(gw2_id));
+        let rtap_id = b.add_node(Box::new(rtap.with_label("tap@gw2")));
+
+        // The hop chain, built back to front.
+        let mut next_for_padded = rtap_id;
+        for (i, hop) in self.hops.iter().enumerate().rev() {
+            if hop.background {
+                let bg = crate::background::BackgroundNoiseHop::new(
+                    next_for_padded,
+                    self.hop_link_bps,
+                    hop.utilization,
+                    self.size_mix.mean_bytes(),
+                    SimDuration::from_secs_f64(self.hop_propagation),
+                )?;
+                next_for_padded =
+                    b.add_node(Box::new(bg.with_label(format!("bg-hop-{i}"))));
+                continue;
+            }
+            let (_cross_sink_handle, cross_sink) = Sink::new();
+            let cross_sink_id = b.add_node(Box::new(cross_sink.with_label("subnet-d")));
+            let demux_id = b.add_node(Box::new(FlowDemux::new(
+                next_for_padded,
+                Some(cross_sink_id),
+            )));
+            let router_id = b.add_node(Box::new(
+                Router::new(
+                    demux_id,
+                    self.hop_link_bps,
+                    SimDuration::from_secs_f64(self.hop_propagation),
+                )
+                .with_label(format!("router-{i}")),
+            ));
+            if hop.utilization > 0.0 {
+                let rate = cross_rate_for_utilization(
+                    hop.utilization,
+                    self.hop_link_bps,
+                    self.size_mix.mean_bytes(),
+                )?;
+                let interval = cross_interval_law(rate, hop.bursty)?;
+                b.add_node(Box::new(
+                    DistSource::new(
+                        router_id,
+                        FlowId::CROSS,
+                        PacketKind::Cross,
+                        interval,
+                        Box::new(self.size_mix.law()?),
+                    )
+                    .with_label(format!("cross-{i}")),
+                ));
+            }
+            next_for_padded = router_id;
+        }
+
+        // Sender side: GW1 ← sender tap wiring runs forward.
+        let (sender_tap, stap) = Tap::on_padded_flow(Some(next_for_padded));
+        let stap_id = b.add_node(Box::new(stap.with_label("tap@gw1")));
+        let (gateway, gw1) = SenderGateway::new(
+            stap_id,
+            self.schedule.to_schedule(d.tau)?,
+            d.jitter,
+            d.packet_size,
+        );
+        let gw1_id = b.add_node(Box::new(gw1.with_discipline(self.discipline)));
+        b.add_node(Box::new(DistSource::new(
+            gw1_id,
+            FlowId::PADDED,
+            PacketKind::Payload,
+            self.payload.interval_law()?,
+            Box::new(linkpad_stats::dist::Deterministic::new(
+                d.packet_size as f64,
+            )?),
+        )));
+
+        let sim = b.build()?;
+        Ok(BuiltScenario {
+            sim,
+            sender_tap,
+            receiver_tap,
+            gateway,
+            receiver,
+            payload_sink,
+            tau: d.tau,
+        })
+    }
+}
+
+/// A runnable scenario with its instrumentation handles.
+pub struct BuiltScenario {
+    /// The underlying simulation (own it to run it).
+    pub sim: Sim,
+    /// Tap at GW1's egress.
+    pub sender_tap: TapHandle,
+    /// Tap in front of GW2.
+    pub receiver_tap: TapHandle,
+    /// GW1 instrumentation.
+    pub gateway: GatewayHandle,
+    /// GW2 instrumentation.
+    pub receiver: ReceiverHandle,
+    /// Final payload sink in subnet B.
+    pub payload_sink: SinkHandle,
+    tau: f64,
+}
+
+impl BuiltScenario {
+    /// The tap at a position.
+    pub fn tap(&self, at: TapPosition) -> &TapHandle {
+        match at {
+            TapPosition::SenderEgress => &self.sender_tap,
+            TapPosition::ReceiverIngress => &self.receiver_tap,
+        }
+    }
+
+    /// Run for `secs` of simulated time.
+    pub fn run_for_secs(&mut self, secs: f64) {
+        self.sim.run_for(SimDuration::from_secs_f64(secs));
+    }
+
+    /// Drive the simulation until the tap at `at` has captured
+    /// `warmup + count + 1` packets, then return `count` PIATs with the
+    /// first `warmup` discarded (boot transient: queue fill, first
+    /// payload phase-in).
+    ///
+    /// Fails with [`ScenarioError::CollectionStalled`] if the tap stops
+    /// filling (wiring bug or stopped sources) rather than spinning
+    /// forever.
+    pub fn collect_piats(
+        &mut self,
+        at: TapPosition,
+        count: usize,
+        warmup: usize,
+    ) -> Result<Vec<f64>, ScenarioError> {
+        let needed = warmup + count + 1;
+        let mut idle_rounds = 0;
+        while self.tap(at).count() < needed {
+            let missing = needed - self.tap(at).count();
+            let before = self.tap(at).count();
+            // Expected time for the missing packets, padded 25%.
+            let span = (missing as f64 * self.tau * 1.25).max(self.tau * 16.0);
+            self.sim.run_for(SimDuration::from_secs_f64(span));
+            if self.tap(at).count() == before {
+                idle_rounds += 1;
+                if idle_rounds >= 3 {
+                    return Err(ScenarioError::CollectionStalled {
+                        needed,
+                        got: self.tap(at).count(),
+                    });
+                }
+            } else {
+                idle_rounds = 0;
+            }
+        }
+        let stamps = self.tap(at).timestamps();
+        let window = &stamps[warmup..warmup + count + 1];
+        Ok(window
+            .windows(2)
+            .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
+            .collect())
+    }
+}
+
+/// Convenience used throughout benches and tests: build the scenario,
+/// collect `count` PIATs at `at`, return them.
+pub fn piats_for(
+    builder: &ScenarioBuilder,
+    at: TapPosition,
+    count: usize,
+    warmup: usize,
+) -> Result<Vec<f64>, ScenarioError> {
+    let mut s = builder.build()?;
+    s.collect_piats(at, count, warmup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_stats::moments::{sample_mean, sample_variance};
+
+    #[test]
+    fn lab_zero_cross_piats_center_on_tau() {
+        let piats = piats_for(
+            &ScenarioBuilder::lab(1).with_payload_rate(10.0),
+            TapPosition::SenderEgress,
+            2000,
+            50,
+        )
+        .unwrap();
+        assert_eq!(piats.len(), 2000);
+        let m = sample_mean(&piats).unwrap();
+        assert!((m - 0.010).abs() < 1e-6, "mean {m}");
+        // Jitter is µs-scale.
+        let sd = sample_variance(&piats).unwrap().sqrt();
+        assert!(sd > 1e-6 && sd < 50e-6, "sd {sd}");
+    }
+
+    #[test]
+    fn lab_r_ratio_is_in_papers_band_at_sender() {
+        let var_at = |seed, rate| {
+            sample_variance(
+                &piats_for(
+                    &ScenarioBuilder::lab(seed).with_payload_rate(rate),
+                    TapPosition::SenderEgress,
+                    6000,
+                    50,
+                )
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        let r = var_at(2, 40.0) / var_at(3, 10.0);
+        assert!(r > 1.15 && r < 1.7, "r = {r}");
+    }
+
+    #[test]
+    fn cross_traffic_inflates_receiver_side_variance() {
+        let var_with_util = |seed, util| {
+            let b = ScenarioBuilder::lab(seed)
+                .with_payload_rate(10.0)
+                .with_uniform_utilization(util);
+            sample_variance(
+                &piats_for(&b, TapPosition::ReceiverIngress, 3000, 50).unwrap(),
+            )
+            .unwrap()
+        };
+        let quiet = var_with_util(4, 0.0);
+        let busy = var_with_util(5, 0.4);
+        assert!(
+            busy > 3.0 * quiet,
+            "σ_net missing: quiet={quiet:e} busy={busy:e}"
+        );
+    }
+
+    #[test]
+    fn wan_chain_accumulates_more_noise_than_campus() {
+        let var_for = |b: &ScenarioBuilder| {
+            sample_variance(&piats_for(b, TapPosition::ReceiverIngress, 2000, 50).unwrap())
+                .unwrap()
+        };
+        let campus = var_for(&ScenarioBuilder::campus(6, 0.10).with_payload_rate(10.0));
+        let wan = var_for(&ScenarioBuilder::wan(7, 0.40).with_payload_rate(10.0));
+        assert!(
+            wan > campus * 2.0,
+            "wan {wan:e} should dwarf campus {campus:e}"
+        );
+    }
+
+    #[test]
+    fn receiver_gets_all_payload() {
+        let b = ScenarioBuilder::lab(8).with_payload_rate(40.0);
+        let mut s = b.build().unwrap();
+        s.run_for_secs(30.0);
+        // 40 pps × 30 s = 1200 payload packets, minus at most a couple in
+        // flight.
+        let delivered = s.receiver.payload_delivered();
+        assert!(
+            (1195..=1200).contains(&delivered),
+            "delivered = {delivered}"
+        );
+        assert_eq!(s.receiver.unexpected(), 0);
+        // Subnet-B sink saw exactly the delivered payload.
+        assert_eq!(s.payload_sink.count() as u64, delivered);
+    }
+
+    #[test]
+    fn taps_never_see_cross_traffic() {
+        let b = ScenarioBuilder::lab(9)
+            .with_payload_rate(10.0)
+            .with_uniform_utilization(0.45);
+        let mut s = b.build().unwrap();
+        s.run_for_secs(20.0);
+        let (_, _, cross_at_sender) = s.sender_tap.kind_counts();
+        let (_, _, cross_at_receiver) = s.receiver_tap.kind_counts();
+        assert_eq!(cross_at_sender, 0);
+        assert_eq!(cross_at_receiver, 0);
+        assert!(s.receiver_tap.count() > 1500);
+    }
+
+    #[test]
+    fn collect_piats_discards_warmup() {
+        let b = ScenarioBuilder::lab(10).with_payload_rate(10.0);
+        let mut s = b.build().unwrap();
+        let piats = s.collect_piats(TapPosition::SenderEgress, 100, 10).unwrap();
+        assert_eq!(piats.len(), 100);
+        // All sane values near τ.
+        assert!(piats.iter().all(|&x| x > 0.005 && x < 0.015));
+    }
+
+    #[test]
+    fn builder_accessors_report_configuration() {
+        let b = ScenarioBuilder::wan(11, 0.3)
+            .with_payload(PayloadSpec::Poisson { rate: 40.0 })
+            .with_schedule(ScheduleSpec::VitTruncatedNormal { sigma_t: 1e-3 });
+        assert_eq!(b.hop_count(), 15);
+        assert_eq!(b.label(), "wan");
+        assert_eq!(b.payload().rate(), 40.0);
+        assert_eq!(b.schedule().sigma_t(0.010), 1e-3);
+    }
+
+    #[test]
+    fn invalid_configuration_errors_cleanly() {
+        let b = ScenarioBuilder::lab(12).with_payload_rate(-5.0);
+        assert!(matches!(b.build(), Err(ScenarioError::Stats(_))));
+        let b = ScenarioBuilder::lab(13).with_uniform_utilization(1.5);
+        assert!(b.build().is_err());
+    }
+}

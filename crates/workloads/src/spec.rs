@@ -1,0 +1,224 @@
+//! Cloneable experiment specifications.
+//!
+//! Sweeps describe hundreds of runs; distributions and schedules hold
+//! boxed trait objects and are not `Clone`, so configuration travels as
+//! plain-data *specs* that are materialized into live objects per run.
+
+use linkpad_core::schedule::PaddingSchedule;
+use linkpad_stats::dist::{ContinuousDist, Deterministic, Exponential};
+use linkpad_stats::StatsError;
+
+/// Payload traffic law for the protected flow (rate in packets/second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PayloadSpec {
+    /// Constant bit rate: one packet every `1/rate` seconds.
+    Cbr {
+        /// Packets per second.
+        rate: f64,
+    },
+    /// Poisson arrivals at `rate` packets per second.
+    Poisson {
+        /// Packets per second.
+        rate: f64,
+    },
+}
+
+impl PayloadSpec {
+    /// The mean rate in packets/second.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            PayloadSpec::Cbr { rate } | PayloadSpec::Poisson { rate } => rate,
+        }
+    }
+
+    /// Materialize the inter-arrival law.
+    pub fn interval_law(&self) -> Result<Box<dyn ContinuousDist>, StatsError> {
+        match *self {
+            PayloadSpec::Cbr { rate } => {
+                if !(rate > 0.0) || !rate.is_finite() {
+                    return Err(StatsError::NonPositive {
+                        what: "payload rate",
+                        value: rate,
+                    });
+                }
+                Ok(Box::new(Deterministic::new(1.0 / rate)?))
+            }
+            PayloadSpec::Poisson { rate } => Ok(Box::new(Exponential::with_rate(rate)?)),
+        }
+    }
+}
+
+/// Padding schedule specification (mirrors `linkpad_core::schedule`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleSpec {
+    /// Constant interval timer at period τ.
+    Cit,
+    /// VIT with truncated-normal interval law and the given σ_T (s).
+    VitTruncatedNormal {
+        /// Standard deviation of the designed timer interval, seconds.
+        sigma_t: f64,
+    },
+    /// VIT with a uniform interval law of the given σ_T (s) — ablation.
+    VitUniform {
+        /// Standard deviation of the designed timer interval, seconds.
+        sigma_t: f64,
+    },
+    /// VIT with exponential intervals (σ_T = τ) — ablation.
+    VitExponential,
+}
+
+impl ScheduleSpec {
+    /// Materialize against a mean period `tau` (seconds).
+    pub fn to_schedule(&self, tau: f64) -> Result<PaddingSchedule, StatsError> {
+        match *self {
+            ScheduleSpec::Cit => PaddingSchedule::cit(tau),
+            ScheduleSpec::VitTruncatedNormal { sigma_t } => {
+                PaddingSchedule::vit_truncated_normal(tau, sigma_t)
+            }
+            ScheduleSpec::VitUniform { sigma_t } => PaddingSchedule::vit_uniform(tau, sigma_t),
+            ScheduleSpec::VitExponential => PaddingSchedule::vit_exponential(tau),
+        }
+    }
+
+    /// The designed σ_T this spec yields at period `tau`.
+    pub fn sigma_t(&self, tau: f64) -> f64 {
+        match *self {
+            ScheduleSpec::Cit => 0.0,
+            ScheduleSpec::VitTruncatedNormal { sigma_t } | ScheduleSpec::VitUniform { sigma_t } => {
+                sigma_t
+            }
+            ScheduleSpec::VitExponential => tau,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleSpec::Cit => "CIT",
+            ScheduleSpec::VitTruncatedNormal { .. } => "VIT-tn",
+            ScheduleSpec::VitUniform { .. } => "VIT-u",
+            ScheduleSpec::VitExponential => "VIT-exp",
+        }
+    }
+}
+
+/// Cross-traffic configuration for one hop of the unprotected path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopSpec {
+    /// Target utilization of the hop's shared egress link contributed by
+    /// cross traffic (0 disables the cross source).
+    pub utilization: f64,
+    /// Bursty (Pareto inter-arrival) rather than Poisson cross traffic
+    /// (packet-level hops only).
+    pub bursty: bool,
+    /// Model the hop as fluid background load (M/M/1 stationary wait
+    /// injection) instead of simulating individual cross packets. Exact
+    /// for padding probes far slower than the queue's relaxation time;
+    /// used for the long campus/WAN chains.
+    pub background: bool,
+}
+
+impl HopSpec {
+    /// A quiet hop (no cross traffic).
+    pub fn quiet() -> Self {
+        Self {
+            utilization: 0.0,
+            bursty: false,
+            background: false,
+        }
+    }
+
+    /// A packet-level Poisson-loaded hop at the given utilization.
+    pub fn poisson(utilization: f64) -> Self {
+        Self {
+            utilization,
+            bursty: false,
+            background: false,
+        }
+    }
+
+    /// A packet-level bursty hop at the given utilization.
+    pub fn bursty(utilization: f64) -> Self {
+        Self {
+            utilization,
+            bursty: true,
+            background: false,
+        }
+    }
+
+    /// A fluid background-load hop at the given utilization.
+    pub fn background(utilization: f64) -> Self {
+        Self {
+            utilization,
+            bursty: false,
+            background: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_stats::rng::MasterSeed;
+
+    #[test]
+    fn cbr_interval_is_deterministic() {
+        let law = PayloadSpec::Cbr { rate: 10.0 }.interval_law().unwrap();
+        let mut rng = MasterSeed::new(1).stream(0);
+        for _ in 0..5 {
+            assert_eq!(law.sample(&mut rng), 0.1);
+        }
+        assert_eq!(PayloadSpec::Cbr { rate: 10.0 }.rate(), 10.0);
+    }
+
+    #[test]
+    fn poisson_interval_has_right_mean() {
+        let law = PayloadSpec::Poisson { rate: 40.0 }.interval_law().unwrap();
+        assert!((law.mean() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_rates_error() {
+        assert!(PayloadSpec::Cbr { rate: 0.0 }.interval_law().is_err());
+        assert!(PayloadSpec::Cbr { rate: -3.0 }.interval_law().is_err());
+        assert!(PayloadSpec::Poisson { rate: 0.0 }.interval_law().is_err());
+    }
+
+    #[test]
+    fn schedule_specs_materialize() {
+        let tau = 0.010;
+        assert_eq!(ScheduleSpec::Cit.to_schedule(tau).unwrap().sigma_t(), 0.0);
+        let v = ScheduleSpec::VitTruncatedNormal { sigma_t: 1e-3 }
+            .to_schedule(tau)
+            .unwrap();
+        assert!((v.sigma_t() - 1e-3).abs() < 1e-9);
+        assert!(ScheduleSpec::VitUniform { sigma_t: 2e-3 }.to_schedule(tau).is_ok());
+        assert!(ScheduleSpec::VitExponential.to_schedule(tau).is_ok());
+    }
+
+    #[test]
+    fn sigma_t_reporting_matches_spec() {
+        assert_eq!(ScheduleSpec::Cit.sigma_t(0.01), 0.0);
+        assert_eq!(
+            ScheduleSpec::VitTruncatedNormal { sigma_t: 5e-4 }.sigma_t(0.01),
+            5e-4
+        );
+        assert_eq!(ScheduleSpec::VitExponential.sigma_t(0.01), 0.01);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ScheduleSpec::Cit.name(), "CIT");
+        assert_eq!(
+            ScheduleSpec::VitTruncatedNormal { sigma_t: 1e-3 }.name(),
+            "VIT-tn"
+        );
+    }
+
+    #[test]
+    fn hop_constructors() {
+        assert_eq!(HopSpec::quiet().utilization, 0.0);
+        assert!(!HopSpec::poisson(0.3).bursty);
+        assert!(HopSpec::bursty(0.3).bursty);
+    }
+}

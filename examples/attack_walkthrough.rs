@@ -1,0 +1,72 @@
+//! A step-by-step walkthrough of the adversary's procedure (paper §3.3)
+//! with every intermediate quantity printed — the narrative version of
+//! Fig. 2.
+//!
+//! ```sh
+//! cargo run --release --example attack_walkthrough
+//! ```
+
+use linkpad::adversary::classifier::KdeBayes;
+use linkpad::adversary::pipeline::{evaluate, features_from_piats};
+use linkpad::prelude::*;
+use linkpad::stats::moments::sample_variance;
+
+fn main() {
+    let n = 500;
+    let train_samples = 80;
+    let test_samples = 40;
+    let at = TapPosition::SenderEgress;
+
+    // ---- Off-line training (the adversary reconstructs the system) ----
+    println!("STEP 1 — reconstruct the padding system and capture traffic");
+    let needed = (train_samples + test_samples) * n;
+    let low = ScenarioBuilder::lab(71).with_payload_rate(10.0);
+    let high = ScenarioBuilder::lab(72).with_payload_rate(40.0);
+    let piats_low = piats_for(&low, at, needed, 64).unwrap();
+    let piats_high = piats_for(&high, at, needed, 64).unwrap();
+    println!("  captured {needed} PIATs per rate class");
+    println!(
+        "  class variances: {:.2} µs² (10pps) vs {:.2} µs² (40pps)",
+        sample_variance(&piats_low).unwrap() * 1e12,
+        sample_variance(&piats_high).unwrap() * 1e12
+    );
+
+    println!("\nSTEP 2 — choose a feature statistic (sample variance, eq. 19)");
+    let feature = SampleVariance;
+    let split = train_samples * n;
+    let train_low = features_from_piats(&feature, &piats_low[..split], n).unwrap();
+    let train_high = features_from_piats(&feature, &piats_high[..split], n).unwrap();
+    println!(
+        "  {} training features per class (each summarizes {n} PIATs)",
+        train_low.len()
+    );
+
+    println!("\nSTEP 3 — estimate class-conditional PDFs with a Gaussian KDE");
+    let classifier = KdeBayes::train(&[train_low.clone(), train_high.clone()]).unwrap();
+    let d = classifier.two_class_threshold().unwrap();
+    println!("  Bayes decision threshold d = {d:.4e} s²");
+    println!("  rule: feature ≤ d ⇒ payload is 10 pps; otherwise 40 pps");
+
+    println!("\nSTEP 4 — run-time classification of unseen captures");
+    let test_low = features_from_piats(&feature, &piats_low[split..], n).unwrap();
+    let test_high = features_from_piats(&feature, &piats_high[split..], n).unwrap();
+    let report = evaluate(&classifier, &[test_low, test_high]);
+    println!(
+        "  detection rate v = {:.3}  ({} / {} correct; per-class {:.3} / {:.3})",
+        report.detection_rate(),
+        report.correct,
+        report.total,
+        report.class_rate(0),
+        report.class_rate(1)
+    );
+
+    println!("\nSTEP 5 — what the defender should take away");
+    let r = CalibratedDefaults::paper().predicted_r(0.0);
+    println!(
+        "  Theorem 2 predicted v ≈ {:.3} at r = {r:.3}; the empirical attack agrees.",
+        detection_rate_variance(r, n).unwrap()
+    );
+    println!(
+        "  The leak is the timer's payload-correlated jitter — swap CIT for VIT\n  (see `examples/vit_design.rs`) and this whole procedure collapses to a\n  coin flip."
+    );
+}

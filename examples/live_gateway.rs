@@ -1,0 +1,76 @@
+//! Run the padding system on *real* OS timers and threads — the
+//! `linkpad-testbed` substitute for the paper's TimeSys Linux gateways —
+//! and attack the captured timing with the same adversary pipeline.
+//!
+//! ```sh
+//! cargo run --release --example live_gateway
+//! ```
+
+use linkpad::adversary::pipeline::DetectionStudy;
+use linkpad::prelude::*;
+use linkpad::stats::moments::{sample_mean, sample_variance};
+
+fn capture(sigma_t: f64, payload_rate: f64, count: usize, seed: u64) -> Vec<f64> {
+    let report = run_live(LiveConfig {
+        tau: 0.003, // 3 ms timer keeps the demo under a minute
+        sigma_t,
+        payload_rate,
+        packet_size: 500,
+        count,
+        seed,
+    })
+    .expect("live run failed");
+    assert_eq!(report.decode_errors, 0, "wire format must round-trip");
+    report.piats
+}
+
+fn main() {
+    let n = 200;
+    let study = DetectionStudy {
+        sample_size: n,
+        train_samples: 12,
+        test_samples: 8,
+    };
+    let needed = study.piats_needed() + 1;
+
+    println!("live CIT capture (3 ms timer, real threads)…");
+    let cit_low = capture(0.0, 30.0, needed, 1);
+    let cit_high = capture(0.0, 140.0, needed, 2);
+    println!(
+        "  low-rate : mean PIAT {:.3} ms, std {:.1} µs",
+        sample_mean(&cit_low).unwrap() * 1e3,
+        sample_variance(&cit_low).unwrap().sqrt() * 1e6
+    );
+    println!(
+        "  high-rate: mean PIAT {:.3} ms, std {:.1} µs",
+        sample_mean(&cit_high).unwrap() * 1e3,
+        sample_variance(&cit_high).unwrap().sqrt() * 1e6
+    );
+    let report = study
+        .run(
+            &SampleEntropy::with_bin_width(20e-6).unwrap(),
+            &[cit_low, cit_high],
+        )
+        .unwrap();
+    println!(
+        "  entropy-feature detection on REAL jitter: {:.3}",
+        report.detection_rate()
+    );
+    println!(
+        "  (in-process channels have no NIC, so the payload→timer coupling\n   is whatever this host's scheduler exhibits — often weaker than the\n   paper's hardware; the interesting part is the pipeline runs unchanged)"
+    );
+
+    println!("\nlive VIT capture (sigma_T = 300 µs)…");
+    let vit_low = capture(300e-6, 30.0, needed, 3);
+    let vit_high = capture(300e-6, 140.0, needed, 4);
+    let report = study
+        .run(
+            &SampleEntropy::with_bin_width(20e-6).unwrap(),
+            &[vit_low, vit_high],
+        )
+        .unwrap();
+    println!(
+        "  entropy-feature detection against VIT: {:.3}  (≈ 0.5 = blind)",
+        report.detection_rate()
+    );
+}

@@ -1,0 +1,95 @@
+//! Design a VIT padding configuration to a detection-rate budget, then
+//! verify the recommendation by simulation and account for its QoS cost.
+//!
+//! This is the paper's §6 guidance turned into a procedure:
+//! 1. measure the gateway's rate-dependent jitter (the leak),
+//! 2. pick σ_T so the attack needs an infeasible sample,
+//! 3. confirm empirically, 4. check what padding costs the payload.
+//!
+//! ```sh
+//! cargo run --release --example vit_design
+//! ```
+
+use linkpad::adversary::pipeline::DetectionStudy;
+use linkpad::core::overhead::OverheadReport;
+use linkpad::prelude::*;
+
+fn main() {
+    let defaults = CalibratedDefaults::paper();
+
+    // 1. The gateway's on-the-wire variances (2·Var(δ_gw), absolute timer).
+    let gw_low = 2.0 * defaults.sigma_gw_sq(defaults.rate_low);
+    let gw_high = 2.0 * defaults.sigma_gw_sq(defaults.rate_high);
+    println!(
+        "gateway wire variances: low = {:.1} µs², high = {:.1} µs²  (r = {:.3})",
+        gw_low * 1e12,
+        gw_high * 1e12,
+        gw_high / gw_low
+    );
+
+    // 2. Design: adversary can gather 10⁶ PIATs; detection must stay ≤ 55%.
+    let input = DesignInput::conservative(gw_low, gw_high);
+    let exposure = input.cit_exposure().unwrap();
+    println!(
+        "\nif we keep CIT:   variance attack v = {:.3}, entropy v = {:.3}  — compromised",
+        exposure.variance_rate, exposure.entropy_rate
+    );
+    let rec = input.recommend().unwrap();
+    println!(
+        "recommendation:   VIT with sigma_T = {:.3} ms  (r drops to {:.6})",
+        rec.sigma_t * 1e3,
+        rec.r
+    );
+    println!(
+        "residual risk at 10^6 samples: mean {:.3}, variance {:.3}, entropy {:.3}",
+        rec.mean_rate, rec.variance_rate, rec.entropy_rate
+    );
+
+    // 3. Verify by simulation at a large-but-feasible n.
+    let n = 2000;
+    let study = DetectionStudy {
+        sample_size: n,
+        train_samples: 50,
+        test_samples: 30,
+    };
+    let schedule = ScheduleSpec::VitTruncatedNormal { sigma_t: rec.sigma_t };
+    let low = ScenarioBuilder::lab(11)
+        .with_payload_rate(10.0)
+        .with_schedule(schedule);
+    let high = ScenarioBuilder::lab(12)
+        .with_payload_rate(40.0)
+        .with_schedule(schedule);
+    let needed = study.piats_needed();
+    let piats_low = piats_for(&low, TapPosition::SenderEgress, needed, 64).unwrap();
+    let piats_high = piats_for(&high, TapPosition::SenderEgress, needed, 64).unwrap();
+    let report = study
+        .run(&SampleEntropy::calibrated(), &[piats_low, piats_high])
+        .unwrap();
+    println!(
+        "\nempirical check (entropy feature, n = {n}): v = {:.3} — statistically blind",
+        report.detection_rate()
+    );
+
+    // 4. What does the defence cost? Run the padded link and account.
+    let mut scenario = high.build().unwrap();
+    scenario.run_for_secs(60.0);
+    let overhead = OverheadReport::from_handles(&scenario.gateway, Some(&scenario.receiver));
+    println!("\nQoS / overhead at 40 pps payload, 60 s run:");
+    println!(
+        "  dummy fraction        = {:.1}%  (bandwidth expansion ×{:.2})",
+        overhead.dummy_fraction * 100.0,
+        overhead.bandwidth_expansion
+    );
+    println!(
+        "  payload queue delay   = mean {:.2} ms, max {:.2} ms",
+        overhead.mean_queue_delay * 1e3,
+        overhead.max_queue_delay * 1e3
+    );
+    if let Some(e2e) = overhead.mean_end_to_end_delay {
+        println!("  end-to-end delay      = mean {:.2} ms", e2e * 1e3);
+    }
+    println!(
+        "\nconclusion: VIT buys near-perfect cover for microseconds of extra \
+         jitter budget — the bandwidth cost is set by τ, not by σ_T."
+    );
+}

@@ -1,0 +1,44 @@
+//! A compressed version of the paper's Fig. 8(b) WAN experiment: how the
+//! adversary's detection rate against CIT padding varies with the time
+//! of day on a 15-router Internet path.
+//!
+//! ```sh
+//! cargo run --release --example wan_daily
+//! ```
+
+use linkpad::adversary::pipeline::DetectionStudy;
+use linkpad::prelude::*;
+
+fn main() {
+    let profile = DiurnalProfile::wan();
+    let n = 1000;
+    let study = DetectionStudy {
+        sample_size: n,
+        train_samples: 50,
+        test_samples: 30,
+    };
+
+    println!("Ohio → Texas (15 routers), CIT padding, entropy feature, n = {n}\n");
+    println!("hour   utilization   detection");
+    for hour in [2u32, 6, 10, 14, 18, 22] {
+        let util = profile.utilization_at_hour(hour as f64);
+        let low = ScenarioBuilder::wan(500 + hour as u64, util).with_payload_rate(10.0);
+        let high = ScenarioBuilder::wan(600 + hour as u64, util).with_payload_rate(40.0);
+        let needed = study.piats_needed();
+        let piats_low = piats_for(&low, TapPosition::ReceiverIngress, needed, 64).unwrap();
+        let piats_high = piats_for(&high, TapPosition::ReceiverIngress, needed, 64).unwrap();
+        let report = study
+            .run(&SampleEntropy::calibrated(), &[piats_low, piats_high])
+            .unwrap();
+        println!(
+            "{hour:02}:00      {util:.3}        {:.3}",
+            report.detection_rate()
+        );
+    }
+    println!(
+        "\nThe adversary's window is the quiet small hours: with the network \
+         nearly idle, 15 routers add little cover noise and CIT's gateway \
+         leak shows through — the paper's conclusion that remoteness alone \
+         does not make CIT safe."
+    );
+}

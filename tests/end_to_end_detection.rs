@@ -1,0 +1,164 @@
+//! End-to-end reproduction checks: the paper's headline results must
+//! hold on the full pipeline (scenario → tap → features → KDE-Bayes →
+//! detection rate).
+//!
+//! Budgets are kept small enough for debug-mode CI; the full-budget
+//! numbers live in the benches and EXPERIMENTS.md.
+
+use linkpad::adversary::pipeline::DetectionStudy;
+use linkpad::prelude::*;
+
+fn study(n: usize) -> DetectionStudy {
+    DetectionStudy {
+        sample_size: n,
+        train_samples: 40,
+        test_samples: 30,
+    }
+}
+
+fn run(
+    schedule: ScheduleSpec,
+    n: usize,
+    feature: &dyn Feature,
+    at: TapPosition,
+    seeds: (u64, u64),
+) -> f64 {
+    let s = study(n);
+    let low = ScenarioBuilder::lab(seeds.0)
+        .with_payload_rate(10.0)
+        .with_schedule(schedule);
+    let high = ScenarioBuilder::lab(seeds.1)
+        .with_payload_rate(40.0)
+        .with_schedule(schedule);
+    let piats_low = piats_for(&low, at, s.piats_needed(), 64).unwrap();
+    let piats_high = piats_for(&high, at, s.piats_needed(), 64).unwrap();
+    s.run(feature, &[piats_low, piats_high])
+        .unwrap()
+        .detection_rate()
+}
+
+#[test]
+fn cit_is_broken_by_variance_and_entropy_at_n_1000() {
+    let v = run(
+        ScheduleSpec::Cit,
+        1000,
+        &SampleVariance,
+        TapPosition::SenderEgress,
+        (1, 2),
+    );
+    assert!(v > 0.85, "variance attack on CIT: v = {v}");
+    let e = run(
+        ScheduleSpec::Cit,
+        1000,
+        &SampleEntropy::calibrated(),
+        TapPosition::SenderEgress,
+        (3, 4),
+    );
+    assert!(e > 0.85, "entropy attack on CIT: v = {e}");
+}
+
+#[test]
+fn cit_is_not_broken_by_sample_mean() {
+    let m = run(
+        ScheduleSpec::Cit,
+        1000,
+        &SampleMean,
+        TapPosition::SenderEgress,
+        (5, 6),
+    );
+    assert!(m < 0.68, "sample mean must hover near chance: v = {m}");
+}
+
+#[test]
+fn vit_at_one_ms_blinds_the_adversary() {
+    let schedule = ScheduleSpec::VitTruncatedNormal { sigma_t: 1e-3 };
+    let v = run(
+        schedule,
+        1500,
+        &SampleVariance,
+        TapPosition::SenderEgress,
+        (7, 8),
+    );
+    assert!(v < 0.62, "variance attack on VIT(1ms): v = {v}");
+    let e = run(
+        schedule,
+        1500,
+        &SampleEntropy::calibrated(),
+        TapPosition::SenderEgress,
+        (9, 10),
+    );
+    assert!(e < 0.62, "entropy attack on VIT(1ms): v = {e}");
+}
+
+#[test]
+fn detection_grows_with_sample_size_under_cit() {
+    let small = run(
+        ScheduleSpec::Cit,
+        100,
+        &SampleVariance,
+        TapPosition::SenderEgress,
+        (11, 12),
+    );
+    let large = run(
+        ScheduleSpec::Cit,
+        1200,
+        &SampleVariance,
+        TapPosition::SenderEgress,
+        (13, 14),
+    );
+    assert!(
+        large > small + 0.05,
+        "n=100 → {small}, n=1200 → {large}: theorem 2 monotonicity violated"
+    );
+    assert!(large > 0.9);
+}
+
+#[test]
+fn cross_traffic_degrades_the_attack() {
+    let quiet = {
+        let s = study(800);
+        let low = ScenarioBuilder::lab(15).with_payload_rate(10.0);
+        let high = ScenarioBuilder::lab(16).with_payload_rate(40.0);
+        let pl = piats_for(&low, TapPosition::ReceiverIngress, s.piats_needed(), 64).unwrap();
+        let ph = piats_for(&high, TapPosition::ReceiverIngress, s.piats_needed(), 64).unwrap();
+        s.run(&SampleEntropy::calibrated(), &[pl, ph])
+            .unwrap()
+            .detection_rate()
+    };
+    let busy = {
+        let s = study(800);
+        let low = ScenarioBuilder::lab(17)
+            .with_payload_rate(10.0)
+            .with_uniform_utilization(0.45);
+        let high = ScenarioBuilder::lab(18)
+            .with_payload_rate(40.0)
+            .with_uniform_utilization(0.45);
+        let pl = piats_for(&low, TapPosition::ReceiverIngress, s.piats_needed(), 64).unwrap();
+        let ph = piats_for(&high, TapPosition::ReceiverIngress, s.piats_needed(), 64).unwrap();
+        s.run(&SampleEntropy::calibrated(), &[pl, ph])
+            .unwrap()
+            .detection_rate()
+    };
+    assert!(
+        busy < quiet - 0.1,
+        "utilization must hurt the adversary: quiet = {quiet}, busy = {busy}"
+    );
+}
+
+#[test]
+fn wan_hides_more_than_campus() {
+    let rate_for = |mk: fn(u64, f64) -> ScenarioBuilder, util: f64, seeds: (u64, u64)| {
+        let s = study(800);
+        let low = mk(seeds.0, util).with_payload_rate(10.0);
+        let high = mk(seeds.1, util).with_payload_rate(40.0);
+        let pl = piats_for(&low, TapPosition::ReceiverIngress, s.piats_needed(), 64).unwrap();
+        let ph = piats_for(&high, TapPosition::ReceiverIngress, s.piats_needed(), 64).unwrap();
+        s.run(&SampleEntropy::calibrated(), &[pl, ph])
+            .unwrap()
+            .detection_rate()
+    };
+    let campus = rate_for(ScenarioBuilder::campus, 0.10, (19, 20));
+    let wan = rate_for(ScenarioBuilder::wan, 0.45, (21, 22));
+    assert!(campus > 0.8, "campus daytime should stay detectable: {campus}");
+    assert!(wan < campus - 0.15, "WAN must hide more: campus {campus}, wan {wan}");
+}

@@ -1,0 +1,94 @@
+//! The closed-form theorems must track the empirical pipeline: this is
+//! the paper's central validation claim ("experimental data well matches
+//! the performance predicted by our approximation formulae").
+
+use linkpad::adversary::pipeline::DetectionStudy;
+use linkpad::analytic::ratio::empirical_r;
+use linkpad::prelude::*;
+use linkpad::stats::moments::sample_variance;
+
+/// Empirical detection + measured r for one (feature, n).
+fn empirical(feature: &dyn Feature, n: usize, seeds: (u64, u64)) -> (f64, f64) {
+    let study = DetectionStudy {
+        sample_size: n,
+        train_samples: 50,
+        test_samples: 40,
+    };
+    let low = ScenarioBuilder::lab(seeds.0).with_payload_rate(10.0);
+    let high = ScenarioBuilder::lab(seeds.1).with_payload_rate(40.0);
+    let pl = piats_for(&low, TapPosition::SenderEgress, study.piats_needed(), 64).unwrap();
+    let ph = piats_for(&high, TapPosition::SenderEgress, study.piats_needed(), 64).unwrap();
+    let r = empirical_r(
+        sample_variance(&pl).unwrap(),
+        sample_variance(&ph).unwrap(),
+    )
+    .unwrap();
+    let v = study.run(feature, &[pl, ph]).unwrap().detection_rate();
+    (v, r)
+}
+
+#[test]
+fn variance_feature_tracks_theorem_2() {
+    for (n, seeds) in [(300usize, (31, 32)), (900, (33, 34))] {
+        let (emp, r) = empirical(&SampleVariance, n, seeds);
+        let theory = detection_rate_variance(r, n).unwrap();
+        assert!(
+            (emp - theory).abs() < 0.15,
+            "n={n}: empirical {emp:.3} vs theorem2 {theory:.3} at r={r:.3}"
+        );
+    }
+}
+
+#[test]
+fn entropy_feature_tracks_theorem_3() {
+    for (n, seeds) in [(300usize, (35, 36)), (900, (37, 38))] {
+        let (emp, r) = empirical(&SampleEntropy::calibrated(), n, seeds);
+        let theory = detection_rate_entropy(r, n).unwrap();
+        assert!(
+            (emp - theory).abs() < 0.15,
+            "n={n}: empirical {emp:.3} vs theorem3 {theory:.3} at r={r:.3}"
+        );
+    }
+}
+
+#[test]
+fn mean_feature_tracks_theorem_1() {
+    let (emp, r) = empirical(&SampleMean, 600, (39, 40));
+    let theory = detection_rate_mean(r).unwrap();
+    // Both should sit just above 0.5.
+    assert!(
+        (emp - theory).abs() < 0.12,
+        "empirical {emp:.3} vs theorem1 {theory:.3} at r={r:.3}"
+    );
+    assert!(theory < 0.55);
+}
+
+#[test]
+fn measured_r_matches_calibrated_prediction() {
+    let (_, r) = empirical(&SampleMean, 400, (41, 42));
+    let predicted = CalibratedDefaults::paper().predicted_r(0.0);
+    assert!(
+        (r - predicted).abs() / predicted < 0.15,
+        "measured r = {r:.3}, predicted = {predicted:.3}"
+    );
+}
+
+#[test]
+fn exact_rates_bound_the_approximations_sanely() {
+    use linkpad::analytic::exact;
+    for &r in &[1.2, 1.5, 2.0] {
+        for &n in &[100usize, 1000] {
+            let approx = detection_rate_variance(r, n).unwrap();
+            let exact_v = exact::variance_detection(r, n).unwrap();
+            // Both in [0.5, 1]; the Chebyshev-style approximation may
+            // undershoot the exact Bayes rate, but never by more than
+            // the structural gap observed in the paper's Fig. 4(b).
+            assert!((0.5..=1.0).contains(&approx));
+            assert!((0.5..=1.0).contains(&exact_v));
+            assert!(
+                exact_v >= approx - 0.05,
+                "exact {exact_v:.3} vs approx {approx:.3} at r={r}, n={n}"
+            );
+        }
+    }
+}
