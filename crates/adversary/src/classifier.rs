@@ -49,7 +49,7 @@ impl KdeBayes {
             });
         }
         let total: f64 = priors.iter().sum();
-        if priors.iter().any(|&p| !(p > 0.0)) || (total - 1.0).abs() > 1e-6 {
+        if priors.iter().any(|&p| p.is_nan() || p <= 0.0) || (total - 1.0).abs() > 1e-6 {
             return Err(StatsError::InvalidProbability {
                 what: "bayes priors",
                 value: total,

@@ -116,7 +116,11 @@ impl DetectionStudy {
     /// Run the study for one feature over per-class PIAT streams
     /// (index = class). Streams must hold at least
     /// [`DetectionStudy::piats_needed`] values each.
-    pub fn run(&self, feature: &dyn Feature, piats_per_class: &[Vec<f64>]) -> Result<DetectionReport> {
+    pub fn run(
+        &self,
+        feature: &dyn Feature,
+        piats_per_class: &[Vec<f64>],
+    ) -> Result<DetectionReport> {
         if self.train_samples < 2 || self.test_samples < 1 {
             return Err(StatsError::InsufficientData {
                 what: "study sample budget",
@@ -136,7 +140,11 @@ impl DetectionStudy {
                 });
             }
             let split = self.train_samples * self.sample_size;
-            train_features.push(features_from_piats(feature, &stream[..split], self.sample_size)?);
+            train_features.push(features_from_piats(
+                feature,
+                &stream[..split],
+                self.sample_size,
+            )?);
             test_features.push(features_from_piats(
                 feature,
                 &stream[split..needed],
@@ -231,9 +239,7 @@ mod tests {
         };
         let lo = piats(6e-6, study.piats_needed(), 3);
         let hi = piats(8e-6, study.piats_needed(), 4);
-        let report = study
-            .run(&SampleEntropy::calibrated(), &[lo, hi])
-            .unwrap();
+        let report = study.run(&SampleEntropy::calibrated(), &[lo, hi]).unwrap();
         assert!(
             report.detection_rate() > 0.85,
             "rate = {}",

@@ -141,9 +141,7 @@ mod tests {
         }
         assert!(variance_detection(1.4, 100_000).unwrap() > 0.9999);
         // Monotone in r.
-        assert!(
-            variance_detection(1.8, 200).unwrap() > variance_detection(1.2, 200).unwrap()
-        );
+        assert!(variance_detection(1.8, 200).unwrap() > variance_detection(1.2, 200).unwrap());
     }
 
     #[test]

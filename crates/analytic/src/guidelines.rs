@@ -82,7 +82,7 @@ impl DesignInput {
             });
         }
         let n = self.adversary_sample_budget;
-        if !(n >= 2.0) || !n.is_finite() {
+        if !n.is_finite() || n < 2.0 {
             return Err(StatsError::NonPositive {
                 what: "adversary sample budget",
                 value: n,

@@ -101,7 +101,7 @@ pub fn sigma_t_for_infeasible_attack(
     p: f64,
     n_max: f64,
 ) -> Result<f64, StatsError> {
-    if !(n_max > 1.0) || !n_max.is_finite() {
+    if !n_max.is_finite() || n_max <= 1.0 {
         return Err(StatsError::NonPositive {
             what: "n_max",
             value: n_max,
@@ -227,15 +227,9 @@ mod tests {
     #[test]
     fn sigma_t_recommendation_blocks_the_attack() {
         // Ask: make a 99%-confident attack need more than 10⁹ samples.
-        let st = sigma_t_for_infeasible_attack(
-            FeatureKind::Variance,
-            GW_LOW,
-            GW_HIGH,
-            0.0,
-            0.99,
-            1e9,
-        )
-        .unwrap();
+        let st =
+            sigma_t_for_infeasible_attack(FeatureKind::Variance, GW_LOW, GW_HIGH, 0.0, 0.99, 1e9)
+                .unwrap();
         assert!(st > 0.0 && st < 0.01, "σ_T = {st}");
         // Verify: at the recommended σ_T the attack is indeed infeasible.
         let r = r_at_sigma_t(st);

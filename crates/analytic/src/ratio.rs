@@ -116,7 +116,7 @@ impl VarianceComponents {
 
 /// Empirical `r` from two measured PIAT variances (order-free).
 pub fn empirical_r(var_a: f64, var_b: f64) -> Result<f64, StatsError> {
-    if !(var_a > 0.0) || !(var_b > 0.0) || !var_a.is_finite() || !var_b.is_finite() {
+    if !var_a.is_finite() || !var_b.is_finite() || var_a <= 0.0 || var_b <= 0.0 {
         return Err(StatsError::NonPositive {
             what: "measured PIAT variance",
             value: var_a.min(var_b),

@@ -65,7 +65,10 @@ fn main() {
         &["law", "variance", "entropy"],
     );
     for (name, spec) in [
-        ("trunc-normal", ScheduleSpec::VitTruncatedNormal { sigma_t: 500e-6 }),
+        (
+            "trunc-normal",
+            ScheduleSpec::VitTruncatedNormal { sigma_t: 500e-6 },
+        ),
         ("uniform", ScheduleSpec::VitUniform { sigma_t: 500e-6 }),
         ("exponential", ScheduleSpec::VitExponential),
     ] {
@@ -164,7 +167,14 @@ fn main() {
         let high = ScenarioBuilder::lab(980)
             .with_payload_rate(40.0)
             .with_hops(vec![hop]);
-        let v = detection_for(&low, &high, TapPosition::ReceiverIngress, &SampleVariance, 1000, budget);
+        let v = detection_for(
+            &low,
+            &high,
+            TapPosition::ReceiverIngress,
+            &SampleVariance,
+            1000,
+            budget,
+        );
         let e = detection_for(
             &low,
             &high,

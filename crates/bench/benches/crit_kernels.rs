@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use linkpad_adversary::classifier::KdeBayes;
 use linkpad_adversary::feature::{Feature, SampleEntropy, SampleVariance};
+use linkpad_bench::perf::{heap_reference_events_per_sec, sim_events_per_sec};
 use linkpad_stats::kde::GaussianKde;
 use linkpad_stats::moments::RunningMoments;
 use linkpad_stats::normal::Normal;
@@ -16,6 +17,22 @@ fn synthetic_piats(count: usize, sigma: f64, seed: u64) -> Vec<f64> {
     let d = Normal::new(0.010, sigma).unwrap();
     let mut rng = MasterSeed::new(seed).stream(0);
     (0..count).map(|_| d.sample(&mut rng)).collect()
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    // The engine-rewrite acceptance pair: identical timer+delivery
+    // workload on the ladder-queue engine and on a faithful replica of
+    // the old BinaryHeap engine. The large-pending shape is store-bound
+    // (where the ladder's O(1)-amortized ordering pays); the small shape
+    // is dispatch-bound and roughly ties.
+    for pending in [4_096usize, 262_144] {
+        c.bench_function(&format!("engine/ladder_queue_{pending}_pending"), |b| {
+            b.iter(|| black_box(sim_events_per_sec(400_000, pending)))
+        });
+        c.bench_function(&format!("engine/heap_reference_{pending}_pending"), |b| {
+            b.iter(|| black_box(heap_reference_events_per_sec(400_000, pending)))
+        });
+    }
 }
 
 fn bench_simulator(c: &mut Criterion) {
@@ -65,9 +82,7 @@ fn bench_kde(c: &mut Criterion) {
         )
     });
     let kde = GaussianKde::fit(&train).unwrap();
-    c.bench_function("kde/pdf_eval", |b| {
-        b.iter(|| black_box(kde.pdf(0.0100001)))
-    });
+    c.bench_function("kde/pdf_eval", |b| b.iter(|| black_box(kde.pdf(0.0100001))));
     let f_low = synthetic_piats(300, 6e-6, 3);
     let f_high = synthetic_piats(300, 8e-6, 4);
     let classifier = KdeBayes::train(&[f_low, f_high]).unwrap();
@@ -79,6 +94,6 @@ fn bench_kde(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_simulator, bench_features, bench_kde
+    targets = bench_event_loop, bench_simulator, bench_features, bench_kde
 }
 criterion_main!(kernels);

@@ -7,7 +7,7 @@
 //! densities exactly as the paper's trained adversary builds them.
 
 use linkpad_adversary::classifier::KdeBayes;
-use linkpad_adversary::feature::{Feature, SampleVariance};
+use linkpad_adversary::feature::SampleVariance;
 use linkpad_adversary::pipeline::features_from_piats;
 use linkpad_bench::runner::{collect_piats_parallel, Budget};
 use linkpad_bench::table::Table;

@@ -1,0 +1,70 @@
+//! Perf baseline: measures raw engine throughput (events/sec) against a
+//! `BinaryHeap` reference event loop, plus a representative sweep
+//! wall-clock, and writes `BENCH_1.json` at the workspace root so later
+//! PRs have a recorded trajectory.
+//!
+//! Run from anywhere in the workspace:
+//! `cargo run --release -p linkpad-bench --bin perf_baseline`
+
+use linkpad_bench::perf::{
+    heap_reference_events_per_sec, sim_events_per_sec, sweep_wall_clock_secs,
+};
+use std::io::Write;
+
+fn main() {
+    // Sized so the run takes a few seconds in release mode; override with
+    // `perf_baseline <events> [<pending> ...]`.
+    let mut args = std::env::args().skip(1);
+    let events: u64 = args
+        .next()
+        .map(|a| a.parse().expect("events is a number"))
+        .unwrap_or(4_000_000);
+    let shapes: Vec<usize> = {
+        let rest: Vec<usize> = args
+            .map(|a| a.parse().expect("pending is a number"))
+            .collect();
+        if rest.is_empty() {
+            // Dispatch-bound (small pending set, the per-sim regime) and
+            // store-bound (large pending set, the scaling regime).
+            vec![4_096, 262_144]
+        } else {
+            rest
+        }
+    };
+
+    let mut shape_entries = Vec::new();
+    for pending in shapes {
+        eprintln!("measuring engine vs heap reference ({events} events, {pending} pending)...");
+        let engine = sim_events_per_sec(events, pending);
+        let heap = heap_reference_events_per_sec(events, pending);
+        eprintln!(
+            "  pending {pending}: engine {engine:.0} ev/s, reference {heap:.0} ev/s, {:.2}x",
+            engine / heap
+        );
+        shape_entries.push(format!(
+            "    {{ \"pending\": {pending}, \"engine_events_per_sec\": {engine:.0}, \
+\"heap_reference_events_per_sec\": {heap:.0}, \"speedup_vs_heap\": {:.2} }}",
+            engine / heap
+        ));
+    }
+
+    eprintln!("measuring lab-scenario sweep wall-clock (40k PIATs x 2 classes)...");
+    let sweep = sweep_wall_clock_secs(40_000);
+    eprintln!("  sweep: {sweep:.3} s");
+
+    let json = format!(
+        "{{\n  \"schema\": \"linkpad-bench-baseline-v2\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
+        shape_entries.join(",\n")
+    );
+
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let path = root.join("BENCH_1.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_1.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_1.json");
+    println!("{json}");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,85 @@
+//! Diagnostic probe: raw event-store throughput, isolated from node
+//! dispatch. Replays the bench workload's push/pop pattern directly
+//! against `EventQueue` and against a bare `BinaryHeap`, printing
+//! ns/op. Not part of the recorded baseline — a tuning aid.
+
+use linkpad_sim::equeue::{EventKind, EventQueue};
+use linkpad_sim::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pending: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(32_768);
+    let ops: u64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(4_000_000);
+
+    // Same shape as perf.rs: `pending` periodic streams, periods
+    // 10–105 µs, plus a +500 ns echo event per fire.
+    let period = |i: usize| 10_000u64 + 7919 * (i as u64 % 13);
+
+    // --- EventQueue ---
+    let mut q = EventQueue::with_capacity(pending * 2);
+    let mut seq = 0u64;
+    for i in 0..pending {
+        q.push(SimTime::from_nanos(period(i)), seq, i, EventKind::Timer(0));
+        seq += 1;
+    }
+    let start = Instant::now();
+    let mut popped = 0u64;
+    while popped < ops {
+        let e = q.pop().unwrap();
+        popped += 1;
+        if let EventKind::Timer(0) = e.kind {
+            let t = e.time.as_nanos();
+            q.push(
+                SimTime::from_nanos(t + 500),
+                seq,
+                e.target,
+                EventKind::Timer(1),
+            );
+            seq += 1;
+            q.push(
+                SimTime::from_nanos(t + period(e.target)),
+                seq,
+                e.target,
+                EventKind::Timer(0),
+            );
+            seq += 1;
+        }
+    }
+    let eq_ns = start.elapsed().as_nanos() as f64 / popped as f64;
+    let d = q.diag();
+    println!("  diag: {d:?}");
+    println!(
+        "  tier_state (w, horizon, span_last, near, rung, far): {:?}",
+        q.tier_state()
+    );
+
+    // --- bare BinaryHeap of (time, seq, stream, tag) ---
+    // The stream index rides in the entry so re-arms keep their own
+    // period, replaying exactly the EventQueue side's schedule.
+    let mut h: BinaryHeap<Reverse<(u64, u64, u32, u8)>> = BinaryHeap::with_capacity(pending * 2);
+    let mut seq = 0u64;
+    for i in 0..pending {
+        h.push(Reverse((period(i), seq, i as u32, 0)));
+        seq += 1;
+    }
+    let start = Instant::now();
+    let mut popped = 0u64;
+    while popped < ops {
+        let Reverse((t, _s, stream, tag)) = h.pop().unwrap();
+        popped += 1;
+        if tag == 0 {
+            h.push(Reverse((t + 500, seq, stream, 1)));
+            seq += 1;
+            h.push(Reverse((t + period(stream as usize), seq, stream, 0)));
+            seq += 1;
+        }
+    }
+    let heap_ns = start.elapsed().as_nanos() as f64 / popped as f64;
+
+    println!("pending={pending} ops={ops}");
+    println!("  EventQueue : {eq_ns:.1} ns/op");
+    println!("  BinaryHeap : {heap_ns:.1} ns/op (bare keys, no payload)");
+}

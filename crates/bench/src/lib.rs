@@ -7,12 +7,13 @@
 //! paper-style table output (stdout + CSV under `target/figures/`).
 //!
 //! Scale control: set `LINKPAD_SCALE=quick` for a fast smoke pass or
-//! `LINKPAD_SCALE=paper` (default) for the full budgets recorded in
-//! EXPERIMENTS.md.
+//! `LINKPAD_SCALE=paper` (default) for the full budgets (see the
+//! per-figure experiment index in DESIGN.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod runner;
 pub mod table;
 

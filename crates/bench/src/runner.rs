@@ -17,14 +17,32 @@ pub struct Budget {
 
 impl Budget {
     /// Budget selected by the `LINKPAD_SCALE` environment variable:
-    /// `quick` → 60/40, anything else (default `paper`) → 150/100.
+    /// `quick` → 60/40, `paper` (the default when unset) → 150/100.
+    /// Unrecognized values warn on stderr and fall back to `paper`.
     pub fn from_env() -> Self {
-        match std::env::var("LINKPAD_SCALE").as_deref() {
-            Ok("quick") => Budget { train: 60, test: 40 },
-            _ => Budget {
-                train: 150,
-                test: 100,
+        Self::from_scale(std::env::var("LINKPAD_SCALE").ok().as_deref())
+    }
+
+    /// [`Budget::from_env`]'s pure core, testable without touching the
+    /// process environment.
+    pub fn from_scale(scale: Option<&str>) -> Self {
+        let paper = Budget {
+            train: 150,
+            test: 100,
+        };
+        match scale {
+            Some("quick") => Budget {
+                train: 60,
+                test: 40,
             },
+            None | Some("paper") => paper,
+            Some(other) => {
+                eprintln!(
+                    "warning: unrecognized LINKPAD_SCALE={other:?} \
+                     (expected \"quick\" or \"paper\"); defaulting to \"paper\""
+                );
+                paper
+            }
         }
     }
 
@@ -137,8 +155,25 @@ mod tests {
     use linkpad_adversary::feature::SampleVariance;
 
     #[test]
+    fn scale_selection_handles_quick_paper_and_garbage() {
+        let quick = Budget::from_scale(Some("quick"));
+        assert_eq!((quick.train, quick.test), (60, 40));
+        let paper = Budget::from_scale(Some("paper"));
+        assert_eq!((paper.train, paper.test), (150, 100));
+        let unset = Budget::from_scale(None);
+        assert_eq!(unset, paper);
+        // Garbage values warn (stderr) but never change the budget.
+        for garbage in ["QUICK", "fast", "", "paper "] {
+            assert_eq!(Budget::from_scale(Some(garbage)), paper, "{garbage:?}");
+        }
+    }
+
+    #[test]
     fn budget_study_accounting() {
-        let b = Budget { train: 150, test: 100 };
+        let b = Budget {
+            train: 150,
+            test: 100,
+        };
         assert_eq!(b.samples(), 250);
         let study = b.study(500);
         assert_eq!(study.piats_needed(), 250 * 500);
@@ -163,7 +198,10 @@ mod tests {
             TapPosition::SenderEgress,
             &SampleVariance,
             400,
-            Budget { train: 20, test: 12 },
+            Budget {
+                train: 20,
+                test: 12,
+            },
         );
         assert_eq!(report.total, 24);
         let v = report.detection_rate();

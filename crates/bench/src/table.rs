@@ -78,11 +78,7 @@ impl Table {
 }
 
 /// Write rows as CSV under `target/figures/`.
-pub fn write_csv(
-    name: &str,
-    headers: &[String],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, headers: &[String], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("target/figures");
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));

@@ -1,0 +1,282 @@
+//! Offline API-compatible shim for the subset of `criterion` this
+//! workspace uses (see DESIGN.md, "Offline builds").
+//!
+//! Benchmarks really run and really time: each `bench_function` does a
+//! warm-up pass, then collects `sample_size` wall-clock samples (scaling
+//! iterations per sample so short routines are measured above timer
+//! resolution) and prints min/median/mean per iteration. There is no
+//! statistical regression machinery — this is a measurement harness, not
+//! an analysis suite.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per setup regardless; the variant only exists for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measurement statistics for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Fastest observed per-iteration time.
+    pub min: Duration,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Total iterations timed.
+    pub iters: u64,
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::Warmup {
+                budget: self.warm_up,
+            },
+            per_iter_estimate: Duration::from_micros(1),
+            samples: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+
+        let per_sample = self.measurement / self.sample_size as u32;
+        b.mode = Mode::Measure {
+            samples_wanted: self.sample_size,
+            per_sample_budget: per_sample,
+        };
+        b.samples.clear();
+        b.iters = 0;
+        f(&mut b);
+
+        let stats = b.finish();
+        println!(
+            "{id:<44} min {:>12} median {:>12} mean {:>12} ({} iters)",
+            fmt_dur(stats.min),
+            fmt_dur(stats.median),
+            fmt_dur(stats.mean),
+            stats.iters
+        );
+        self
+    }
+}
+
+enum Mode {
+    Warmup {
+        budget: Duration,
+    },
+    Measure {
+        samples_wanted: usize,
+        per_sample_budget: Duration,
+    },
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] (or a
+/// variant) exactly once per invocation.
+pub struct Bencher {
+    mode: Mode,
+    per_iter_estimate: Duration,
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Warmup { budget } => {
+                let start = Instant::now();
+                let mut n = 0u32;
+                while start.elapsed() < budget || n < 3 {
+                    black_box(routine());
+                    n += 1;
+                    if n >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.per_iter_estimate = (start.elapsed() / n.max(1)).max(Duration::from_nanos(1));
+            }
+            Mode::Measure {
+                samples_wanted,
+                per_sample_budget,
+            } => {
+                // Iterations per sample: fill the per-sample budget, so
+                // sub-microsecond routines are timed well above clock
+                // resolution.
+                let per_iter = self.per_iter_estimate.as_nanos().max(1);
+                let k = (per_sample_budget.as_nanos() / per_iter).clamp(1, 10_000_000) as u32;
+                for _ in 0..samples_wanted {
+                    let start = Instant::now();
+                    for _ in 0..k {
+                        black_box(routine());
+                    }
+                    self.samples.push(start.elapsed() / k);
+                    self.iters += k as u64;
+                }
+            }
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup` each call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Warmup { budget } => {
+                let start = Instant::now();
+                let mut n = 0u32;
+                let mut spent = Duration::ZERO;
+                while start.elapsed() < budget || n < 3 {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    spent += t.elapsed();
+                    n += 1;
+                    if n >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.per_iter_estimate = (spent / n.max(1)).max(Duration::from_nanos(1));
+            }
+            Mode::Measure { samples_wanted, .. } => {
+                // Setup is excluded from timing, so one call per sample
+                // is accurate even for fast routines.
+                for _ in 0..samples_wanted {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    self.samples.push(start.elapsed());
+                    self.iters += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> Sampled {
+        if self.samples.is_empty() {
+            self.samples.push(Duration::ZERO);
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        Sampled {
+            min,
+            median,
+            mean,
+            iters: self.iters,
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Group benchmark functions, optionally with a configured harness.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(25));
+        c.bench_function("smoke/iter", |b| b.iter(|| 2u64 + 2));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

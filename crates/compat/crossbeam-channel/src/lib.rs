@@ -1,0 +1,331 @@
+//! Offline API-compatible shim for the subset of `crossbeam-channel`
+//! this workspace uses: MPMC `bounded`/`unbounded` channels with
+//! cloneable senders *and* receivers, `send`/`recv`/`try_recv`/
+//! `recv_timeout`, and disconnect semantics (see DESIGN.md, "Offline
+//! builds"). Backed by a `Mutex<VecDeque>` + two condvars — adequate for
+//! the testbed's three-thread wiring, not a lock-free replacement.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// An unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A bounded MPMC channel holding at most `cap` messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            buf: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+fn lock<T>(inner: &Inner<T>) -> std::sync::MutexGuard<'_, State<T>> {
+    inner.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full. Errors
+    /// (returning the message) once every receiver is dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = lock(&self.inner);
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = st.cap.is_some_and(|c| st.buf.len() >= c);
+            if !full {
+                st.buf.push_back(value);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .inner
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.inner).senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.inner);
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive a message, blocking until one arrives or the channel
+    /// disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = lock(&self.inner);
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .inner
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = lock(&self.inner);
+        match st.buf.pop_front() {
+            Some(v) => {
+                self.inner.not_full.notify_one();
+                Ok(v)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Receive, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.inner);
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .inner
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Iterate over messages until the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.inner).receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.inner);
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+/// Borrowing iterator over received messages.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_blocks_then_drains() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || tx.send(3));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(t.join().unwrap().is_ok());
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_with_cloned_ends() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = [a, b];
+        got.sort();
+        assert_eq!(got, [1, 2]);
+    }
+
+    #[test]
+    fn iter_drains_until_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline API-compatible shim for the `crossbeam` facade: re-exports the
+//! channel module from the vendored `crossbeam-channel` shim and the
+//! scoped-thread API from std (see DESIGN.md, "Offline builds").
+
+#![forbid(unsafe_code)]
+
+pub use crossbeam_channel as channel;
+
+/// Scoped threads, mapped to `std::thread::scope` (stable since 1.63).
+pub mod thread {
+    /// Run `f` with a scope in which spawned threads may borrow locals.
+    ///
+    /// Unlike crossbeam's original, this returns `R` directly rather than
+    /// `thread::Result<R>`: `std::thread::scope` propagates child panics
+    /// by panicking, so the error arm could never be observed.
+    pub fn scope<'env, F, R>(f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_reexport_works() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send(7u8).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let data = [1, 2, 3];
+        let sum: i32 = crate::thread::scope(|s| {
+            let h = s.spawn(|| data.iter().sum());
+            h.join().unwrap()
+        });
+        assert_eq!(sum, 6);
+    }
+}

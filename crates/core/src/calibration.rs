@@ -4,7 +4,7 @@
 //! (`E(T) = 10 ms`), payload rates 10 pps and 40 pps with equal priors,
 //! fixed packet size, TimeSys Linux gateways whose timer jitter is
 //! microsecond-scale (Fig. 4a spans ±20 µs around 10 ms). The constants
-//! here place the simulated system in those regimes; DESIGN.md §5
+//! here place the simulated system in those regimes; this module
 //! documents the derivation. Change them through the builders, not by
 //! editing — every bench prints the configuration it ran with.
 

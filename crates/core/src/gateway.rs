@@ -33,9 +33,9 @@ use linkpad_sim::node::{Node, NodeId};
 use linkpad_sim::packet::{FlowId, Packet, PacketKind};
 use linkpad_sim::time::{SimDuration, SimTime};
 use linkpad_stats::moments::RunningMoments;
-use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::rc::Rc;
 
 /// Timer re-arming policy of the sender gateway.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,43 +59,45 @@ struct GatewayStats {
     tick_delay: RunningMoments,
 }
 
-/// Read handle for sender-gateway instrumentation.
+/// Read handle for sender-gateway instrumentation. Simulations are
+/// single-threaded, so stats are shared over `Rc<RefCell<_>>` — plain
+/// owned state, no lock or atomic on the per-tick/per-packet path.
 #[derive(Debug, Clone)]
 pub struct GatewayHandle {
-    stats: Arc<Mutex<GatewayStats>>,
+    stats: Rc<RefCell<GatewayStats>>,
 }
 
 impl GatewayHandle {
     /// Timer ticks fired so far.
     pub fn ticks(&self) -> u64 {
-        self.stats.lock().ticks
+        self.stats.borrow().ticks
     }
     /// Payload packets transmitted.
     pub fn payload_sent(&self) -> u64 {
-        self.stats.lock().payload_sent
+        self.stats.borrow().payload_sent
     }
     /// Dummy packets transmitted.
     pub fn dummy_sent(&self) -> u64 {
-        self.stats.lock().dummy_sent
+        self.stats.borrow().dummy_sent
     }
     /// Payload packets dropped at a full gateway queue.
     pub fn payload_dropped(&self) -> u64 {
-        self.stats.lock().payload_dropped
+        self.stats.borrow().payload_dropped
     }
     /// Largest queue backlog observed.
     pub fn max_queue_len(&self) -> usize {
-        self.stats.lock().max_queue_len
+        self.stats.borrow().max_queue_len
     }
     /// Moments of payload queueing delay inside the gateway (seconds) —
     /// the QoS cost of padding.
     pub fn queue_wait_moments(&self) -> RunningMoments {
-        self.stats.lock().queue_wait
+        self.stats.borrow().queue_wait
     }
     /// Moments of the per-tick disturbance δ_gw actually applied
     /// (seconds) — an oracle view used by calibration tests, *not*
     /// available to the adversary.
     pub fn tick_delay_moments(&self) -> RunningMoments {
-        self.stats.lock().tick_delay
+        self.stats.borrow().tick_delay
     }
 }
 
@@ -113,7 +115,7 @@ pub struct SenderGateway {
     queue_capacity: Option<usize>,
     queue: VecDeque<Packet>,
     arrivals_since_tick: u32,
-    stats: Arc<Mutex<GatewayStats>>,
+    stats: Rc<RefCell<GatewayStats>>,
     label: String,
 }
 
@@ -125,10 +127,10 @@ impl SenderGateway {
         jitter: GatewayJitterModel,
         packet_size: u32,
     ) -> (GatewayHandle, Self) {
-        let stats = Arc::new(Mutex::new(GatewayStats::default()));
+        let stats = Rc::new(RefCell::new(GatewayStats::default()));
         (
             GatewayHandle {
-                stats: Arc::clone(&stats),
+                stats: Rc::clone(&stats),
             },
             Self {
                 schedule,
@@ -169,7 +171,7 @@ impl SenderGateway {
     }
 
     fn emit(&mut self, ctx: &mut Context<'_>) {
-        let mut st = self.stats.lock();
+        let mut st = self.stats.borrow_mut();
         st.ticks += 1;
 
         // δ_gw for this tick: driven by payload arrivals during the
@@ -217,11 +219,8 @@ impl Node for SenderGateway {
         // A payload packet from the protected subnet enters the queue.
         self.arrivals_since_tick = self.arrivals_since_tick.saturating_add(1);
         packet.enqueued = ctx.now();
-        let mut st = self.stats.lock();
-        if self
-            .queue_capacity
-            .is_none_or(|cap| self.queue.len() < cap)
-        {
+        let mut st = self.stats.borrow_mut();
+        if self.queue_capacity.is_none_or(|cap| self.queue.len() < cap) {
             self.queue.push_back(packet);
             st.max_queue_len = st.max_queue_len.max(self.queue.len());
         } else {
@@ -253,30 +252,31 @@ struct ReceiverStats {
     last_delivery: Option<SimTime>,
 }
 
-/// Read handle for receiver-gateway instrumentation.
+/// Read handle for receiver-gateway instrumentation (single-threaded
+/// shared state, like [`GatewayHandle`]).
 #[derive(Debug, Clone)]
 pub struct ReceiverHandle {
-    stats: Arc<Mutex<ReceiverStats>>,
+    stats: Rc<RefCell<ReceiverStats>>,
 }
 
 impl ReceiverHandle {
     /// Payload packets delivered into the protected subnet.
     pub fn payload_delivered(&self) -> u64 {
-        self.stats.lock().payload_delivered
+        self.stats.borrow().payload_delivered
     }
     /// Dummy packets identified and removed.
     pub fn dummies_stripped(&self) -> u64 {
-        self.stats.lock().dummies_stripped
+        self.stats.borrow().dummies_stripped
     }
     /// Packets that were neither padded payload nor dummies (should be 0
     /// in a correct topology).
     pub fn unexpected(&self) -> u64 {
-        self.stats.lock().unexpected
+        self.stats.borrow().unexpected
     }
     /// End-to-end payload delay moments (enqueue at GW1 → delivery by
     /// GW2), seconds.
     pub fn end_to_end_delay_moments(&self) -> RunningMoments {
-        self.stats.lock().end_to_end_delay
+        self.stats.borrow().end_to_end_delay
     }
 }
 
@@ -284,17 +284,17 @@ impl ReceiverHandle {
 pub struct ReceiverGateway {
     /// Where decrypted payload goes (`None` = terminate here).
     inner: Option<NodeId>,
-    stats: Arc<Mutex<ReceiverStats>>,
+    stats: Rc<RefCell<ReceiverStats>>,
     label: String,
 }
 
 impl ReceiverGateway {
     /// Build GW2, forwarding payload to `inner` (e.g. the subnet-B sink).
     pub fn new(inner: Option<NodeId>) -> (ReceiverHandle, Self) {
-        let stats = Arc::new(Mutex::new(ReceiverStats::default()));
+        let stats = Rc::new(RefCell::new(ReceiverStats::default()));
         (
             ReceiverHandle {
-                stats: Arc::clone(&stats),
+                stats: Rc::clone(&stats),
             },
             Self {
                 inner,
@@ -313,7 +313,7 @@ impl ReceiverGateway {
 
 impl Node for ReceiverGateway {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        let mut st = self.stats.lock();
+        let mut st = self.stats.borrow_mut();
         match packet.kind {
             PacketKind::Payload if packet.flow == FlowId::PADDED => {
                 st.payload_delivered += 1;
@@ -365,12 +365,8 @@ mod tests {
         let rx_id = b.add_node(Box::new(rx));
         let (tap_handle, tap) = Tap::on_padded_flow(Some(rx_id));
         let tap_id = b.add_node(Box::new(tap));
-        let (gw_handle, gw) = SenderGateway::new(
-            tap_id,
-            schedule,
-            GatewayJitterModel::calibrated(),
-            500,
-        );
+        let (gw_handle, gw) =
+            SenderGateway::new(tap_id, schedule, GatewayJitterModel::calibrated(), 500);
         let gw_id = b.add_node(Box::new(gw.with_discipline(discipline)));
         b.add_node(Box::new(DistSource::new(
             gw_id,

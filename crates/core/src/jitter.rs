@@ -66,7 +66,7 @@ impl GatewayJitterModel {
         })
     }
 
-    /// The calibrated defaults documented in DESIGN.md §5
+    /// The calibrated defaults (see `crate::calibration`)
     /// (σ_base = 6 µs, µ_blk = 6 µs) — these land the simulated PIAT
     /// distributions in the regimes of the paper's Fig. 4(a).
     pub fn calibrated() -> Self {

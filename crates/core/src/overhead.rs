@@ -122,7 +122,11 @@ mod tests {
     #[test]
     fn low_rate_pays_high_overhead() {
         let r = run(10.0, 30.0);
-        assert!((r.dummy_fraction - 0.9).abs() < 0.02, "{}", r.dummy_fraction);
+        assert!(
+            (r.dummy_fraction - 0.9).abs() < 0.02,
+            "{}",
+            r.dummy_fraction
+        );
         assert!((r.bandwidth_expansion - 10.0).abs() < 1.0);
         assert_eq!(r.packets_sent, r.payload_packets + r.dummy_packets);
         assert_eq!(r.payload_dropped, 0);

@@ -91,7 +91,7 @@ impl PaddingSchedule {
 
     /// A custom interval law. The law's mean must be positive.
     pub fn custom(law: Box<dyn ContinuousDist>) -> Result<Self, StatsError> {
-        if !(law.mean() > 0.0) || !law.mean().is_finite() {
+        if !law.mean().is_finite() || law.mean() <= 0.0 {
             return Err(StatsError::NonPositive {
                 what: "custom schedule mean interval",
                 value: law.mean(),

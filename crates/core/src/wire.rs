@@ -154,10 +154,7 @@ mod tests {
         let p = sample_packet();
         let frame = encode(&p);
         let short = frame.slice(0..HEADER_LEN - 1);
-        assert!(matches!(
-            decode(&short),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(decode(&short), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -1,55 +1,23 @@
-//! The discrete-event engine: event heap, dispatch loop, and the
+//! The discrete-event engine: event store, dispatch loop, and the
 //! [`Context`] handed to nodes.
 //!
 //! Events are processed in `(timestamp, sequence)` order; the sequence
 //! number is a global monotone counter, so simultaneous events fire in
 //! the order they were scheduled (FIFO tie-breaking). That rule is what
 //! makes simulations bit-for-bit deterministic.
+//!
+//! The event store is the calendar queue of [`crate::equeue`] — a slab
+//! arena plus a near/far split — rather than a `BinaryHeap`: pops are
+//! `O(1)`, pushes are an append, and ordering work happens in cache-sized
+//! sorted batches. Consecutive deliveries to the same node at the same
+//! instant are dispatched as one [`Node::on_packets`] batch, amortizing
+//! the virtual call per packet to a virtual call per burst.
 
+use crate::equeue::{Event, EventKind, EventQueue};
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::{SimDuration, SimTime};
 use linkpad_stats::rng::{MasterSeed, Xoshiro256StarStar};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// What an event does when it fires.
-#[derive(Debug)]
-enum EventKind {
-    /// Deliver a packet to the target node.
-    Deliver(Packet),
-    /// Fire a timer on the target node with the given tag.
-    Timer(u64),
-}
-
-#[derive(Debug)]
-struct HeapEntry {
-    time: SimTime,
-    seq: u64,
-    target: usize,
-    kind: EventKind,
-}
-
-// BinaryHeap is a max-heap; invert the ordering to pop earliest first.
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
 
 /// Error from [`SimBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,10 +98,14 @@ impl SimBuilder {
         let rngs = (0..nodes.len())
             .map(|i| self.seed.stream(i as u64))
             .collect();
+        // Pre-size the event arena: a handful of in-flight events per
+        // node is typical; the arena grows on demand beyond that.
+        let cap = nodes.len() * 8;
         Ok(Sim {
             nodes,
             rngs,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::with_capacity(cap),
+            deliver_buf: Vec::with_capacity(16),
             now: SimTime::ZERO,
             seq: 0,
             next_packet_id: 0,
@@ -156,7 +128,9 @@ pub struct RunStats {
 pub struct Sim {
     nodes: Vec<Box<dyn Node>>,
     rngs: Vec<Xoshiro256StarStar>,
-    heap: BinaryHeap<HeapEntry>,
+    queue: EventQueue,
+    /// Reused batch buffer for same-instant deliveries to one node.
+    deliver_buf: Vec<Packet>,
     now: SimTime,
     seq: u64,
     next_packet_id: u64,
@@ -181,20 +155,15 @@ impl Sim {
     }
 
     /// Run until the clock reaches `until` (events at exactly `until` are
-    /// processed) or the event heap drains, whichever comes first.
+    /// processed) or the event store drains, whichever comes first.
     pub fn run_until(&mut self, until: SimTime) -> RunStats {
         self.ensure_started();
         let mut events = 0u64;
-        while let Some(entry) = self.heap.peek() {
-            if entry.time > until {
-                break;
-            }
-            let entry = self.heap.pop().expect("peeked entry exists");
+        while let Some(entry) = self.queue.pop_at_or_before(until) {
             self.now = entry.time;
-            self.dispatch(entry);
-            events += 1;
+            events += self.dispatch(entry);
         }
-        // Advance the clock to the bound even if the heap drained early,
+        // Advance the clock to the bound even if the store drained early,
         // so consecutive run_until calls observe monotone time.
         if self.now < until && until != SimTime::MAX {
             self.now = until;
@@ -212,17 +181,59 @@ impl Sim {
         self.run_until(until)
     }
 
-    /// Process a single event. Returns `false` when the heap is empty.
+    /// Process a single event. Deliveries dispatch through
+    /// [`Node::on_packets`] as a one-element batch, so nodes that
+    /// implement only the batched hook behave identically under
+    /// `step()` and [`Sim::run_until`]. Returns `false` when the event
+    /// store is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        match self.heap.pop() {
+        match self.queue.pop() {
             Some(entry) => {
                 self.now = entry.time;
-                self.dispatch(entry);
+                self.dispatch_single(entry);
                 self.events_processed += 1;
                 true
             }
             None => false,
+        }
+    }
+
+    /// Dispatch one event without same-instant batching (deliveries
+    /// still go through `on_packets`, as a batch of one).
+    fn dispatch_single(&mut self, entry: Event) {
+        let target = entry.target;
+        debug_assert!(target < self.nodes.len(), "event for unknown node");
+        match entry.kind {
+            EventKind::Timer(tag) => {
+                let (node, mut ctx) = split_at(
+                    &mut self.nodes,
+                    &mut self.rngs,
+                    &mut self.queue,
+                    self.now,
+                    &mut self.seq,
+                    &mut self.next_packet_id,
+                    target,
+                );
+                node.on_timer(tag, &mut ctx);
+            }
+            EventKind::Deliver(pkt) => {
+                let mut batch = std::mem::take(&mut self.deliver_buf);
+                batch.clear();
+                batch.push(pkt);
+                let (node, mut ctx) = split_at(
+                    &mut self.nodes,
+                    &mut self.rngs,
+                    &mut self.queue,
+                    self.now,
+                    &mut self.seq,
+                    &mut self.next_packet_id,
+                    target,
+                );
+                node.on_packets(&mut batch, &mut ctx);
+                batch.clear();
+                self.deliver_buf = batch;
+            }
         }
     }
 
@@ -232,46 +243,91 @@ impl Sim {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let (node, mut ctx) = self.split_at(i);
+            let (node, mut ctx) = split_at(
+                &mut self.nodes,
+                &mut self.rngs,
+                &mut self.queue,
+                self.now,
+                &mut self.seq,
+                &mut self.next_packet_id,
+                i,
+            );
             node.on_start(&mut ctx);
         }
     }
 
-    fn dispatch(&mut self, entry: HeapEntry) {
+    /// Dispatch one popped event, batching any immediately following
+    /// deliveries for the same `(time, target)`. Returns the number of
+    /// events consumed.
+    fn dispatch(&mut self, entry: Event) -> u64 {
         let target = entry.target;
         debug_assert!(target < self.nodes.len(), "event for unknown node");
-        let (node, mut ctx) = self.split_at(target);
         match entry.kind {
-            EventKind::Deliver(pkt) => node.on_packet(pkt, &mut ctx),
-            EventKind::Timer(tag) => node.on_timer(tag, &mut ctx),
+            EventKind::Timer(tag) => {
+                let (node, mut ctx) = split_at(
+                    &mut self.nodes,
+                    &mut self.rngs,
+                    &mut self.queue,
+                    self.now,
+                    &mut self.seq,
+                    &mut self.next_packet_id,
+                    target,
+                );
+                node.on_timer(tag, &mut ctx);
+                1
+            }
+            EventKind::Deliver(pkt) => {
+                // Collect the run of same-instant deliveries to this node
+                // *before* dispatching: anything the handlers schedule
+                // gets a later seq and therefore sorts after this run, so
+                // batching cannot reorder the original event sequence.
+                let mut batch = std::mem::take(&mut self.deliver_buf);
+                batch.clear();
+                batch.push(pkt);
+                while let Some(next) = self.queue.pop_deliver_if(entry.time, target) {
+                    batch.push(next);
+                }
+                let consumed = batch.len() as u64;
+                let (node, mut ctx) = split_at(
+                    &mut self.nodes,
+                    &mut self.rngs,
+                    &mut self.queue,
+                    self.now,
+                    &mut self.seq,
+                    &mut self.next_packet_id,
+                    target,
+                );
+                node.on_packets(&mut batch, &mut ctx);
+                batch.clear();
+                self.deliver_buf = batch;
+                consumed
+            }
         }
     }
+}
 
-    /// Split borrows: the node being dispatched and a context over the
-    /// rest of the engine state (heap, clock, counters, that node's RNG).
-    fn split_at(&mut self, index: usize) -> (&mut Box<dyn Node>, Context<'_>) {
-        // `nodes` and the remaining fields are disjoint; indexing keeps
-        // the borrow to one element while Context borrows the others.
-        let Sim {
-            nodes,
-            rngs,
-            heap,
-            now,
-            seq,
-            next_packet_id,
-            ..
-        } = self;
-        let node = &mut nodes[index];
-        let ctx = Context {
-            now: *now,
-            self_id: NodeId(index),
-            rng: &mut rngs[index],
-            heap,
-            seq,
-            next_packet_id,
-        };
-        (node, ctx)
-    }
+/// Split borrows: the node being dispatched and a context over the rest
+/// of the engine state (queue, clock, counters, that node's RNG).
+#[allow(clippy::too_many_arguments)]
+fn split_at<'a>(
+    nodes: &'a mut [Box<dyn Node>],
+    rngs: &'a mut [Xoshiro256StarStar],
+    queue: &'a mut EventQueue,
+    now: SimTime,
+    seq: &'a mut u64,
+    next_packet_id: &'a mut u64,
+    index: usize,
+) -> (&'a mut Box<dyn Node>, Context<'a>) {
+    let node = &mut nodes[index];
+    let ctx = Context {
+        now,
+        self_id: NodeId(index),
+        rng: &mut rngs[index],
+        queue,
+        seq,
+        next_packet_id,
+    };
+    (node, ctx)
 }
 
 /// The engine facilities a node may use while handling an event.
@@ -280,7 +336,7 @@ pub struct Context<'a> {
     self_id: NodeId,
     /// The node's private RNG stream.
     pub rng: &'a mut Xoshiro256StarStar,
-    heap: &'a mut BinaryHeap<HeapEntry>,
+    queue: &'a mut EventQueue,
     seq: &'a mut u64,
     next_packet_id: &'a mut u64,
 }
@@ -301,12 +357,8 @@ impl Context<'_> {
         let time = self.now + delay;
         let seq = *self.seq;
         *self.seq += 1;
-        self.heap.push(HeapEntry {
-            time,
-            seq,
-            target: dst.0,
-            kind: EventKind::Deliver(packet),
-        });
+        self.queue
+            .push(time, seq, dst.0, EventKind::Deliver(packet));
     }
 
     /// Deliver `packet` to `dst` at the current timestamp (ordered after
@@ -321,12 +373,8 @@ impl Context<'_> {
         let time = self.now + delay;
         let seq = *self.seq;
         *self.seq += 1;
-        self.heap.push(HeapEntry {
-            time,
-            seq,
-            target: self.self_id.0,
-            kind: EventKind::Timer(tag),
-        });
+        self.queue
+            .push(time, seq, self.self_id.0, EventKind::Timer(tag));
     }
 
     /// Mint a new packet originating here and now, with a globally unique
@@ -341,23 +389,24 @@ impl Context<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Arc, Mutex};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Log = Rc<RefCell<Vec<(u64, String)>>>;
 
     /// Records every (time, note) it sees into a shared log.
     struct Recorder {
-        log: Arc<Mutex<Vec<(u64, String)>>>,
+        log: Log,
     }
     impl Node for Recorder {
         fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
             self.log
-                .lock()
-                .unwrap()
+                .borrow_mut()
                 .push((ctx.now().as_nanos(), format!("pkt {}", p.id)));
         }
         fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
             self.log
-                .lock()
-                .unwrap()
+                .borrow_mut()
                 .push((ctx.now().as_nanos(), format!("timer {tag}")));
         }
     }
@@ -384,8 +433,8 @@ mod tests {
         }
     }
 
-    fn logger() -> (Arc<Mutex<Vec<(u64, String)>>>, Box<Recorder>) {
-        let log = Arc::new(Mutex::new(Vec::new()));
+    fn logger() -> (Log, Box<Recorder>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
         (log.clone(), Box::new(Recorder { log }))
     }
 
@@ -424,7 +473,7 @@ mod tests {
         let stats = sim.run_until(SimTime::from_nanos(10_000));
         // 5 timer fires + 5 deliveries
         assert_eq!(stats.events, 10);
-        let log = log.lock().unwrap();
+        let log = log.borrow();
         let times: Vec<u64> = log.iter().map(|(t, _)| *t).collect();
         assert_eq!(times, vec![1000, 2000, 3000, 4000, 5000]);
     }
@@ -455,7 +504,7 @@ mod tests {
         b.add_node(Box::new(Burst { dst }));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_nanos(1_000));
-        let log = log.lock().unwrap();
+        let log = log.borrow();
         let order: Vec<String> = log.iter().map(|(_, s)| s.clone()).collect();
         assert_eq!(order, vec!["pkt 2", "pkt 0", "pkt 1", "pkt 3"]);
     }
@@ -473,10 +522,10 @@ mod tests {
         }));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_nanos(3_000));
-        assert_eq!(log.lock().unwrap().len(), 3);
+        assert_eq!(log.borrow().len(), 3);
         assert_eq!(sim.now(), SimTime::from_nanos(3_000));
         sim.run_until(SimTime::from_nanos(10_000));
-        assert_eq!(log.lock().unwrap().len(), 10);
+        assert_eq!(log.borrow().len(), 10);
     }
 
     #[test]
@@ -493,7 +542,7 @@ mod tests {
         let mut sim = b.build().unwrap();
         sim.run_for(SimDuration::from_nanos(2_500));
         sim.run_for(SimDuration::from_nanos(2_500));
-        assert_eq!(log.lock().unwrap().len(), 5); // events at 1..5 µs
+        assert_eq!(log.borrow().len(), 5); // events at 1..5 µs
         assert_eq!(sim.now(), SimTime::from_nanos(5_000));
     }
 
@@ -511,10 +560,10 @@ mod tests {
         let mut sim = b.build().unwrap();
         assert!(sim.step()); // timer 1
         assert!(sim.step()); // delivery 1
-        assert_eq!(log.lock().unwrap().len(), 1);
+        assert_eq!(log.borrow().len(), 1);
         assert!(sim.step());
         assert!(sim.step());
-        assert!(!sim.step(), "heap must drain");
+        assert!(!sim.step(), "event store must drain");
         assert_eq!(sim.events_processed(), 4);
     }
 
@@ -533,7 +582,7 @@ mod tests {
         }
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_nanos(10_000));
-        let log = log.lock().unwrap();
+        let log = log.borrow();
         let mut ids: Vec<&String> = log.iter().map(|(_, s)| s).collect();
         let before = ids.len();
         ids.sort();
@@ -556,7 +605,7 @@ mod tests {
             }));
             let mut sim = b.build().unwrap();
             sim.run_until(SimTime::from_nanos(100_000));
-            let out = log.lock().unwrap().clone();
+            let out = log.borrow().clone();
             out
         }
         assert_eq!(run(42), run(42));
@@ -569,5 +618,50 @@ mod tests {
         b.add_node(rec);
         let sim = b.build().unwrap();
         assert_eq!(sim.node_count(), 1);
+    }
+
+    #[test]
+    fn same_instant_deliveries_are_batched_into_one_call() {
+        /// Counts on_packets invocations and packets per invocation.
+        struct BatchProbe {
+            calls: Rc<RefCell<Vec<usize>>>,
+        }
+        impl Node for BatchProbe {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {
+                unreachable!("on_packets override consumes the batch");
+            }
+            fn on_packets(&mut self, packets: &mut Vec<Packet>, _ctx: &mut Context<'_>) {
+                self.calls.borrow_mut().push(packets.len());
+                packets.clear();
+            }
+        }
+        struct TripleSend {
+            dst: NodeId,
+        }
+        impl Node for TripleSend {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for _ in 0..3 {
+                    let p = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                    ctx.send_after(SimDuration::from_nanos(10), self.dst, p);
+                }
+                let p = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                ctx.send_after(SimDuration::from_nanos(20), self.dst, p);
+            }
+        }
+        let calls = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new(MasterSeed::new(9));
+        let dst = b.add_node(Box::new(BatchProbe {
+            calls: calls.clone(),
+        }));
+        b.add_node(Box::new(TripleSend { dst }));
+        let mut sim = b.build().unwrap();
+        let stats = sim.run_until(SimTime::from_nanos(100));
+        assert_eq!(stats.events, 4, "all four deliveries counted");
+        assert_eq!(
+            *calls.borrow(),
+            vec![3, 1],
+            "burst batched, straggler alone"
+        );
     }
 }

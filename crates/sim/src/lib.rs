@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod equeue;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -48,6 +49,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Context, RunStats, Sim, SimBuilder};
+pub use equeue::EventQueue;
 pub use link::Link;
 pub use node::{Node, NodeId};
 pub use packet::{FlowId, Packet, PacketKind};
@@ -56,5 +58,5 @@ pub use router::Router;
 pub use sink::{Sink, SinkHandle};
 pub use source::DistSource;
 pub use tap::{Tap, TapHandle};
-pub use trace::{PacketTrace, TraceEntry, TraceRecorder, TraceSource};
 pub use time::{SimDuration, SimTime};
+pub use trace::{PacketTrace, TraceEntry, TraceRecorder, TraceSource};

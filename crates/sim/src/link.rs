@@ -168,10 +168,17 @@ mod tests {
                 }
             }
         }
-        b.add_node(Box::new(Spaced { link: link_id, sent: 0 }));
+        b.add_node(Box::new(Spaced {
+            link: link_id,
+            sent: 0,
+        }));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_secs_f64(1.0));
-        let ns: Vec<u64> = handle.arrival_times().iter().map(|t| t.as_nanos()).collect();
+        let ns: Vec<u64> = handle
+            .arrival_times()
+            .iter()
+            .map(|t| t.as_nanos())
+            .collect();
         // 125 B at 1 Gb/s = 1 µs serialization.
         assert_eq!(ns, vec![1_001_000, 2_001_000]);
     }

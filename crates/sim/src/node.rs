@@ -18,12 +18,26 @@ impl NodeId {
 ///
 /// Nodes are single-threaded state machines driven by the engine. They
 /// react to packet deliveries and to their own timers; they never block
-/// and never see wall-clock time. `Send` is required so whole simulations
-/// can migrate to worker threads in parallel sweeps (each simulation runs
-/// on exactly one thread at a time).
-pub trait Node: Send {
+/// and never see wall-clock time. There is deliberately no `Send` bound:
+/// a simulation lives and dies on one thread (parallel sweeps construct
+/// each simulation inside its worker), which lets instrumentation handles
+/// use plain `Rc<RefCell<_>>` state instead of atomics and locks on the
+/// per-packet hot path.
+pub trait Node {
     /// A packet has arrived at this node.
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>);
+
+    /// A batch of packets has arrived at this node at the same instant
+    /// (the engine coalesces consecutive same-timestamp deliveries to
+    /// amortize virtual dispatch). The default forwards to
+    /// [`Node::on_packet`] in order; high-throughput nodes may override
+    /// to process the burst in one pass. Implementations must consume
+    /// (drain) the vector — the engine reuses the buffer.
+    fn on_packets(&mut self, packets: &mut Vec<Packet>, ctx: &mut Context<'_>) {
+        for packet in packets.drain(..) {
+            self.on_packet(packet, ctx);
+        }
+    }
 
     /// A timer previously scheduled by this node (via
     /// [`Context::schedule_timer`]) has fired. `tag` echoes the value

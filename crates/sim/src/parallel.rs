@@ -3,20 +3,29 @@
 //! Detection-rate experiments run hundreds of independent simulations
 //! (per class, per sample-size, per σ_T, per utilization point). Each
 //! simulation is single-threaded and deterministic; the sweep fans them
-//! out over scoped threads with a shared atomic work index — a minimal
-//! work-stealing-free scheduler that is plenty, since tasks are coarse
-//! (milliseconds to seconds each) and independent.
+//! out over scoped threads with **chunked work distribution**: the input
+//! is pre-split into a few chunks per worker, and workers claim whole
+//! chunks through one shared atomic counter. Compared with the previous
+//! one-item-per-channel-message queue, this touches synchronization once
+//! per chunk instead of once per item, allocates no channel nodes, and
+//! keeps each worker's items contiguous — while still load-balancing
+//! uneven task costs at chunk granularity.
 //!
 //! Results are returned **in input order** regardless of which worker ran
-//! which task, preserving the workspace-wide reproducibility guarantee.
+//! which chunk, preserving the workspace-wide reproducibility guarantee.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many chunks each worker gets on average; >1 so stragglers can be
+/// absorbed by faster workers.
+const CHUNKS_PER_WORKER: usize = 4;
 
 /// Map `f` over `items` in parallel, preserving order.
 ///
 /// Worker count defaults to `available_parallelism`, capped by the number
-/// of items. Panics in `f` are propagated to the caller (the first
-/// panicking worker's payload).
+/// of items. Panics in `f` are propagated to the caller.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -42,43 +51,56 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    // Work distribution: a pre-filled channel of (index, item) pairs acts
-    // as the shared queue; whichever worker is free pulls the next task
-    // (natural load balancing for uneven task costs). Results come back
-    // over a second channel tagged with their index so the parent can
-    // restore input order.
-    let mut result_slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        work_tx.send(pair).expect("receiver alive");
+    // Pre-split the input into chunks. Each chunk cell is taken exactly
+    // once (guarded by the claim counter), and each result cell is
+    // written exactly once; the mutexes are touched twice per chunk, so
+    // they are cold even for thousands of items.
+    let chunk_len = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    let mut work: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(n / chunk_len + 1);
+    {
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            work.push(Mutex::new(Some(chunk)));
+        }
     }
-    drop(work_tx);
+    let results: Vec<Mutex<Option<Vec<U>>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
+    let next_chunk = AtomicUsize::new(0);
 
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, U)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let work_rx = work_rx.clone();
-            let tx = tx.clone();
+            let work = &work;
+            let results = &results;
+            let next_chunk = &next_chunk;
             let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, item)) = work_rx.recv() {
-                    // The parent drains `rx` until all senders drop, so
-                    // this send can only fail after a sibling panic —
-                    // in which case the scope is unwinding anyway.
-                    let _ = tx.send((i, f(item)));
+            scope.spawn(move || loop {
+                let i = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
                 }
+                let chunk = work[i]
+                    .lock()
+                    .expect("work mutex never poisoned before take")
+                    .take()
+                    .expect("chunk claimed exactly once");
+                let out: Vec<U> = chunk.into_iter().map(f).collect();
+                *results[i].lock().expect("result mutex poisoned") = Some(out);
             });
-        }
-        drop(tx);
-        for (i, out) in rx {
-            result_slots[i] = Some(out);
         }
     });
 
-    result_slots
-        .into_iter()
-        .map(|slot| slot.expect("every index processed exactly once"))
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    for cell in results {
+        let chunk = cell
+            .into_inner()
+            .expect("result mutex poisoned")
+            .expect("every chunk produced a result");
+        out.extend(chunk);
+    }
+    out
 }
 
 /// Default worker count: `available_parallelism`, or 4 if unknown.
@@ -129,6 +151,16 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = parallel_map_with_threads(vec![5, 6], 64, |x| x * x);
         assert_eq!(out, vec![25, 36]);
+    }
+
+    #[test]
+    fn chunk_boundaries_cover_all_items() {
+        // Sizes around the chunking arithmetic's edges.
+        for n in [1usize, 2, 3, 7, 8, 9, 31, 32, 33, 100, 101] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = parallel_map_with_threads(items, 8, |x| x + 1);
+            assert_eq!(out, (1..=n).collect::<Vec<usize>>(), "n = {n}");
+        }
     }
 
     #[test]

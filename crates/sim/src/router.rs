@@ -110,10 +110,7 @@ impl Node for Router {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         if self.in_service.is_none() {
             self.start_service(packet, ctx.now(), ctx);
-        } else if self
-            .buffer_packets
-            .is_none_or(|cap| self.queue.len() < cap)
-        {
+        } else if self.buffer_packets.is_none_or(|cap| self.queue.len() < cap) {
             self.queue.push_back((packet, ctx.now()));
         } else {
             self.drops += 1;
@@ -173,10 +170,18 @@ mod tests {
         let sink_id = b.add_node(Box::new(sink));
         // 100 Mb/s: 500 B → 40 µs service.
         let r = b.add_node(Box::new(Router::new(sink_id, 100e6, SimDuration::ZERO)));
-        b.add_node(Box::new(Blaster { dst: r, n: 3, size: 500 }));
+        b.add_node(Box::new(Blaster {
+            dst: r,
+            n: 3,
+            size: 500,
+        }));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_secs_f64(1.0));
-        let ns: Vec<u64> = handle.arrival_times().iter().map(|t| t.as_nanos()).collect();
+        let ns: Vec<u64> = handle
+            .arrival_times()
+            .iter()
+            .map(|t| t.as_nanos())
+            .collect();
         assert_eq!(ns, vec![40_000, 80_000, 120_000]);
     }
 
@@ -187,7 +192,11 @@ mod tests {
         let sink_id = b.add_node(Box::new(sink));
         let router = Router::new(sink_id, 100e6, SimDuration::ZERO).with_buffer_packets(2);
         let r = b.add_node(Box::new(router));
-        b.add_node(Box::new(Blaster { dst: r, n: 10, size: 500 }));
+        b.add_node(Box::new(Blaster {
+            dst: r,
+            n: 10,
+            size: 500,
+        }));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_secs_f64(1.0));
         // 1 in service + 2 buffered survive; 7 dropped.
@@ -215,7 +224,7 @@ mod tests {
         // engine); assert observable behaviour instead: only the packet
         // that found the server idle survives. Covered further by the
         // sink-side count in `finite_buffer_tail_drops`.
-        assert_eq!(sim.events_processed() > 0, true);
+        assert!(sim.events_processed() > 0);
     }
 
     #[test]

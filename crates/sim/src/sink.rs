@@ -5,8 +5,8 @@ use crate::node::Node;
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::SimTime;
 use linkpad_stats::moments::RunningMoments;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 #[derive(Debug, Default)]
 struct SinkState {
@@ -19,29 +19,34 @@ struct SinkState {
 /// Shared read handle for a [`Sink`].
 #[derive(Debug, Clone)]
 pub struct SinkHandle {
-    state: Arc<Mutex<SinkState>>,
+    state: Rc<RefCell<SinkState>>,
 }
 
 impl SinkHandle {
     /// Number of packets absorbed.
     pub fn count(&self) -> usize {
-        self.state.lock().arrivals.len()
+        self.state.borrow().arrivals.len()
     }
 
     /// Total bytes absorbed.
     pub fn bytes(&self) -> u64 {
-        self.state.lock().bytes
+        self.state.borrow().bytes
     }
 
     /// Arrival times of all packets.
     pub fn arrival_times(&self) -> Vec<SimTime> {
-        self.state.lock().arrivals.iter().map(|&(t, _, _)| t).collect()
+        self.state
+            .borrow()
+            .arrivals
+            .iter()
+            .map(|&(t, _, _)| t)
+            .collect()
     }
 
     /// Arrival times restricted to a flow.
     pub fn arrival_times_for_flow(&self, flow: FlowId) -> Vec<SimTime> {
         self.state
-            .lock()
+            .borrow()
             .arrivals
             .iter()
             .filter(|&&(_, f, _)| f == flow)
@@ -52,7 +57,7 @@ impl SinkHandle {
     /// Count of packets of a given kind (instrumentation).
     pub fn count_kind(&self, kind: PacketKind) -> usize {
         self.state
-            .lock()
+            .borrow()
             .arrivals
             .iter()
             .filter(|&&(_, _, k)| k == kind)
@@ -61,24 +66,24 @@ impl SinkHandle {
 
     /// End-to-end latency moments (arrival time − `Packet::enqueued`).
     pub fn latency_moments(&self) -> RunningMoments {
-        self.state.lock().latency
+        self.state.borrow().latency
     }
 }
 
 /// A node that terminates traffic.
 #[derive(Debug)]
 pub struct Sink {
-    state: Arc<Mutex<SinkState>>,
+    state: Rc<RefCell<SinkState>>,
     label: String,
 }
 
 impl Sink {
     /// Create a sink and its read handle.
     pub fn new() -> (SinkHandle, Self) {
-        let state = Arc::new(Mutex::new(SinkState::default()));
+        let state = Rc::new(RefCell::new(SinkState::default()));
         (
             SinkHandle {
-                state: Arc::clone(&state),
+                state: Rc::clone(&state),
             },
             Self {
                 state,
@@ -96,7 +101,7 @@ impl Sink {
 
 impl Node for Sink {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        let mut st = self.state.lock();
+        let mut st = self.state.borrow_mut();
         st.bytes += packet.size_bytes as u64;
         st.latency
             .push(ctx.now().saturating_since(packet.enqueued).as_secs_f64());

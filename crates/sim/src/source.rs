@@ -84,8 +84,8 @@ impl Node for DistSource {
         if self.limit == Some(0) {
             return;
         }
-        let first = self.initial_delay
-            + SimDuration::from_secs_f64(self.interval.sample(ctx.rng).max(0.0));
+        let first =
+            self.initial_delay + SimDuration::from_secs_f64(self.interval.sample(ctx.rng).max(0.0));
         ctx.schedule_timer(first, 0);
     }
 

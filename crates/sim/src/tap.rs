@@ -18,8 +18,8 @@ use crate::engine::Context;
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::SimTime;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 #[derive(Debug, Default)]
 struct TapState {
@@ -30,10 +30,12 @@ struct TapState {
 }
 
 /// Shared handle for reading what a [`Tap`] captured, usable after the
-/// simulation has run (the engine owns the tap node itself).
+/// simulation has run (the engine owns the tap node itself). Simulations
+/// are single-threaded, so the handle shares state over `Rc<RefCell<_>>`
+/// — no atomics or locks on the per-packet path.
 #[derive(Debug, Clone)]
 pub struct TapHandle {
-    state: Arc<Mutex<TapState>>,
+    state: Rc<RefCell<TapState>>,
 }
 
 impl TapHandle {
@@ -41,34 +43,67 @@ impl TapHandle {
     ///
     /// This is the adversary's *entire* view of the system.
     pub fn timestamps(&self) -> Vec<SimTime> {
-        self.state.lock().timestamps.clone()
+        self.state.borrow().timestamps.clone()
+    }
+
+    /// Run `f` over the captured timestamps without cloning them.
+    pub fn with_timestamps<R>(&self, f: impl FnOnce(&[SimTime]) -> R) -> R {
+        f(&self.state.borrow().timestamps)
+    }
+
+    /// Pre-reserve capture capacity for an expected number of packets —
+    /// lets long collections avoid re-allocation mid-run.
+    pub fn reserve(&self, additional: usize) {
+        self.state.borrow_mut().timestamps.reserve(additional);
     }
 
     /// Packet inter-arrival times in seconds (consecutive differences of
     /// [`TapHandle::timestamps`]).
     pub fn piats_secs(&self) -> Vec<f64> {
-        let st = self.state.lock();
+        let st = self.state.borrow();
         st.timestamps
             .windows(2)
             .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
             .collect()
     }
 
+    /// Append `count` PIATs (seconds) into `out`, computed from the
+    /// captured timestamps starting after `warmup` packets. The reusable
+    /// output buffer lets sweep loops collect millions of samples without
+    /// per-sample allocation.
+    ///
+    /// Returns `false` (appending nothing) if fewer than
+    /// `warmup + count + 1` packets have been captured.
+    pub fn piats_window_into(&self, warmup: usize, count: usize, out: &mut Vec<f64>) -> bool {
+        let st = self.state.borrow();
+        let needed = warmup + count + 1;
+        if st.timestamps.len() < needed {
+            return false;
+        }
+        out.reserve(count);
+        out.extend(
+            st.timestamps[warmup..needed]
+                .windows(2)
+                .map(|w| w[1].saturating_since(w[0]).as_secs_f64()),
+        );
+        true
+    }
+
     /// Number of captured packets.
     pub fn count(&self) -> usize {
-        self.state.lock().timestamps.len()
+        self.state.borrow().timestamps.len()
     }
 
     /// Instrumentation only: (payload, dummy, cross) counts. Not part of
     /// the adversary's view — used by overhead accounting and tests.
     pub fn kind_counts(&self) -> (u64, u64, u64) {
-        let st = self.state.lock();
+        let st = self.state.borrow();
         (st.payload, st.dummy, st.cross)
     }
 
     /// Drop everything captured so far (e.g. to discard a warm-up phase).
     pub fn clear(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.borrow_mut();
         st.timestamps.clear();
         st.payload = 0;
         st.dummy = 0;
@@ -79,7 +114,7 @@ impl TapHandle {
 /// The tap node.
 #[derive(Debug)]
 pub struct Tap {
-    state: Arc<Mutex<TapState>>,
+    state: Rc<RefCell<TapState>>,
     /// Only packets of this flow are recorded (`None` records everything).
     filter: Option<FlowId>,
     /// Downstream node (`None` = capture-only endpoint).
@@ -91,10 +126,10 @@ impl Tap {
     /// A tap that records packets of `filter` (or all packets when
     /// `None`) and forwards everything to `next`.
     pub fn new(filter: Option<FlowId>, next: Option<NodeId>) -> (TapHandle, Self) {
-        let state = Arc::new(Mutex::new(TapState::default()));
+        let state = Rc::new(RefCell::new(TapState::default()));
         (
             TapHandle {
-                state: Arc::clone(&state),
+                state: Rc::clone(&state),
             },
             Self {
                 state,
@@ -120,7 +155,7 @@ impl Tap {
 impl Node for Tap {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         if self.filter.is_none_or(|f| packet.flow == f) {
-            let mut st = self.state.lock();
+            let mut st = self.state.borrow_mut();
             st.timestamps.push(ctx.now());
             match packet.kind {
                 PacketKind::Payload => st.payload += 1,
@@ -130,6 +165,30 @@ impl Node for Tap {
         }
         if let Some(next) = self.next {
             ctx.send_now(next, packet);
+        }
+    }
+
+    fn on_packets(&mut self, packets: &mut Vec<Packet>, ctx: &mut Context<'_>) {
+        // Burst path: one state borrow for the whole batch.
+        {
+            let mut st = self.state.borrow_mut();
+            for packet in packets.iter() {
+                if self.filter.is_none_or(|f| packet.flow == f) {
+                    st.timestamps.push(ctx.now());
+                    match packet.kind {
+                        PacketKind::Payload => st.payload += 1,
+                        PacketKind::Dummy => st.dummy += 1,
+                        PacketKind::Cross => st.cross += 1,
+                    }
+                }
+            }
+        }
+        if let Some(next) = self.next {
+            for packet in packets.drain(..) {
+                ctx.send_now(next, packet);
+            }
+        } else {
+            packets.clear();
         }
     }
 
@@ -158,7 +217,7 @@ mod tests {
             ctx.schedule_timer(SimDuration::from_millis_f64(1.0), 0);
         }
         fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
-            let (flow, kind) = if self.sent % 2 == 0 {
+            let (flow, kind) = if self.sent.is_multiple_of(2) {
                 (FlowId::PADDED, PacketKind::Dummy)
             } else {
                 (FlowId::CROSS, PacketKind::Cross)

@@ -173,7 +173,10 @@ mod tests {
     fn negative_and_nan_seconds_clamp_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-5.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -203,7 +206,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_nanos(5),
             SimTime::ZERO,
             SimTime::from_nanos(2),

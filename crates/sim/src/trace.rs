@@ -11,8 +11,8 @@ use crate::engine::Context;
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::{SimDuration, SimTime};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// One recorded packet: arrival offset from trace start, and size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,20 +80,20 @@ impl PacketTrace {
 pub struct TraceRecorder {
     flow: FlowId,
     next: Option<NodeId>,
-    state: Arc<Mutex<Vec<(SimTime, u32)>>>,
+    state: Rc<RefCell<Vec<(SimTime, u32)>>>,
 }
 
 /// Read handle for a [`TraceRecorder`].
 #[derive(Debug, Clone)]
 pub struct TraceHandle {
-    state: Arc<Mutex<Vec<(SimTime, u32)>>>,
+    state: Rc<RefCell<Vec<(SimTime, u32)>>>,
 }
 
 impl TraceHandle {
     /// Convert what was captured into a replayable [`PacketTrace`]
     /// (offsets are re-based to the first packet).
     pub fn to_trace(&self) -> PacketTrace {
-        let raw = self.state.lock();
+        let raw = self.state.borrow();
         let Some(&(t0, _)) = raw.first() else {
             return PacketTrace::default();
         };
@@ -110,17 +110,22 @@ impl TraceHandle {
 
     /// Packets captured so far.
     pub fn count(&self) -> usize {
-        self.state.lock().len()
+        self.state.borrow().len()
+    }
+
+    /// Pre-reserve capture capacity for an expected number of packets.
+    pub fn reserve(&self, additional: usize) {
+        self.state.borrow_mut().reserve(additional);
     }
 }
 
 impl TraceRecorder {
     /// Record flow `flow`, forwarding packets to `next` (if any).
     pub fn new(flow: FlowId, next: Option<NodeId>) -> (TraceHandle, Self) {
-        let state = Arc::new(Mutex::new(Vec::new()));
+        let state = Rc::new(RefCell::new(Vec::new()));
         (
             TraceHandle {
-                state: Arc::clone(&state),
+                state: Rc::clone(&state),
             },
             Self { flow, next, state },
         )
@@ -130,7 +135,7 @@ impl TraceRecorder {
 impl Node for TraceRecorder {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         if packet.flow == self.flow {
-            self.state.lock().push((ctx.now(), packet.size_bytes));
+            self.state.borrow_mut().push((ctx.now(), packet.size_bytes));
         }
         if let Some(next) = self.next {
             ctx.send_now(next, packet);
@@ -296,7 +301,11 @@ mod tests {
         ));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_secs_f64(0.1));
-        assert!(handle.count() > 20, "looped trace stalled: {}", handle.count());
+        assert!(
+            handle.count() > 20,
+            "looped trace stalled: {}",
+            handle.count()
+        );
     }
 
     #[test]

@@ -585,7 +585,11 @@ mod tests {
         let mut r = rng();
         let (m, v) = empirical_moments(&tn, &mut r, 200_000);
         assert!((m - tn.mean()).abs() < 0.01, "mean {m} vs {}", tn.mean());
-        assert!((v - tn.variance()).abs() < 0.01, "var {v} vs {}", tn.variance());
+        assert!(
+            (v - tn.variance()).abs() < 0.01,
+            "var {v} vs {}",
+            tn.variance()
+        );
     }
 
     #[test]

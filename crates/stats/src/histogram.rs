@@ -152,12 +152,9 @@ impl FixedWidthHistogram {
     pub fn density_points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let n = self.total.max(1) as f64;
         let w = self.spec.bin_width;
-        self.counts.iter().map(move |(&i, &c)| {
-            (
-                self.spec.left_edge(i) + 0.5 * w,
-                c as f64 / (n * w),
-            )
-        })
+        self.counts
+            .iter()
+            .map(move |(&i, &c)| (self.spec.left_edge(i) + 0.5 * w, c as f64 / (n * w)))
     }
 
     /// The paper's eq. 25: `Ĥ = −Σ (kᵢ/n)·ln(kᵢ/n)` in nats.
@@ -191,10 +188,7 @@ impl FixedWidthHistogram {
 
     /// Mode bin (index of the maximum count); `None` when empty.
     pub fn mode_bin(&self) -> Option<i64> {
-        self.counts
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .map(|(&i, _)| i)
+        self.counts.iter().max_by_key(|(_, &c)| c).map(|(&i, _)| i)
     }
 }
 

@@ -122,9 +122,7 @@ impl GaussianKde {
             let nearest = self.nearest_point(x);
             let z = (x - nearest) / self.bandwidth;
             const LN_INV_SQRT_2PI: f64 = -0.918_938_533_204_672_7;
-            LN_INV_SQRT_2PI
-                - 0.5 * z * z
-                - (self.points.len() as f64 * self.bandwidth).ln()
+            LN_INV_SQRT_2PI - 0.5 * z * z - (self.points.len() as f64 * self.bandwidth).ln()
         }
     }
 
@@ -185,14 +183,13 @@ pub fn silverman_bandwidth(data: &[f64]) -> Result<f64> {
     let sd = m.std_dev().unwrap_or(0.0);
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| {
-        a.partial_cmp(b).ok_or(()).map_err(|_| ()).unwrap_or(std::cmp::Ordering::Equal)
+        a.partial_cmp(b)
+            .ok_or(())
+            .map_err(|_| ())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let iqr = quantile_of_sorted(&sorted, 0.75) - quantile_of_sorted(&sorted, 0.25);
-    let spread = if iqr > 0.0 {
-        sd.min(iqr / 1.34)
-    } else {
-        sd
-    };
+    let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
     if spread <= 0.0 || !spread.is_finite() {
         return Err(StatsError::NonPositive {
             what: "data spread for silverman bandwidth",
@@ -248,7 +245,13 @@ mod tests {
         let truth = Normal::standard();
         // Tolerances widen in the tails where relative KDE error is
         // naturally larger (boundary bias + fewer kernels).
-        for &(x, tol) in &[(-2.0, 0.2), (-1.0, 0.1), (0.0, 0.1), (0.5, 0.1), (1.5, 0.15)] {
+        for &(x, tol) in &[
+            (-2.0, 0.2),
+            (-1.0, 0.1),
+            (0.0, 0.1),
+            (0.5, 0.1),
+            (1.5, 0.15),
+        ] {
             let est = kde.pdf(x);
             let want = truth.pdf(x);
             assert!(

@@ -378,7 +378,9 @@ mod tests {
     #[test]
     fn autocovariance_of_alternating_sequence() {
         // x alternates ±1: lag-0 cov = 1, lag-1 cov ≈ −1 (exactly −(n−1)/n).
-        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let c0 = autocovariance(&xs, 0).unwrap();
         let c1 = autocovariance(&xs, 1).unwrap();
         assert!((c0 - 1.0).abs() < 1e-12);

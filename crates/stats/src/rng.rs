@@ -130,10 +130,7 @@ impl RngCore for Xoshiro256StarStar {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -208,11 +205,9 @@ impl MasterSeed {
     /// e.g. replication k of a sweep gets `seed.child(k)` and then hands
     /// out per-component streams itself).
     pub fn child(&self, id: u64) -> MasterSeed {
-        MasterSeed(splitmix64_mix(
-            self.0
-                .rotate_left(23)
-                .wrapping_add(splitmix64_mix(id.wrapping_add(0xABCD_EF01_2345_6789))),
-        ))
+        MasterSeed(splitmix64_mix(self.0.rotate_left(23).wrapping_add(
+            splitmix64_mix(id.wrapping_add(0xABCD_EF01_2345_6789)),
+        )))
     }
 }
 

@@ -85,14 +85,12 @@ fn erfc_abs(x: f64) -> f64 {
         // erfc(x) = exp(−x²)/x · (1/√π − t·P(t)/Q(t)),  t = 1/x²
         const INV_SQRT_PI: f64 = 0.564_189_583_547_756_3;
         let t = 1.0 / (x * x);
-        let top = (((((ERFC_P[0] * t + ERFC_P[1]) * t + ERFC_P[2]) * t + ERFC_P[3]) * t
-            + ERFC_P[4])
-            * t)
-            + ERFC_P[5];
-        let bot = (((((ERFC_Q[0] * t + ERFC_Q[1]) * t + ERFC_Q[2]) * t + ERFC_Q[3]) * t
-            + ERFC_Q[4])
-            * t)
-            + ERFC_Q[5];
+        let top =
+            (((((ERFC_P[0] * t + ERFC_P[1]) * t + ERFC_P[2]) * t + ERFC_P[3]) * t + ERFC_P[4]) * t)
+                + ERFC_P[5];
+        let bot =
+            (((((ERFC_Q[0] * t + ERFC_Q[1]) * t + ERFC_Q[2]) * t + ERFC_Q[3]) * t + ERFC_Q[4]) * t)
+                + ERFC_Q[5];
         let frac = t * top / bot;
         z * (INV_SQRT_PI - frac) / x
     }
@@ -377,7 +375,11 @@ mod tests {
             (3.0, 0.999_977_909_503_001_4),
         ];
         for (x, want) in cases {
-            assert!(close(erf(x), want, 1e-10), "erf({x}) = {} != {want}", erf(x));
+            assert!(
+                close(erf(x), want, 1e-10),
+                "erf({x}) = {} != {want}",
+                erf(x)
+            );
             assert!(close(erf(-x), -want, 1e-10), "erf(-{x})");
         }
     }
@@ -418,7 +420,11 @@ mod tests {
         assert!(close(std_normal_cdf(1.0), 0.841_344_746_068_542_9, 1e-12));
         assert!(close(std_normal_cdf(-1.0), 0.158_655_253_931_457_07, 1e-12));
         assert!(close(std_normal_cdf(1.96), 0.975_002_104_851_780_1, 1e-12));
-        assert!(close(std_normal_cdf(-3.0), 1.349_898_031_630_094_6e-3, 1e-10));
+        assert!(close(
+            std_normal_cdf(-3.0),
+            1.349_898_031_630_094_6e-3,
+            1e-10
+        ));
     }
 
     #[test]
@@ -436,8 +442,16 @@ mod tests {
     #[test]
     fn normal_quantile_known_points() {
         assert!(std_normal_quantile(0.5).abs() < 1e-14);
-        assert!(close(std_normal_quantile(0.975), 1.959_963_984_540_054, 1e-9));
-        assert!(close(std_normal_quantile(0.99), 2.326_347_874_040_841, 1e-9));
+        assert!(close(
+            std_normal_quantile(0.975),
+            1.959_963_984_540_054,
+            1e-9
+        ));
+        assert!(close(
+            std_normal_quantile(0.99),
+            2.326_347_874_040_841,
+            1e-9
+        ));
         // Deep tail
         assert!(close(
             std_normal_quantile(1e-10),
@@ -460,10 +474,7 @@ mod tests {
         let mut fact = 1.0f64;
         for n in 1..15u32 {
             // ln Γ(n) = ln (n-1)!
-            assert!(
-                close(ln_gamma(n as f64), fact.ln(), 1e-10),
-                "lnGamma({n})"
-            );
+            assert!(close(ln_gamma(n as f64), fact.ln(), 1e-10), "lnGamma({n})");
             fact *= n as f64;
         }
     }
@@ -500,7 +511,7 @@ mod tests {
     fn incomplete_gamma_exponential_special_case() {
         // P(1, x) = 1 − e^{−x}
         for &x in &[0.1, 1.0, 3.0, 10.0] {
-            assert!(close(reg_lower_gamma(1.0, x), 1.0 - (-x as f64).exp(), 1e-12));
+            assert!(close(reg_lower_gamma(1.0, x), 1.0 - (-x).exp(), 1e-12));
         }
     }
 
@@ -508,7 +519,11 @@ mod tests {
     fn chi_square_cdf_matches_known_values() {
         // χ²(k=2) is Exp(1/2): CDF(x) = 1 − e^{−x/2}
         for &x in &[0.5, 1.0, 5.0] {
-            assert!(close(chi_square_cdf(2.0, x), 1.0 - (-x / 2.0f64).exp(), 1e-12));
+            assert!(close(
+                chi_square_cdf(2.0, x),
+                1.0 - (-x / 2.0f64).exp(),
+                1e-12
+            ));
         }
         // Median of χ²₁ ≈ 0.454936
         assert!((chi_square_cdf(1.0, 0.454_936_423_119_572_3) - 0.5).abs() < 1e-9);

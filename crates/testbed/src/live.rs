@@ -79,7 +79,7 @@ impl LiveRunReport {
 /// Spawns generator/gateway/receiver threads, waits for `count` frames,
 /// and joins everything before returning. Runtime ≈ `count × tau`.
 pub fn run_live(config: LiveConfig) -> Result<LiveRunReport, StatsError> {
-    if !(config.tau > 0.0) || !config.tau.is_finite() {
+    if !config.tau.is_finite() || config.tau <= 0.0 {
         return Err(StatsError::NonPositive {
             what: "live tau",
             value: config.tau,
@@ -132,9 +132,8 @@ pub fn run_live(config: LiveConfig) -> Result<LiveRunReport, StatsError> {
         // Gateway: the §3.2 algorithm on a real timer.
         let gw = scope.spawn(move || {
             let mut rng = MasterSeed::new(config.seed).stream(0);
-            let mut next_deadline = start + Duration::from_secs_f64(
-                schedule.next_interval_secs(&mut rng),
-            );
+            let mut next_deadline =
+                start + Duration::from_secs_f64(schedule.next_interval_secs(&mut rng));
             let mut payload_sent = 0u64;
             let mut dummy_sent = 0u64;
             for i in 0..config.count {
@@ -269,7 +268,7 @@ mod tests {
         .unwrap();
         let vit = run_live(LiveConfig {
             tau: 0.002,
-            sigma_t: 0.0005,
+            sigma_t: 0.001,
             payload_rate: 0.0,
             count: 250,
             ..Default::default()
@@ -277,14 +276,15 @@ mod tests {
         .unwrap();
         let v_cit = sample_variance(&cit.piats).unwrap();
         let v_vit = sample_variance(&vit.piats).unwrap();
-        // σ_T = 500 µs should dominate OS jitter even on noisy CI hosts
-        // (container schedulers show ~100–200 µs of ambient jitter).
+        // σ_T = 1 ms should dominate OS jitter even on noisy CI hosts
+        // (loaded single-core containers show ~300+ µs of ambient
+        // jitter, i.e. ambient variance above 1e-7).
         assert!(
             v_vit > 4.0 * v_cit,
             "VIT variance {v_vit:e} vs CIT {v_cit:e}"
         );
         // And is in the right ballpark of σ_T².
-        assert!(v_vit > 0.25 * 0.0005f64.powi(2), "v_vit {v_vit:e}");
+        assert!(v_vit > 0.25 * 0.001f64.powi(2), "v_vit {v_vit:e}");
     }
 
     #[test]

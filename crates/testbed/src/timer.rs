@@ -57,7 +57,10 @@ mod tests {
         let d = start + Duration::from_millis(5);
         let overshoot = sleep_until(d);
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(5), "woke early: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(5),
+            "woke early: {elapsed:?}"
+        );
         // Loose ceiling: CI boxes can be noisy, but 5 ms must not
         // become 50 ms.
         assert!(elapsed < Duration::from_millis(50), "elapsed {elapsed:?}");

@@ -53,7 +53,11 @@ impl BackgroundNoiseHop {
                 value: utilization,
             });
         }
-        if !(link_bps > 0.0) || !(mean_size_bytes > 0.0) {
+        if link_bps.is_nan()
+            || link_bps <= 0.0
+            || mean_size_bytes.is_nan()
+            || mean_size_bytes <= 0.0
+        {
             return Err(StatsError::NonPositive {
                 what: "background hop link/mean size",
                 value: link_bps.min(mean_size_bytes),
@@ -123,8 +127,8 @@ mod tests {
         let mut b = SimBuilder::new(MasterSeed::new(seed));
         let (handle, sink) = Sink::new();
         let sink_id = b.add_node(Box::new(sink));
-        let hop = BackgroundNoiseHop::new(sink_id, 400e6, utilization, 593.0, SimDuration::ZERO)
-            .unwrap();
+        let hop =
+            BackgroundNoiseHop::new(sink_id, 400e6, utilization, 593.0, SimDuration::ZERO).unwrap();
         let hop_id = b.add_node(Box::new(hop));
         b.add_node(Box::new(DistSource::new(
             hop_id,
@@ -145,10 +149,18 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert!(BackgroundNoiseHop::new(NodeId_test(), 400e6, 1.0, 593.0, SimDuration::ZERO).is_err());
-        assert!(BackgroundNoiseHop::new(NodeId_test(), 400e6, -0.1, 593.0, SimDuration::ZERO).is_err());
-        assert!(BackgroundNoiseHop::new(NodeId_test(), 0.0, 0.5, 593.0, SimDuration::ZERO).is_err());
-        assert!(BackgroundNoiseHop::new(NodeId_test(), 400e6, 0.0, 593.0, SimDuration::ZERO).is_ok());
+        assert!(
+            BackgroundNoiseHop::new(NodeId_test(), 400e6, 1.0, 593.0, SimDuration::ZERO).is_err()
+        );
+        assert!(
+            BackgroundNoiseHop::new(NodeId_test(), 400e6, -0.1, 593.0, SimDuration::ZERO).is_err()
+        );
+        assert!(
+            BackgroundNoiseHop::new(NodeId_test(), 0.0, 0.5, 593.0, SimDuration::ZERO).is_err()
+        );
+        assert!(
+            BackgroundNoiseHop::new(NodeId_test(), 400e6, 0.0, 593.0, SimDuration::ZERO).is_ok()
+        );
     }
 
     // Test helper: any node id works for construction-only tests.

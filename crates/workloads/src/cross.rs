@@ -27,11 +27,9 @@ impl SizeMix {
     /// Materialize the size distribution (bytes).
     pub fn law(&self) -> Result<Categorical, StatsError> {
         match self {
-            SizeMix::InternetTrimodal => Categorical::new(&[
-                (64.0, 0.40),
-                (550.0, 0.35),
-                (1500.0, 0.25),
-            ]),
+            SizeMix::InternetTrimodal => {
+                Categorical::new(&[(64.0, 0.40), (550.0, 0.35), (1500.0, 0.25)])
+            }
             SizeMix::Bulk1500 => Categorical::new(&[(1500.0, 1.0)]),
             SizeMix::Interactive64 => Categorical::new(&[(64.0, 1.0)]),
         }
@@ -60,7 +58,7 @@ pub fn cross_rate_for_utilization(
             value: utilization,
         });
     }
-    if !(link_bps > 0.0) || !(mean_size_bytes > 0.0) {
+    if link_bps.is_nan() || link_bps <= 0.0 || mean_size_bytes.is_nan() || mean_size_bytes <= 0.0 {
         return Err(StatsError::NonPositive {
             what: "link_bps / mean_size_bytes",
             value: link_bps.min(mean_size_bytes),
@@ -76,10 +74,7 @@ pub fn cross_rate_for_utilization(
 /// threshold, so the law keeps finite moments while being far more
 /// clumped than Poisson (CV² = 1/(α(α−2)) ≈ 4.8 vs 1) — scaled to the
 /// same mean rate.
-pub fn cross_interval_law(
-    rate: f64,
-    bursty: bool,
-) -> Result<Box<dyn ContinuousDist>, StatsError> {
+pub fn cross_interval_law(rate: f64, bursty: bool) -> Result<Box<dyn ContinuousDist>, StatsError> {
     if bursty {
         let alpha = 2.1;
         // Pareto mean = α·x_m/(α−1) = 1/rate  ⇒  x_m = (α−1)/(α·rate)
@@ -154,7 +149,9 @@ impl DiurnalProfile {
 
     /// Utilizations sampled at each whole hour 0..24.
     pub fn hourly(&self) -> Vec<f64> {
-        (0..24).map(|h| self.utilization_at_hour(h as f64)).collect()
+        (0..24)
+            .map(|h| self.utilization_at_hour(h as f64))
+            .collect()
     }
 }
 

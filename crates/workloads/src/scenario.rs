@@ -251,8 +251,7 @@ impl ScenarioBuilder {
                     self.size_mix.mean_bytes(),
                     SimDuration::from_secs_f64(self.hop_propagation),
                 )?;
-                next_for_padded =
-                    b.add_node(Box::new(bg.with_label(format!("bg-hop-{i}"))));
+                next_for_padded = b.add_node(Box::new(bg.with_label(format!("bg-hop-{i}"))));
                 continue;
             }
             let (_cross_sink_handle, cross_sink) = Sink::new();
@@ -368,7 +367,25 @@ impl BuiltScenario {
         count: usize,
         warmup: usize,
     ) -> Result<Vec<f64>, ScenarioError> {
+        let mut out = Vec::new();
+        self.collect_piats_into(at, count, warmup, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`BuiltScenario::collect_piats`] appending into a caller-provided
+    /// buffer, so sweep loops can reuse one allocation across samples.
+    pub fn collect_piats_into(
+        &mut self,
+        at: TapPosition,
+        count: usize,
+        warmup: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ScenarioError> {
         let needed = warmup + count + 1;
+        // Pre-size the tap's capture buffer for the whole collection so
+        // the hot path never reallocates mid-run.
+        self.tap(at)
+            .reserve(needed.saturating_sub(self.tap(at).count()));
         let mut idle_rounds = 0;
         while self.tap(at).count() < needed {
             let missing = needed - self.tap(at).count();
@@ -388,12 +405,9 @@ impl BuiltScenario {
                 idle_rounds = 0;
             }
         }
-        let stamps = self.tap(at).timestamps();
-        let window = &stamps[warmup..warmup + count + 1];
-        Ok(window
-            .windows(2)
-            .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
-            .collect())
+        let filled = self.tap(at).piats_window_into(warmup, count, out);
+        debug_assert!(filled, "collection loop guaranteed enough packets");
+        Ok(())
     }
 }
 
@@ -455,10 +469,8 @@ mod tests {
             let b = ScenarioBuilder::lab(seed)
                 .with_payload_rate(10.0)
                 .with_uniform_utilization(util);
-            sample_variance(
-                &piats_for(&b, TapPosition::ReceiverIngress, 3000, 50).unwrap(),
-            )
-            .unwrap()
+            sample_variance(&piats_for(&b, TapPosition::ReceiverIngress, 3000, 50).unwrap())
+                .unwrap()
         };
         let quiet = var_with_util(4, 0.0);
         let busy = var_with_util(5, 0.4);
@@ -471,8 +483,7 @@ mod tests {
     #[test]
     fn wan_chain_accumulates_more_noise_than_campus() {
         let var_for = |b: &ScenarioBuilder| {
-            sample_variance(&piats_for(b, TapPosition::ReceiverIngress, 2000, 50).unwrap())
-                .unwrap()
+            sample_variance(&piats_for(b, TapPosition::ReceiverIngress, 2000, 50).unwrap()).unwrap()
         };
         let campus = var_for(&ScenarioBuilder::campus(6, 0.10).with_payload_rate(10.0));
         let wan = var_for(&ScenarioBuilder::wan(7, 0.40).with_payload_rate(10.0));

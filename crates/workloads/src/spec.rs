@@ -35,7 +35,7 @@ impl PayloadSpec {
     pub fn interval_law(&self) -> Result<Box<dyn ContinuousDist>, StatsError> {
         match *self {
             PayloadSpec::Cbr { rate } => {
-                if !(rate > 0.0) || !rate.is_finite() {
+                if !rate.is_finite() || rate <= 0.0 {
                     return Err(StatsError::NonPositive {
                         what: "payload rate",
                         value: rate,
@@ -192,7 +192,9 @@ mod tests {
             .to_schedule(tau)
             .unwrap();
         assert!((v.sigma_t() - 1e-3).abs() < 1e-9);
-        assert!(ScheduleSpec::VitUniform { sigma_t: 2e-3 }.to_schedule(tau).is_ok());
+        assert!(ScheduleSpec::VitUniform { sigma_t: 2e-3 }
+            .to_schedule(tau)
+            .is_ok());
         assert!(ScheduleSpec::VitExponential.to_schedule(tau).is_ok());
     }
 

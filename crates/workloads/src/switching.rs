@@ -11,8 +11,8 @@ use linkpad_sim::engine::Context;
 use linkpad_sim::node::{Node, NodeId};
 use linkpad_sim::packet::{FlowId, PacketKind};
 use linkpad_sim::time::{SimDuration, SimTime};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 const EMIT: u64 = 0;
 const SWITCH: u64 = 1;
@@ -20,18 +20,18 @@ const SWITCH: u64 = 1;
 /// Ground-truth log of rate intervals.
 #[derive(Debug, Clone)]
 pub struct RateLog {
-    inner: Arc<Mutex<Vec<(SimTime, f64)>>>,
+    inner: Rc<RefCell<Vec<(SimTime, f64)>>>,
 }
 
 impl RateLog {
     /// `(switch time, rate-from-then-on)` entries, in order.
     pub fn entries(&self) -> Vec<(SimTime, f64)> {
-        self.inner.lock().clone()
+        self.inner.borrow().clone()
     }
 
     /// The rate in force at time `t` (`None` before the first entry).
     pub fn rate_at(&self, t: SimTime) -> Option<f64> {
-        let entries = self.inner.lock();
+        let entries = self.inner.borrow();
         entries
             .iter()
             .rev()
@@ -47,7 +47,7 @@ pub struct SwitchingSource {
     dwell: SimDuration,
     active: usize,
     packet_size: u32,
-    log: Arc<Mutex<Vec<(SimTime, f64)>>>,
+    log: Rc<RefCell<Vec<(SimTime, f64)>>>,
 }
 
 impl SwitchingSource {
@@ -56,15 +56,20 @@ impl SwitchingSource {
     ///
     /// # Panics
     /// Panics if either rate is non-positive (configuration constant).
-    pub fn new(dst: NodeId, rates: [f64; 2], dwell: SimDuration, packet_size: u32) -> (RateLog, Self) {
+    pub fn new(
+        dst: NodeId,
+        rates: [f64; 2],
+        dwell: SimDuration,
+        packet_size: u32,
+    ) -> (RateLog, Self) {
         assert!(
             rates.iter().all(|r| r.is_finite() && *r > 0.0),
             "switching rates must be positive"
         );
-        let log = Arc::new(Mutex::new(Vec::new()));
+        let log = Rc::new(RefCell::new(Vec::new()));
         (
             RateLog {
-                inner: Arc::clone(&log),
+                inner: Rc::clone(&log),
             },
             Self {
                 dst,
@@ -86,7 +91,9 @@ impl Node for SwitchingSource {
     fn on_packet(&mut self, _p: linkpad_sim::packet::Packet, _ctx: &mut Context<'_>) {}
 
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.log.lock().push((ctx.now(), self.rates[self.active]));
+        self.log
+            .borrow_mut()
+            .push((ctx.now(), self.rates[self.active]));
         ctx.schedule_timer(self.interval(), EMIT);
         ctx.schedule_timer(self.dwell, SWITCH);
     }
@@ -100,7 +107,9 @@ impl Node for SwitchingSource {
             }
             SWITCH => {
                 self.active = 1 - self.active;
-                self.log.lock().push((ctx.now(), self.rates[self.active]));
+                self.log
+                    .borrow_mut()
+                    .push((ctx.now(), self.rates[self.active]));
                 ctx.schedule_timer(self.dwell, SWITCH);
             }
             other => debug_assert!(false, "unknown timer tag {other}"),
@@ -124,12 +133,8 @@ mod tests {
         let mut b = SimBuilder::new(MasterSeed::new(1));
         let (sink_handle, sink) = Sink::new();
         let sink_id = b.add_node(Box::new(sink));
-        let (log, src) = SwitchingSource::new(
-            sink_id,
-            [10.0, 40.0],
-            SimDuration::from_secs_f64(5.0),
-            500,
-        );
+        let (log, src) =
+            SwitchingSource::new(sink_id, [10.0, 40.0], SimDuration::from_secs_f64(5.0), 500);
         b.add_node(Box::new(src));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_secs_f64(10.0));
@@ -148,12 +153,8 @@ mod tests {
         let mut b = SimBuilder::new(MasterSeed::new(2));
         let (_h, sink) = Sink::new();
         let sink_id = b.add_node(Box::new(sink));
-        let (log, src) = SwitchingSource::new(
-            sink_id,
-            [10.0, 40.0],
-            SimDuration::from_secs_f64(2.0),
-            500,
-        );
+        let (log, src) =
+            SwitchingSource::new(sink_id, [10.0, 40.0], SimDuration::from_secs_f64(2.0), 500);
         b.add_node(Box::new(src));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_secs_f64(7.0));

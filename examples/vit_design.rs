@@ -52,7 +52,9 @@ fn main() {
         train_samples: 50,
         test_samples: 30,
     };
-    let schedule = ScheduleSpec::VitTruncatedNormal { sigma_t: rec.sigma_t };
+    let schedule = ScheduleSpec::VitTruncatedNormal {
+        sigma_t: rec.sigma_t,
+    };
     let low = ScenarioBuilder::lab(11)
         .with_payload_rate(10.0)
         .with_schedule(schedule);

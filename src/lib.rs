@@ -36,8 +36,9 @@
 //! assert!(report.detection_rate() >= 0.5);
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and the per-figure
-//! experiment index, and `EXPERIMENTS.md` for reproduction results.
+//! See `DESIGN.md` (workspace root) for the system inventory and the
+//! per-figure experiment index, and `BENCH_1.json` for the recorded
+//! performance baseline.
 
 #![forbid(unsafe_code)]
 
@@ -64,10 +65,10 @@ pub use linkpad_testbed as testbed;
 
 /// The names almost every program wants.
 pub mod prelude {
+    pub use linkpad_adversary::classifier::KdeBayes;
     pub use linkpad_adversary::feature::{
         Feature, MedianAbsDev, SampleEntropy, SampleMean, SampleVariance,
     };
-    pub use linkpad_adversary::classifier::KdeBayes;
     pub use linkpad_adversary::pipeline::{DetectionReport, DetectionStudy};
     pub use linkpad_analytic::guidelines::{DesignGuideline, DesignInput};
     pub use linkpad_analytic::planning::{required_sample_size, FeatureKind};
@@ -83,9 +84,7 @@ pub mod prelude {
     pub use linkpad_sim::time::{SimDuration, SimTime};
     pub use linkpad_stats::rng::MasterSeed;
     pub use linkpad_testbed::live::{run_live, LiveConfig};
-    pub use linkpad_workloads::scenario::{
-        piats_for, BuiltScenario, ScenarioBuilder, TapPosition,
-    };
-    pub use linkpad_workloads::spec::{HopSpec, PayloadSpec, ScheduleSpec};
     pub use linkpad_workloads::cross::DiurnalProfile;
+    pub use linkpad_workloads::scenario::{piats_for, BuiltScenario, ScenarioBuilder, TapPosition};
+    pub use linkpad_workloads::spec::{HopSpec, PayloadSpec, ScheduleSpec};
 }

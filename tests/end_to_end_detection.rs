@@ -3,7 +3,7 @@
 //! detection rate).
 //!
 //! Budgets are kept small enough for debug-mode CI; the full-budget
-//! numbers live in the benches and EXPERIMENTS.md.
+//! numbers live in the benches (see DESIGN.md's per-figure index).
 
 use linkpad::adversary::pipeline::DetectionStudy;
 use linkpad::prelude::*;
@@ -159,6 +159,12 @@ fn wan_hides_more_than_campus() {
     };
     let campus = rate_for(ScenarioBuilder::campus, 0.10, (19, 20));
     let wan = rate_for(ScenarioBuilder::wan, 0.45, (21, 22));
-    assert!(campus > 0.8, "campus daytime should stay detectable: {campus}");
-    assert!(wan < campus - 0.15, "WAN must hide more: campus {campus}, wan {wan}");
+    assert!(
+        campus > 0.8,
+        "campus daytime should stay detectable: {campus}"
+    );
+    assert!(
+        wan < campus - 0.15,
+        "WAN must hide more: campus {campus}, wan {wan}"
+    );
 }

@@ -24,9 +24,7 @@ fn three_rate_classification_beats_chance_and_orders_sanely() {
         let b = ScenarioBuilder::lab(90 + i as u64).with_payload_rate(rate);
         streams.push(piats_for(&b, TapPosition::SenderEgress, study.piats_needed(), 64).unwrap());
     }
-    let report = study
-        .run(&SampleEntropy::calibrated(), &streams)
-        .unwrap();
+    let report = study.run(&SampleEntropy::calibrated(), &streams).unwrap();
     let v = report.detection_rate();
     // Chance for three equiprobable classes is 1/3. The middle class is
     // genuinely confusable with both neighbours (r ≈ 1.2 per pair), so

@@ -11,7 +11,10 @@ fn padding_preserves_payload_delivery_and_bounds_delay() {
     s.run_for_secs(30.0);
     // All payload delivered (minus in-flight at the boundary).
     let delivered = s.receiver.payload_delivered();
-    assert!((1195..=1200).contains(&delivered), "delivered = {delivered}");
+    assert!(
+        (1195..=1200).contains(&delivered),
+        "delivered = {delivered}"
+    );
     assert_eq!(s.receiver.unexpected(), 0);
     // Padding delay bound: a stable CIT queue holds payload at most ~τ.
     let e2e = s.receiver.end_to_end_delay_moments();
@@ -110,12 +113,8 @@ fn switching_source_ground_truth_is_queryable() {
     let mut b = SimBuilder::new(MasterSeed::new(77));
     let (_h, sink) = Sink::new();
     let sink_id = b.add_node(Box::new(sink));
-    let (log, src) = SwitchingSource::new(
-        sink_id,
-        [10.0, 40.0],
-        SimDuration::from_secs_f64(3.0),
-        500,
-    );
+    let (log, src) =
+        SwitchingSource::new(sink_id, [10.0, 40.0], SimDuration::from_secs_f64(3.0), 500);
     b.add_node(Box::new(src));
     let mut sim = b.build().unwrap();
     sim.run_until(SimTime::from_secs_f64(10.0));

@@ -31,8 +31,16 @@ fn live_vit_intervals_follow_the_designed_law() {
     // jitter the host is suffering right now (CI boxes can be saturated,
     // inflating OS noise by orders of magnitude). The designed VIT
     // variance must show up *on top of* that baseline; no absolute upper
-    // bound is assertable on a shared machine.
-    let sigma_t = 400e-6;
+    // bound is assertable on a shared machine. σ_T is set well above the
+    // worst ambient jitter observed on loaded single-core containers
+    // (~350 µs) so the designed component dominates the noise floor.
+    let sigma_t = 1e-3;
+    // Trimmed variance: a single multi-millisecond scheduler stall in a
+    // 250-packet capture (routine while the test harness still compiles
+    // sibling crates) adds ~4e-7 to a plain variance estimate — the same
+    // order as the effect under test. Dropping the extreme 2% of PIATs
+    // on each side removes stall artifacts while keeping most of the
+    // designed truncated-normal spread.
     let capture = |sigma_t: f64, seed: u64| {
         let report = run_live(LiveConfig {
             tau: 0.002,
@@ -43,7 +51,10 @@ fn live_vit_intervals_follow_the_designed_law() {
             seed,
         })
         .unwrap();
-        linkpad::stats::moments::sample_variance(&report.piats).unwrap()
+        let mut piats = report.piats;
+        piats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let trim = piats.len() / 50;
+        linkpad::stats::moments::sample_variance(&piats[trim..piats.len() - trim]).unwrap()
     };
     let cit_var = capture(0.0, 1);
     let vit_var = capture(sigma_t, 2);
@@ -53,7 +64,7 @@ fn live_vit_intervals_follow_the_designed_law() {
         "live VIT PIAT variance {vit_var:e} lost the designed component {designed:.1e}"
     );
     assert!(
-        vit_var > cit_var + 0.3 * designed,
+        vit_var > cit_var + 0.25 * designed,
         "VIT must add ≥ ~σ_T² over the CIT baseline: cit {cit_var:e}, vit {vit_var:e}"
     );
 }

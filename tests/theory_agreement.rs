@@ -18,11 +18,7 @@ fn empirical(feature: &dyn Feature, n: usize, seeds: (u64, u64)) -> (f64, f64) {
     let high = ScenarioBuilder::lab(seeds.1).with_payload_rate(40.0);
     let pl = piats_for(&low, TapPosition::SenderEgress, study.piats_needed(), 64).unwrap();
     let ph = piats_for(&high, TapPosition::SenderEgress, study.piats_needed(), 64).unwrap();
-    let r = empirical_r(
-        sample_variance(&pl).unwrap(),
-        sample_variance(&ph).unwrap(),
-    )
-    .unwrap();
+    let r = empirical_r(sample_variance(&pl).unwrap(), sample_variance(&ph).unwrap()).unwrap();
     let v = study.run(feature, &[pl, ph]).unwrap().detection_rate();
     (v, r)
 }
