@@ -47,8 +47,10 @@ fn main() {
         let high = ScenarioBuilder::lab(920)
             .with_payload_rate(40.0)
             .with_discipline(disc);
-        let m = detection_for(&low, &high, at, &SampleMean, 1000, budget);
-        let v = detection_for(&low, &high, at, &SampleVariance, 1000, budget);
+        let m =
+            detection_for(&low, &high, at, &SampleMean, 1000, budget).expect("ablation detection");
+        let v = detection_for(&low, &high, at, &SampleVariance, 1000, budget)
+            .expect("ablation detection");
         t1.row(vec![
             name.to_string(),
             fmt_rate(m.detection_rate()),
@@ -78,8 +80,10 @@ fn main() {
         let high = ScenarioBuilder::lab(940)
             .with_payload_rate(40.0)
             .with_schedule(spec);
-        let v = detection_for(&low, &high, at, &SampleVariance, 2000, budget);
-        let e = detection_for(&low, &high, at, &SampleEntropy::calibrated(), 2000, budget);
+        let v = detection_for(&low, &high, at, &SampleVariance, 2000, budget)
+            .expect("ablation detection");
+        let e = detection_for(&low, &high, at, &SampleEntropy::calibrated(), 2000, budget)
+            .expect("ablation detection");
         t2.row(vec![
             name.to_string(),
             fmt_rate(v.detection_rate()),
@@ -99,7 +103,7 @@ fn main() {
     let high = ScenarioBuilder::lab(960).with_payload_rate(40.0);
     for &w in &[0.5e-6, 1e-6, 2e-6, 5e-6, 20e-6] {
         let feature = SampleEntropy::with_bin_width(w).unwrap();
-        let e = detection_for(&low, &high, at, &feature, 1000, budget);
+        let e = detection_for(&low, &high, at, &feature, 1000, budget).expect("ablation detection");
         t3.row(vec![
             format!("{:.1}", w * 1e6),
             fmt_rate(e.detection_rate()),
@@ -119,8 +123,8 @@ fn main() {
         test_samples: budget.test,
     };
     let needed = study.piats_needed();
-    let mut piats_low = collect_piats_parallel(&low, at, needed, n);
-    let mut piats_high = collect_piats_parallel(&high, at, needed, n);
+    let mut piats_low = collect_piats_parallel(&low, at, needed, n).expect("ablation collection");
+    let mut piats_high = collect_piats_parallel(&high, at, needed, n).expect("ablation collection");
     let mut rng = MasterSeed::new(7777).stream(0);
     let mut contaminate = |xs: &mut Vec<f64>| {
         let count = xs.len() / 200; // 0.5% of observations
@@ -174,7 +178,8 @@ fn main() {
             &SampleVariance,
             1000,
             budget,
-        );
+        )
+        .expect("ablation detection");
         let e = detection_for(
             &low,
             &high,
@@ -182,7 +187,8 @@ fn main() {
             &SampleEntropy::calibrated(),
             1000,
             budget,
-        );
+        )
+        .expect("ablation detection");
         t5.row(vec![
             name.to_string(),
             fmt_rate(v.detection_rate()),

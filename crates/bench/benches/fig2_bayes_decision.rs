@@ -22,8 +22,8 @@ fn main() {
     let needed = budget.samples() * n;
     let low = ScenarioBuilder::lab(21).with_payload_rate(10.0);
     let high = ScenarioBuilder::lab(22).with_payload_rate(40.0);
-    let piats_low = collect_piats_parallel(&low, at, needed, n);
-    let piats_high = collect_piats_parallel(&high, at, needed, n);
+    let piats_low = collect_piats_parallel(&low, at, needed, n).expect("fig2 collection");
+    let piats_high = collect_piats_parallel(&high, at, needed, n).expect("fig2 collection");
 
     let f_low = features_from_piats(&feature, &piats_low, n).unwrap();
     let f_high = features_from_piats(&feature, &piats_high, n).unwrap();

@@ -22,8 +22,8 @@ fn main() {
     let at = TapPosition::SenderEgress;
 
     // ---- Part (a): PIAT PDFs -------------------------------------------
-    let piats_low = collect_piats_parallel(&low, at, 60_000, 1);
-    let piats_high = collect_piats_parallel(&high, at, 60_000, 1);
+    let piats_low = collect_piats_parallel(&low, at, 60_000, 1).expect("fig4 collection");
+    let piats_high = collect_piats_parallel(&high, at, 60_000, 1).expect("fig4 collection");
     let mean_l = sample_mean(&piats_low).unwrap();
     let mean_h = sample_mean(&piats_high).unwrap();
     let var_l = sample_variance(&piats_low).unwrap();
@@ -84,7 +84,7 @@ fn main() {
     for &n in &[100usize, 200, 400, 700, 1000, 1400, 2000] {
         let mut cells = vec![n.to_string()];
         let refs: Vec<&dyn Feature> = features.iter().map(|(_, f)| f.as_ref()).collect();
-        let reports = detection_multi(&low, &high, at, &refs, n, budget);
+        let reports = detection_multi(&low, &high, at, &refs, n, budget).expect("fig4 detection");
         for ((name, _), report) in features.iter().zip(&reports) {
             let theory = match *name {
                 "mean" => theorems::detection_rate_mean(r).unwrap(),

@@ -45,8 +45,10 @@ fn main() {
             .with_schedule(schedule);
         let var_feature: Box<dyn Feature> = Box::new(SampleVariance);
         let ent_feature: Box<dyn Feature> = Box::new(SampleEntropy::calibrated());
-        let v = detection_for(&low, &high, at, var_feature.as_ref(), n, budget);
-        let e = detection_for(&low, &high, at, ent_feature.as_ref(), n, budget);
+        let v = detection_for(&low, &high, at, var_feature.as_ref(), n, budget)
+            .expect("fig5 detection");
+        let e = detection_for(&low, &high, at, ent_feature.as_ref(), n, budget)
+            .expect("fig5 detection");
         table.row(vec![
             format!("{:.3}", sigma_t * 1e3),
             fmt_rate(v.detection_rate()),

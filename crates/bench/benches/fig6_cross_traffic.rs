@@ -41,7 +41,7 @@ fn main() {
         ];
         let refs: Vec<&dyn Feature> = features.iter().map(|f| f.as_ref()).collect();
         let mut cells = vec![format!("{util:.2}")];
-        for report in detection_multi(&low, &high, at, &refs, n, budget) {
+        for report in detection_multi(&low, &high, at, &refs, n, budget).expect("fig6 detection") {
             cells.push(fmt_rate(report.detection_rate()));
         }
         table.row(cells);

@@ -38,7 +38,7 @@ fn run_day(
         ];
         let refs: Vec<&dyn Feature> = features.iter().map(|f| f.as_ref()).collect();
         let mut cells = vec![format!("{hour:02}:00"), format!("{util:.3}")];
-        for report in detection_multi(&low, &high, at, &refs, n, budget) {
+        for report in detection_multi(&low, &high, at, &refs, n, budget).expect("fig8 detection") {
             cells.push(fmt_rate(report.detection_rate()));
         }
         table.row(cells);

@@ -1,0 +1,99 @@
+//! CI regression gate: diff the two newest `BENCH_N.json` baselines and
+//! fail on any >10 % regression of a directional metric.
+//!
+//! Usage:
+//! * `bench_compare` — auto-discover the two highest-numbered
+//!   `BENCH_N.json` files at the workspace root.
+//! * `bench_compare <prev.json> <new.json>` — compare two explicit files.
+//! * `BENCH_COMPARE_THRESHOLD=0.15` overrides the regression threshold.
+//!
+//! Exit code 0 = no regression (or only one baseline exists yet),
+//! 1 = at least one metric regressed beyond the threshold,
+//! 2 = usage/parse error.
+
+use linkpad_bench::compare::{compare_reports, latest_two_baselines, Json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn load(path: &PathBuf) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let threshold: f64 = std::env::var("BENCH_COMPARE_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.10);
+
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let (prev_path, new_path) = match args.as_slice() {
+        [] => {
+            // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+            let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+            match latest_two_baselines(&root) {
+                Some(pair) => pair,
+                None => {
+                    println!(
+                        "bench_compare: fewer than two BENCH_N.json baselines; nothing to compare"
+                    );
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+        [prev, new] => (prev.clone(), new.clone()),
+        _ => {
+            eprintln!("usage: bench_compare [<prev.json> <new.json>]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (prev, new) = match (load(&prev_path), load(&new_path)) {
+        (Ok(p), Ok(n)) => (p, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_compare: {} → {} (threshold {:.0}%)",
+        prev_path.display(),
+        new_path.display(),
+        threshold * 100.0
+    );
+    let comparisons = compare_reports(&prev, &new);
+    if comparisons.is_empty() {
+        println!("  no shared directional metrics — nothing to gate");
+        return ExitCode::SUCCESS;
+    }
+    let mut regressed = false;
+    for c in &comparisons {
+        let verdict = if c.regressed_beyond(threshold) {
+            regressed = true;
+            "REGRESSED"
+        } else if c.change < 0.0 {
+            "ok (within threshold)"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<60} {:>14.4} → {:>14.4}  {:+6.1}%  {verdict}",
+            c.metric,
+            c.prev,
+            c.new,
+            c.change * 100.0
+        );
+    }
+    if regressed {
+        eprintln!(
+            "bench_compare: FAIL — at least one metric regressed more than {:.0}%",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: OK");
+        ExitCode::SUCCESS
+    }
+}

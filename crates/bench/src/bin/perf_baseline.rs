@@ -1,15 +1,22 @@
 //! Perf baseline: measures raw engine throughput (events/sec) against a
-//! `BinaryHeap` reference event loop, plus a representative sweep
-//! wall-clock, and writes `BENCH_1.json` at the workspace root so later
-//! PRs have a recorded trajectory.
+//! `BinaryHeap` reference event loop — on the classic timer microbench
+//! *and* on the aggregate-trunk workload — plus scenario-reset setup
+//! cost and a representative sweep wall-clock, and writes `BENCH_2.json`
+//! at the workspace root so later PRs have a recorded trajectory
+//! (`bench_compare` diffs consecutive baselines in CI).
 //!
 //! Run from anywhere in the workspace:
 //! `cargo run --release -p linkpad-bench --bin perf_baseline`
 
 use linkpad_bench::perf::{
-    heap_reference_events_per_sec, sim_events_per_sec, sweep_wall_clock_secs,
+    aggregate_scenario_events_per_sec, aggregate_trunk_events_per_sec,
+    heap_reference_aggregate_events_per_sec, heap_reference_events_per_sec, reset_vs_rebuild,
+    sim_events_per_sec, sweep_wall_clock_secs,
 };
 use std::io::Write;
+
+/// Sequence number of the baseline this binary writes.
+const BASELINE: u32 = 2;
 
 fn main() {
     // Sized so the run takes a few seconds in release mode; override with
@@ -32,29 +39,105 @@ fn main() {
         }
     };
 
+    // Burn a few seconds of CPU before the first measurement: an idle
+    // container's first heavy load reads 20-30% low (frequency ramp,
+    // cold caches), which would poison cross-baseline comparisons.
+    eprintln!("warming up...");
+    let warm_start = std::time::Instant::now();
+    while warm_start.elapsed().as_secs_f64() < 3.0 {
+        let _ = sim_events_per_sec(1_000_000, 4_096);
+    }
+
     let mut shape_entries = Vec::new();
     for pending in shapes {
         eprintln!("measuring engine vs heap reference ({events} events, {pending} pending)...");
-        let engine = sim_events_per_sec(events, pending);
-        let heap = heap_reference_events_per_sec(events, pending);
+        // Five paired runs; each *recorded* metric independently takes
+        // the top of its own noise band (engine/heap throughput carry
+        // 20-30% dips from cold starts and hypervisor-level neighbor
+        // load, the paired ratio ±8% run-to-run noise). Every baseline
+        // therefore estimates the same quantity — per-metric best over
+        // 5 — so the regression gate compares like with like; the
+        // recorded speedup is the best *paired* ratio, not engine/heap
+        // of the recorded throughputs.
+        let (mut engine, mut heap, mut speedup) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..5 {
+            let e = sim_events_per_sec(events, pending);
+            let h = heap_reference_events_per_sec(events, pending);
+            engine = engine.max(e);
+            heap = heap.max(h);
+            speedup = speedup.max(e / h);
+        }
         eprintln!(
-            "  pending {pending}: engine {engine:.0} ev/s, reference {heap:.0} ev/s, {:.2}x",
-            engine / heap
+            "  pending {pending}: engine {engine:.0} ev/s, reference {heap:.0} ev/s, {speedup:.2}x"
         );
         shape_entries.push(format!(
             "    {{ \"pending\": {pending}, \"engine_events_per_sec\": {engine:.0}, \
-\"heap_reference_events_per_sec\": {heap:.0}, \"speedup_vs_heap\": {:.2} }}",
-            engine / heap
+\"heap_reference_events_per_sec\": {heap:.0}, \"speedup_vs_heap\": {speedup:.2} }}"
         ));
     }
 
+    // Aggregate trunk: the store-bound regime as a scenario-shaped
+    // workload (10k gateway flows, ×10 long-haul trunk → ~110k pending).
+    let flows = 10_000;
+    eprintln!("measuring aggregate trunk ({events} events, {flows} flows)...");
+    let trunk_best = |f: &dyn Fn() -> linkpad_bench::perf::TrunkMeasurement| {
+        let (a, b) = (f(), f());
+        if a.events_per_sec >= b.events_per_sec {
+            a
+        } else {
+            b
+        }
+    };
+    let trunk_engine = trunk_best(&|| aggregate_trunk_events_per_sec(events, flows));
+    let trunk_heap = trunk_best(&|| heap_reference_aggregate_events_per_sec(events, flows));
+    let trunk_speedup = trunk_engine.events_per_sec / trunk_heap.events_per_sec;
+    eprintln!(
+        "  {} pending: engine {:.0} ev/s, reference {:.0} ev/s ({} pending), {trunk_speedup:.2}x",
+        trunk_engine.pending,
+        trunk_engine.events_per_sec,
+        trunk_heap.events_per_sec,
+        trunk_heap.pending,
+    );
+    eprintln!("measuring full aggregate scenario ({flows} gateway pairs)...");
+    let scenario = trunk_best(&|| aggregate_scenario_events_per_sec(flows, 1.0));
+    eprintln!(
+        "  scenario: {:.0} ev/s at {} pending",
+        scenario.events_per_sec, scenario.pending
+    );
+
+    eprintln!("measuring scenario reset vs rebuild (lab sweep unit)...");
+    let reset = reset_vs_rebuild(200, 400);
+    eprintln!(
+        "  build {:.1} µs vs reset {:.2} µs per replication ({:.1}x); sweep {:.3} s → {:.3} s",
+        reset.build_us,
+        reset.reset_us,
+        reset.setup_speedup(),
+        reset.sweep_rebuild_secs,
+        reset.sweep_reset_secs,
+    );
+
     eprintln!("measuring lab-scenario sweep wall-clock (40k PIATs x 2 classes)...");
-    let sweep = sweep_wall_clock_secs(40_000);
+    // The sweep unit is only ~30 ms, so relative noise is the worst of
+    // any recorded metric: warm the scenario path, then take min-of-5.
+    let _ = sweep_wall_clock_secs(4_000);
+    let sweep = (0..5)
+        .map(|_| sweep_wall_clock_secs(40_000))
+        .fold(f64::INFINITY, f64::min);
     eprintln!("  sweep: {sweep:.3} s");
 
     let json = format!(
-        "{{\n  \"schema\": \"linkpad-bench-baseline-v2\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
-        shape_entries.join(",\n")
+        "{{\n  \"schema\": \"linkpad-bench-baseline-v3\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
+        shape_entries.join(",\n"),
+        trunk_engine.pending,
+        trunk_engine.events_per_sec,
+        trunk_heap.events_per_sec,
+        scenario.pending,
+        scenario.events_per_sec,
+        reset.build_us,
+        reset.reset_us,
+        reset.setup_speedup(),
+        reset.sweep_rebuild_secs,
+        reset.sweep_reset_secs,
     );
 
     // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
@@ -62,9 +145,9 @@ fn main() {
         .join("../..")
         .canonicalize()
         .expect("workspace root resolves");
-    let path = root.join("BENCH_1.json");
-    let mut f = std::fs::File::create(&path).expect("create BENCH_1.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_1.json");
+    let path = root.join(format!("BENCH_{BASELINE}.json"));
+    let mut f = std::fs::File::create(&path).expect("create baseline file");
+    f.write_all(json.as_bytes()).expect("write baseline file");
     println!("{json}");
     println!("wrote {}", path.display());
 }

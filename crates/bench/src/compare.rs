@@ -1,0 +1,500 @@
+//! Baseline comparison: diff two `BENCH_N.json` reports and flag
+//! throughput regressions.
+//!
+//! Every PR that touches performance records a new `BENCH_N.json` at the
+//! workspace root (via `perf_baseline`). CI runs the `bench_compare`
+//! binary, which loads the two highest-numbered baselines, matches their
+//! shared numeric metrics, and **fails on any >10 % regression** of a
+//! directional metric. Direction is inferred from the metric name:
+//!
+//! * higher is better — `*_per_sec`, `*speedup*`
+//! * lower is better — `*_secs`, `*_us`, `*wall_clock*`
+//! * everything else (counts, shape parameters like `pending`/`flows`)
+//!   is context, not compared.
+//!
+//! The workspace has no JSON dependency (offline builds), so this module
+//! carries a minimal recursive-descent parser covering the subset the
+//! baseline files use: objects, arrays, strings, numbers, booleans and
+//! null. Array elements that are objects are matched across files by
+//! their `pending`/`flows` discriminator when present (so re-ordering or
+//! extending the shape list never mis-pairs entries), by index otherwise.
+
+use std::path::{Path, PathBuf};
+
+/// A parsed JSON value (minimal subset; see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A number (all JSON numbers are read as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Look up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || b"-+.eE".contains(&c))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    // Baseline files only ever need the simple escapes.
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] found {other:?}")),
+            }
+        }
+    }
+}
+
+/// Keys that identify an array-of-objects element across reports.
+const DISCRIMINATORS: [&str; 2] = ["pending", "flows"];
+
+/// Flatten numeric leaves to `(path, value)` pairs.
+fn flatten(json: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match json {
+        Json::Num(x) => out.push((prefix.to_string(), *x)),
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let tag = DISCRIMINATORS
+                    .iter()
+                    .find_map(|d| {
+                        item.get(d)
+                            .and_then(Json::as_f64)
+                            .map(|x| format!("{d}={x}"))
+                    })
+                    .unwrap_or_else(|| i.to_string());
+                flatten(item, &format!("{prefix}[{tag}]"), out);
+            }
+        }
+        Json::Str(_) | Json::Bool(_) | Json::Null => {}
+    }
+}
+
+/// Whether a metric is directional, and which way is better.
+/// `Some(true)` = higher is better, `Some(false)` = lower is better,
+/// `None` = context only (never compared).
+fn higher_is_better(path: &str) -> Option<bool> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf.starts_with("heap_reference") {
+        // The reference engine is the yardstick, not the product: its
+        // absolute throughput moves with the machine and with which run
+        // the paired-best protocol selects. The engine numbers and the
+        // speedup ratio carry the regression signal.
+        None
+    } else if leaf.contains("per_sec") || leaf.contains("speedup") {
+        Some(true)
+    } else if leaf.ends_with("_secs") || leaf.ends_with("_us") || leaf.contains("wall_clock") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// One matched metric across two baseline reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Flattened metric path, e.g. `event_loop[pending=262144].engine_events_per_sec`.
+    pub metric: String,
+    /// Value in the older report.
+    pub prev: f64,
+    /// Value in the newer report.
+    pub new: f64,
+    /// Signed fractional change where **positive = improvement** (the
+    /// direction convention makes `-0.12` a 12 % regression for every
+    /// metric kind).
+    pub change: f64,
+}
+
+impl Comparison {
+    /// Whether this metric regressed by more than `threshold`
+    /// (fractional, e.g. `0.10`).
+    pub fn regressed_beyond(&self, threshold: f64) -> bool {
+        self.change < -threshold
+    }
+}
+
+/// Match the directional numeric metrics shared by two reports.
+///
+/// Metrics present in only one report are ignored: baselines may add
+/// scenarios over time, and a brand-new scenario has nothing to regress
+/// against.
+pub fn compare_reports(prev: &Json, new: &Json) -> Vec<Comparison> {
+    let mut prev_flat = Vec::new();
+    let mut new_flat = Vec::new();
+    flatten(prev, "", &mut prev_flat);
+    flatten(new, "", &mut new_flat);
+    new_flat
+        .iter()
+        .filter_map(|(path, new_val)| {
+            let better_up = higher_is_better(path)?;
+            let (_, prev_val) = prev_flat.iter().find(|(p, _)| p == path)?;
+            if *prev_val == 0.0 {
+                return None;
+            }
+            let ratio = new_val / prev_val;
+            let change = if better_up {
+                ratio - 1.0
+            } else {
+                1.0 / ratio - 1.0
+            };
+            Some(Comparison {
+                metric: path.clone(),
+                prev: *prev_val,
+                new: *new_val,
+                change,
+            })
+        })
+        .collect()
+}
+
+/// Find the two highest-numbered `BENCH_N.json` files in `dir`,
+/// returned as `(previous, newest)`. `None` if fewer than two exist.
+pub fn latest_two_baselines(dir: &Path) -> Option<(PathBuf, PathBuf)> {
+    let mut numbered: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name().into_string().ok()?;
+            let n: u64 = name
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((n, entry.path()))
+        })
+        .collect();
+    numbered.sort();
+    match numbered.as_slice() {
+        [.., (_, prev), (_, newest)] => Some((prev.clone(), newest.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PREV: &str = r#"{
+      "schema": "v2",
+      "microbench_events": 4000000,
+      "event_loop": [
+        { "pending": 4096, "engine_events_per_sec": 18000000, "heap_reference_events_per_sec": 14000000, "speedup_vs_heap": 1.28 },
+        { "pending": 262144, "engine_events_per_sec": 9900000, "speedup_vs_heap": 2.88 }
+      ],
+      "sweep_wall_clock_secs": 0.033
+    }"#;
+
+    #[test]
+    fn parser_round_trips_the_baseline_shape() {
+        let j = Json::parse(PREV).unwrap();
+        assert_eq!(j.get("schema"), Some(&Json::Str("v2".into())));
+        assert_eq!(
+            j.get("sweep_wall_clock_secs").unwrap().as_f64(),
+            Some(0.033)
+        );
+        let Some(Json::Arr(items)) = j.get("event_loop") else {
+            panic!("event_loop is an array")
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].get("pending").unwrap().as_f64(), Some(262144.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn identical_reports_show_zero_change() {
+        let j = Json::parse(PREV).unwrap();
+        let cmp = compare_reports(&j, &j);
+        // Two directional entries per shape + the wall clock; the heap
+        // reference is the yardstick, never gated on.
+        assert_eq!(cmp.len(), 5);
+        assert!(cmp.iter().all(|c| !c.metric.contains("heap_reference")));
+        assert!(cmp.iter().all(|c| c.change.abs() < 1e-12));
+        assert!(cmp.iter().all(|c| !c.regressed_beyond(0.10)));
+    }
+
+    #[test]
+    fn regressions_are_flagged_in_both_directions() {
+        let prev = Json::parse(PREV).unwrap();
+        // Throughput down 20% on the big shape; wall clock up 20%.
+        let new = Json::parse(
+            &PREV
+                .replace("9900000", "7920000")
+                .replace("0.033", "0.0396"),
+        )
+        .unwrap();
+        let cmp = compare_reports(&prev, &new);
+        let tput = cmp
+            .iter()
+            .find(|c| c.metric.contains("pending=262144") && c.metric.contains("engine"))
+            .unwrap();
+        assert!(tput.regressed_beyond(0.10), "{tput:?}");
+        let wall = cmp
+            .iter()
+            .find(|c| c.metric.contains("wall_clock"))
+            .unwrap();
+        assert!(wall.regressed_beyond(0.10), "{wall:?}");
+        // A 20% wall-clock *improvement* must not be flagged.
+        let faster = Json::parse(&PREV.replace("0.033", "0.0264")).unwrap();
+        let cmp = compare_reports(&prev, &faster);
+        let wall = cmp
+            .iter()
+            .find(|c| c.metric.contains("wall_clock"))
+            .unwrap();
+        assert!(wall.change > 0.19 && !wall.regressed_beyond(0.10));
+    }
+
+    #[test]
+    fn shape_entries_match_by_pending_not_index() {
+        let prev = Json::parse(PREV).unwrap();
+        // Same data, array reversed: nothing should regress.
+        let reversed = r#"{
+          "event_loop": [
+            { "pending": 262144, "engine_events_per_sec": 9900000, "speedup_vs_heap": 2.88 },
+            { "pending": 4096, "engine_events_per_sec": 18000000, "speedup_vs_heap": 1.28 }
+          ],
+          "sweep_wall_clock_secs": 0.033
+        }"#;
+        let new = Json::parse(reversed).unwrap();
+        let cmp = compare_reports(&prev, &new);
+        assert_eq!(cmp.len(), 5);
+        assert!(cmp.iter().all(|c| c.change.abs() < 1e-12), "{cmp:?}");
+    }
+
+    #[test]
+    fn new_metrics_without_a_baseline_are_ignored() {
+        let prev = Json::parse(PREV).unwrap();
+        let new = Json::parse(
+            &PREV.replace(
+                "\"sweep_wall_clock_secs\": 0.033",
+                "\"sweep_wall_clock_secs\": 0.033, \"aggregate_trunk\": { \"flows\": 10000, \"engine_events_per_sec\": 1 }",
+            ),
+        )
+        .unwrap();
+        let cmp = compare_reports(&prev, &new);
+        assert_eq!(
+            cmp.len(),
+            5,
+            "brand-new scenario has nothing to regress against"
+        );
+    }
+
+    #[test]
+    fn latest_two_picks_highest_numbers() {
+        let dir = std::env::temp_dir().join(format!("bench_compare_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "BENCH_1.json",
+            "BENCH_2.json",
+            "BENCH_10.json",
+            "BENCH_x.json",
+            "notes.md",
+        ] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let (prev, newest) = latest_two_baselines(&dir).unwrap();
+        assert!(prev.ends_with("BENCH_2.json"));
+        assert!(newest.ends_with("BENCH_10.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let empty =
+            std::env::temp_dir().join(format!("bench_compare_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        std::fs::write(empty.join("BENCH_1.json"), "{}").unwrap();
+        assert!(latest_two_baselines(&empty).is_none());
+        std::fs::remove_dir_all(&empty).unwrap();
+    }
+}

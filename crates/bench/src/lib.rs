@@ -13,9 +13,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod perf;
 pub mod runner;
 pub mod table;
 
-pub use runner::{collect_piats_parallel, detection_for, Budget};
+pub use compare::{compare_reports, latest_two_baselines, Comparison};
+pub use runner::{collect_piats_parallel, detection_for, Budget, CollectionError};
 pub use table::{write_csv, Table};

@@ -259,6 +259,280 @@ pub fn sweep_wall_clock_secs(piats_per_class: usize) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+// ---- Aggregate trunk workload -----------------------------------------
+//
+// The store-bound regime as a *scenario-shaped* workload instead of a
+// bag of independent timers: `flows` gateway tickers (period ~τ, jittered
+// co-prime so ticks interleave) each send every fire into one shared
+// trunk relay, which forwards after a long-haul `propagation`. At steady
+// state the pending set holds one armed timer per flow **plus**
+// `propagation/τ` in-flight trunk packets per flow — `flows × 11` with
+// the default ×10 propagation — which is exactly the shape
+// `ScenarioBuilder::aggregate` produces, minus per-event gateway work,
+// so the engine-vs-heap ratio isolates the event store.
+
+/// Ticker period for aggregate flow `i` (ns): ~1 ms ± a co-prime spread.
+fn trunk_period_ns(i: usize) -> u64 {
+    1_000_000 + 7919 * (i as u64 % 13)
+}
+
+/// Trunk propagation delay as a multiple of the base period.
+const TRUNK_PROPAGATION_TICKS: u64 = 10;
+
+/// Fan-in relay: forwards every packet after a fixed propagation delay
+/// (the trunk's in-flight population is the store-bound pending mass).
+struct TrunkRelay {
+    next: NodeId,
+    propagation: SimDuration,
+}
+
+impl Node for TrunkRelay {
+    fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+        ctx.send_after(self.propagation, self.next, p);
+    }
+}
+
+/// Result of one aggregate-trunk measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct TrunkMeasurement {
+    /// Events per wall-clock second over the timed (steady-state) span.
+    pub events_per_sec: f64,
+    /// Concurrent pending events observed at steady state, just before
+    /// the timed span.
+    pub pending: usize,
+}
+
+/// Total fires per ticker so the workload generates ~`events` events
+/// (timer + trunk delivery + sink delivery per fire).
+fn trunk_fires(events: u64, flows: usize) -> u64 {
+    (events / (3 * flows as u64)).max(TRUNK_PROPAGATION_TICKS * 4)
+}
+
+/// Run the aggregate-trunk workload on the real engine.
+pub fn aggregate_trunk_events_per_sec(events: u64, flows: usize) -> TrunkMeasurement {
+    let fires = trunk_fires(events, flows);
+    let mut b = SimBuilder::new(MasterSeed::new(1));
+    let sink = b.add_node(Box::new(NullSink { received: 0 }));
+    let trunk = b.add_node(Box::new(TrunkRelay {
+        next: sink,
+        propagation: SimDuration::from_nanos(1_000_000 * TRUNK_PROPAGATION_TICKS),
+    }));
+    for i in 0..flows {
+        b.add_node(Box::new(BenchTicker {
+            sink: trunk,
+            period: SimDuration::from_nanos(trunk_period_ns(i)),
+            remaining: fires,
+        }));
+    }
+    let mut sim = b.build().expect("trunk sim builds");
+    // Warm up past the propagation horizon so the in-flight population
+    // is at steady state, then time the rest of the drain.
+    let warmup = SimDuration::from_nanos(1_000_000 * TRUNK_PROPAGATION_TICKS * 2);
+    let warm = sim.run_for(warmup);
+    let pending = sim.pending_events();
+    let start = Instant::now();
+    let stats = sim.run_until(SimTime::MAX);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.events + stats.events,
+        fires * flows as u64 * 3,
+        "engine processed the whole trunk workload"
+    );
+    TrunkMeasurement {
+        events_per_sec: stats.events as f64 / elapsed,
+        pending,
+    }
+}
+
+/// Relay node for the heap-reference engine.
+struct RefTrunkRelay {
+    next: usize,
+    propagation: SimDuration,
+}
+
+impl RefNode for RefTrunkRelay {
+    fn on_timer(&mut self, _ctx: &mut RefCtx<'_>) {}
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut RefCtx<'_>) {
+        ctx.send_after(self.propagation, self.next, pkt);
+    }
+}
+
+/// Run the identical aggregate-trunk workload on the `BinaryHeap`
+/// reference engine.
+pub fn heap_reference_aggregate_events_per_sec(events: u64, flows: usize) -> TrunkMeasurement {
+    let fires = trunk_fires(events, flows);
+    let propagation = SimDuration::from_nanos(1_000_000 * TRUNK_PROPAGATION_TICKS);
+    let mut nodes: Vec<Box<dyn RefNode>> = Vec::with_capacity(flows + 2);
+    nodes.push(Box::new(RefSink { received: 0 }));
+    nodes.push(Box::new(RefTrunkRelay {
+        next: 0,
+        propagation,
+    }));
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut next_packet_id = 0u64;
+    for i in 0..flows {
+        nodes.push(Box::new(RefTicker {
+            sink: 1, // the trunk relay
+            period: SimDuration::from_nanos(trunk_period_ns(i)),
+            remaining: fires,
+        }));
+        heap.push(HeapEntry {
+            time: SimTime::ZERO + SimDuration::from_nanos(trunk_period_ns(i)),
+            seq,
+            target: i + 2,
+            kind: RefEventKind::Timer(0),
+        });
+        seq += 1;
+    }
+
+    let total = fires * flows as u64 * 3;
+    let warmup_until = SimTime::ZERO + propagation + propagation;
+    let mut warm_events = 0u64;
+    let mut pending = heap.len();
+    let mut timed_events = 0u64;
+    let mut timing = false;
+    let mut start = Instant::now();
+    while let Some(entry) = heap.pop() {
+        if !timing && entry.time > warmup_until {
+            pending = heap.len() + 1; // the entry just popped is pending work
+            timing = true;
+            start = Instant::now();
+        }
+        let mut ctx = RefCtx {
+            now: entry.time,
+            self_id: entry.target,
+            heap: &mut heap,
+            seq: &mut seq,
+            next_packet_id: &mut next_packet_id,
+        };
+        let node = &mut nodes[entry.target];
+        match entry.kind {
+            RefEventKind::Timer(_) => node.on_timer(&mut ctx),
+            RefEventKind::Deliver(pkt) => node.on_packet(pkt, &mut ctx),
+        }
+        if timing {
+            timed_events += 1;
+        } else {
+            warm_events += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        warm_events + timed_events,
+        total,
+        "reference processed the whole trunk workload"
+    );
+    TrunkMeasurement {
+        events_per_sec: timed_events as f64 / elapsed,
+        pending,
+    }
+}
+
+/// Events/sec and steady-state pending count of the **real** aggregate
+/// scenario (`ScenarioBuilder::aggregate`): full gateways, sources,
+/// taps and demux, on a long-haul trunk. Slower per event than the
+/// synthetic shape (gateway RNG + instrumentation ride on every tick);
+/// recorded alongside it so the baseline shows both numbers.
+pub fn aggregate_scenario_events_per_sec(flows: usize, sim_secs: f64) -> TrunkMeasurement {
+    let b = ScenarioBuilder::aggregate(1, flows).with_trunk(10e9, 0.1);
+    let mut s = b.build().expect("aggregate scenario builds");
+    // Warm past the 100 ms trunk so the in-flight population is steady.
+    s.run_for_secs(0.25);
+    let pending = s.sim.pending_events();
+    let before = s.sim.events_processed();
+    let start = Instant::now();
+    s.run_for_secs(sim_secs);
+    let elapsed = start.elapsed().as_secs_f64();
+    TrunkMeasurement {
+        events_per_sec: (s.sim.events_processed() - before) as f64 / elapsed,
+        pending,
+    }
+}
+
+// ---- Scenario reset vs rebuild ----------------------------------------
+
+/// Timing of per-replication setup: rebuilding the lab topology from its
+/// builder vs resetting a built one (`BuiltScenario::reset`).
+#[derive(Debug, Clone, Copy)]
+pub struct ResetMeasurement {
+    /// Mean cost of `builder.build()` per replication, microseconds.
+    pub build_us: f64,
+    /// Mean cost of `scenario.reset(seed)` per replication, microseconds.
+    pub reset_us: f64,
+    /// Wall clock for a many-replication lab sweep unit that rebuilds
+    /// per replication, seconds.
+    pub sweep_rebuild_secs: f64,
+    /// The same sweep unit reusing one topology via reset, seconds.
+    pub sweep_reset_secs: f64,
+}
+
+impl ResetMeasurement {
+    /// How many times cheaper reset is than rebuild, per replication.
+    pub fn setup_speedup(&self) -> f64 {
+        self.build_us / self.reset_us
+    }
+}
+
+/// Measure scenario-reset vs rebuild on the lab sweep unit:
+/// `reps` short replications of `piats_per_rep` PIATs each.
+pub fn reset_vs_rebuild(reps: usize, piats_per_rep: usize) -> ResetMeasurement {
+    let builder = ScenarioBuilder::lab(7).with_payload_rate(10.0);
+
+    // Isolated setup cost: build N times vs reset N times.
+    let start = Instant::now();
+    let mut node_count = 0;
+    for k in 0..reps {
+        let s = builder
+            .clone()
+            .with_seed(1000 + k as u64)
+            .build()
+            .expect("lab builds");
+        node_count = node_count.max(s.sim.node_count());
+    }
+    let build_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    let mut s = builder.build().expect("lab builds");
+    let start = Instant::now();
+    for k in 0..reps {
+        s.reset(1000 + k as u64);
+    }
+    let reset_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    assert_eq!(s.sim.node_count(), node_count, "reset keeps the topology");
+
+    // End-to-end sweep unit: rebuild-per-replication vs reset-per-
+    // replication, identical seeds, identical collected sample counts.
+    let at = TapPosition::SenderEgress;
+    let start = Instant::now();
+    let mut collected_rebuild = 0usize;
+    for k in 0..reps {
+        let b = builder.clone().with_seed(2000 + k as u64);
+        collected_rebuild += piats_for(&b, at, piats_per_rep, 16)
+            .expect("rebuild sweep collects")
+            .len();
+    }
+    let sweep_rebuild_secs = start.elapsed().as_secs_f64();
+
+    let mut s = builder.build().expect("lab builds");
+    let start = Instant::now();
+    let mut collected_reset = 0usize;
+    for k in 0..reps {
+        collected_reset += s
+            .collect_piats_reseeded(2000 + k as u64, at, piats_per_rep, 16)
+            .expect("reset sweep collects")
+            .len();
+    }
+    let sweep_reset_secs = start.elapsed().as_secs_f64();
+    assert_eq!(collected_rebuild, collected_reset);
+
+    ResetMeasurement {
+        build_us,
+        reset_us,
+        sweep_rebuild_secs,
+        sweep_reset_secs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +554,33 @@ mod tests {
         let (fires, total) = workload_events(1, 8);
         assert_eq!(fires, 1);
         assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn trunk_workload_completes_on_both_engines() {
+        // Tiny shape: correctness only. Both engines must drain the whole
+        // workload and observe an in-flight trunk population (pending >
+        // one timer per flow at steady state).
+        let a = aggregate_trunk_events_per_sec(30_000, 8);
+        let b = heap_reference_aggregate_events_per_sec(30_000, 8);
+        assert!(a.events_per_sec > 0.0 && b.events_per_sec > 0.0);
+        assert!(a.pending > 8, "engine pending {}", a.pending);
+        assert!(b.pending > 8, "reference pending {}", b.pending);
+    }
+
+    #[test]
+    fn aggregate_scenario_measurement_reports_pending() {
+        let m = aggregate_scenario_events_per_sec(16, 0.2);
+        assert!(m.events_per_sec > 0.0);
+        // 16 flows × (2 timers + ~10 in-flight on the 100 ms trunk).
+        assert!(m.pending > 16 * 3, "pending {}", m.pending);
+    }
+
+    #[test]
+    fn reset_measurement_is_sane() {
+        let m = reset_vs_rebuild(5, 64);
+        assert!(m.build_us > 0.0 && m.reset_us > 0.0);
+        assert!(m.setup_speedup() > 0.0);
+        assert!(m.sweep_rebuild_secs > 0.0 && m.sweep_reset_secs > 0.0);
     }
 }

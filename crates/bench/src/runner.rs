@@ -2,9 +2,9 @@
 
 use linkpad_adversary::feature::Feature;
 use linkpad_adversary::pipeline::{DetectionReport, DetectionStudy};
-use linkpad_sim::parallel::parallel_map;
+use linkpad_sim::parallel::parallel_map_init;
 use linkpad_stats::rng::MasterSeed;
-use linkpad_workloads::scenario::{piats_for, ScenarioBuilder, TapPosition};
+use linkpad_workloads::scenario::{BuiltScenario, ScenarioBuilder, ScenarioError, TapPosition};
 
 /// Sample budgets per class for a detection experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,12 +25,16 @@ impl Budget {
 
     /// [`Budget::from_env`]'s pure core, testable without touching the
     /// process environment.
+    ///
+    /// The value is trimmed first, so `"paper "` or `" quick"` (easy to
+    /// produce in shell wrappers and CI YAML) select the intended budget
+    /// instead of tripping the unknown-value warning.
     pub fn from_scale(scale: Option<&str>) -> Self {
         let paper = Budget {
             train: 150,
             test: 100,
         };
-        match scale {
+        match scale.map(str::trim) {
             Some("quick") => Budget {
                 train: 60,
                 test: 40,
@@ -61,16 +65,55 @@ impl Budget {
     }
 }
 
+/// A parallel collection failure, carrying enough context to reproduce
+/// the failing replication: the scenario family, the exact replication
+/// seed, and the task index within the collection.
+#[derive(Debug)]
+pub struct CollectionError {
+    /// Scenario family label of the failing builder ("lab", …).
+    pub label: &'static str,
+    /// The replication seed the worker ran under.
+    pub seed: u64,
+    /// Task index within the collection (0-based).
+    pub task: u64,
+    /// The underlying scenario failure.
+    pub source: ScenarioError,
+}
+
+impl std::fmt::Display for CollectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "collecting {:?} task {} (seed {:#018x}): {}",
+            self.label, self.task, self.seed, self.source
+        )
+    }
+}
+
+impl std::error::Error for CollectionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Collect `total` PIATs for one scenario class, fanning replications out
 /// over worker threads. Each replication's length is a multiple of
 /// `sample_multiple` so that downstream sample slicing never straddles a
 /// replication boundary.
+///
+/// Per-replication seeds are children of the builder's *configured* seed
+/// ([`ScenarioBuilder::seed`]), so collections are stable under refactors
+/// of the builder's incidental state. Each worker thread builds the
+/// topology once and [`BuiltScenario::reset`]s it per replication — the
+/// scenario-reset fast path — which is bit-identical to rebuilding (see
+/// `tests/reset_determinism.rs`). Scenario failures are propagated, not
+/// panicked, with the failing replication identified.
 pub fn collect_piats_parallel(
     builder: &ScenarioBuilder,
     at: TapPosition,
     total: usize,
     sample_multiple: usize,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, CollectionError> {
     let sample_multiple = sample_multiple.max(1);
     // Target ~100k PIATs per task: large enough to amortize warmup,
     // small enough to parallelize sweeps on a few cores.
@@ -89,27 +132,37 @@ pub fn collect_piats_parallel(
         }
         tasks
     };
-    let base_seed = MasterSeed::new(builder_seed_of(builder));
-    let results = parallel_map(tasks, |(k, count)| {
-        let b = builder.clone().with_seed(base_seed.child(k).value());
-        piats_for(&b, at, count, 64).expect("scenario collection failed")
-    });
+    let base_seed = MasterSeed::new(builder.seed());
+    let results = parallel_map_init(
+        tasks,
+        || None::<BuiltScenario>,
+        |scenario, (k, count)| -> Result<Vec<f64>, CollectionError> {
+            let seed = base_seed.child(k).value();
+            let run = |scenario: &mut Option<BuiltScenario>| -> Result<Vec<f64>, ScenarioError> {
+                match scenario {
+                    // Reuse the worker's topology; reset is bit-identical
+                    // to a fresh build at this seed.
+                    Some(s) => s.collect_piats_reseeded(seed, at, count, 64),
+                    None => {
+                        let s = scenario.insert(builder.clone().with_seed(seed).build()?);
+                        s.collect_piats(at, count, 64)
+                    }
+                }
+            };
+            run(scenario).map_err(|source| CollectionError {
+                label: builder.label(),
+                seed,
+                task: k,
+                source,
+            })
+        },
+    );
     let mut out = Vec::with_capacity(total + chunk);
     for r in results {
-        out.extend_from_slice(&r);
+        out.extend_from_slice(&r?);
     }
     out.truncate(total.div_ceil(sample_multiple) * sample_multiple);
-    out
-}
-
-// ScenarioBuilder doesn't expose its seed; derive a stable one from its
-// debug formatting (configuration-unique), keeping the public API small.
-fn builder_seed_of(builder: &ScenarioBuilder) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut h = DefaultHasher::new();
-    format!("{builder:?}").hash(&mut h);
-    h.finish()
+    Ok(out)
 }
 
 /// Run one full detection experiment: low-rate and high-rate scenario
@@ -121,10 +174,10 @@ pub fn detection_for(
     feature: &dyn Feature,
     n: usize,
     budget: Budget,
-) -> DetectionReport {
-    detection_multi(low, high, at, &[feature], n, budget)
+) -> Result<DetectionReport, CollectionError> {
+    Ok(detection_multi(low, high, at, &[feature], n, budget)?
         .pop()
-        .expect("one feature in, one report out")
+        .expect("one feature in, one report out"))
 }
 
 /// Run several features against the *same* captured PIAT streams —
@@ -137,16 +190,16 @@ pub fn detection_multi(
     features: &[&dyn Feature],
     n: usize,
     budget: Budget,
-) -> Vec<DetectionReport> {
+) -> Result<Vec<DetectionReport>, CollectionError> {
     let study = budget.study(n);
     let needed = study.piats_needed();
-    let piats_low = collect_piats_parallel(low, at, needed, n);
-    let piats_high = collect_piats_parallel(high, at, needed, n);
+    let piats_low = collect_piats_parallel(low, at, needed, n)?;
+    let piats_high = collect_piats_parallel(high, at, needed, n)?;
     let streams = [piats_low, piats_high];
-    features
+    Ok(features
         .iter()
         .map(|f| study.run(*f, &streams).expect("detection study failed"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -162,8 +215,17 @@ mod tests {
         assert_eq!((paper.train, paper.test), (150, 100));
         let unset = Budget::from_scale(None);
         assert_eq!(unset, paper);
-        // Garbage values warn (stderr) but never change the budget.
-        for garbage in ["QUICK", "fast", "", "paper "] {
+        // Surrounding whitespace (shell wrappers, CI YAML) is trimmed,
+        // not treated as garbage.
+        for padded in ["paper ", " paper", "\tpaper\n"] {
+            assert_eq!(Budget::from_scale(Some(padded)), paper, "{padded:?}");
+        }
+        for padded in ["quick ", " quick "] {
+            assert_eq!(Budget::from_scale(Some(padded)), quick, "{padded:?}");
+        }
+        // Genuinely unknown values warn (stderr) but never change the
+        // budget; whitespace-only is unknown, not "paper".
+        for garbage in ["QUICK", "fast", "", "   ", "pa per"] {
             assert_eq!(Budget::from_scale(Some(garbage)), paper, "{garbage:?}");
         }
     }
@@ -182,10 +244,37 @@ mod tests {
     #[test]
     fn collect_parallel_is_aligned_and_complete() {
         let b = ScenarioBuilder::lab(5).with_payload_rate(10.0);
-        let piats = collect_piats_parallel(&b, TapPosition::SenderEgress, 25_000, 400);
+        let piats = collect_piats_parallel(&b, TapPosition::SenderEgress, 25_000, 400).unwrap();
         assert!(piats.len() >= 25_000);
         assert_eq!(piats.len() % 400, 0);
         assert!(piats.iter().all(|&x| x > 0.005 && x < 0.015));
+    }
+
+    #[test]
+    fn collect_parallel_derives_seeds_from_the_configured_seed() {
+        // Same configuration, different seeds → different streams; the
+        // master seed is the builder's own, not a hash of its Debug repr.
+        let base = |seed| ScenarioBuilder::lab(seed).with_payload_rate(10.0);
+        let a = collect_piats_parallel(&base(5), TapPosition::SenderEgress, 2_000, 1).unwrap();
+        let b = collect_piats_parallel(&base(5), TapPosition::SenderEgress, 2_000, 1).unwrap();
+        let c = collect_piats_parallel(&base(6), TapPosition::SenderEgress, 2_000, 1).unwrap();
+        assert_eq!(a, b, "collections are reproducible");
+        assert_ne!(a, c, "the configured seed drives the replication seeds");
+        assert_eq!(base(7).seed(), 7);
+    }
+
+    #[test]
+    fn collect_parallel_propagates_scenario_errors_with_context() {
+        // Invalid payload rate: every task fails at build; the error must
+        // identify the scenario and replication instead of panicking.
+        let b = ScenarioBuilder::lab(8).with_payload_rate(-1.0);
+        let err = collect_piats_parallel(&b, TapPosition::SenderEgress, 1_000, 1)
+            .expect_err("invalid builder must fail");
+        assert_eq!(err.label, "lab");
+        assert_eq!(err.task, 0);
+        let msg = err.to_string();
+        assert!(msg.contains("lab") && msg.contains("task 0"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
@@ -202,7 +291,8 @@ mod tests {
                 train: 20,
                 test: 12,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(report.total, 24);
         let v = report.detection_rate();
         assert!((0.4..=1.0).contains(&v), "v = {v}");

@@ -107,6 +107,10 @@ pub struct SenderGateway {
     jitter: GatewayJitterModel,
     discipline: TimerDiscipline,
     next: NodeId,
+    /// Flow identity of the padded stream this gateway emits. Defaults
+    /// to [`FlowId::PADDED`]; aggregate scenarios give each gateway pair
+    /// its own flow so a trunk tap can be demultiplexed per flow.
+    flow: FlowId,
     /// Constant on-the-wire size of every padded packet (threat model
     /// remark 3: all packets look identical).
     packet_size: u32,
@@ -137,6 +141,7 @@ impl SenderGateway {
                 jitter,
                 discipline: TimerDiscipline::Absolute,
                 next,
+                flow: FlowId::PADDED,
                 packet_size,
                 queue_capacity: None,
                 queue: VecDeque::new(),
@@ -150,6 +155,13 @@ impl SenderGateway {
     /// Select the timer discipline (default [`TimerDiscipline::Absolute`]).
     pub fn with_discipline(mut self, discipline: TimerDiscipline) -> Self {
         self.discipline = discipline;
+        self
+    }
+
+    /// Emit the padded stream under a specific flow id (default
+    /// [`FlowId::PADDED`]) — used by aggregate many-gateway scenarios.
+    pub fn with_flow(mut self, flow: FlowId) -> Self {
+        self.flow = flow;
         self
     }
 
@@ -191,14 +203,14 @@ impl SenderGateway {
             st.payload_sent += 1;
             st.queue_wait
                 .push(ctx.now().saturating_since(payload.enqueued).as_secs_f64());
-            let mut p = ctx.spawn_packet(FlowId::PADDED, PacketKind::Payload, self.packet_size);
+            let mut p = ctx.spawn_packet(self.flow, PacketKind::Payload, self.packet_size);
             // Preserve when the payload entered the gateway so the far
             // sink can measure end-to-end padding delay.
             p.enqueued = payload.enqueued;
             p
         } else {
             st.dummy_sent += 1;
-            ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, self.packet_size)
+            ctx.spawn_packet(self.flow, PacketKind::Dummy, self.packet_size)
         };
         drop(st);
 
@@ -236,6 +248,12 @@ impl Node for SenderGateway {
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
         debug_assert_eq!(tag, TICK);
         self.emit(ctx);
+    }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.arrivals_since_tick = 0;
+        *self.stats.borrow_mut() = GatewayStats::default();
     }
 
     fn label(&self) -> &str {
@@ -284,6 +302,8 @@ impl ReceiverHandle {
 pub struct ReceiverGateway {
     /// Where decrypted payload goes (`None` = terminate here).
     inner: Option<NodeId>,
+    /// Flow identity of the padded stream this gateway terminates.
+    flow: FlowId,
     stats: Rc<RefCell<ReceiverStats>>,
     label: String,
 }
@@ -298,10 +318,18 @@ impl ReceiverGateway {
             },
             Self {
                 inner,
+                flow: FlowId::PADDED,
                 stats,
                 label: "gw2".to_string(),
             },
         )
+    }
+
+    /// Terminate a specific flow id (default [`FlowId::PADDED`]) —
+    /// pairs with [`SenderGateway::with_flow`] in aggregate scenarios.
+    pub fn with_flow(mut self, flow: FlowId) -> Self {
+        self.flow = flow;
+        self
     }
 
     /// Builder-style label.
@@ -315,7 +343,7 @@ impl Node for ReceiverGateway {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         let mut st = self.stats.borrow_mut();
         match packet.kind {
-            PacketKind::Payload if packet.flow == FlowId::PADDED => {
+            PacketKind::Payload if packet.flow == self.flow => {
                 st.payload_delivered += 1;
                 st.end_to_end_delay
                     .push(ctx.now().saturating_since(packet.enqueued).as_secs_f64());
@@ -325,13 +353,17 @@ impl Node for ReceiverGateway {
                     ctx.send_now(inner, packet);
                 }
             }
-            PacketKind::Dummy if packet.flow == FlowId::PADDED => {
+            PacketKind::Dummy if packet.flow == self.flow => {
                 st.dummies_stripped += 1;
             }
             _ => {
                 st.unexpected += 1;
             }
         }
+    }
+
+    fn reset(&mut self) {
+        *self.stats.borrow_mut() = ReceiverStats::default();
     }
 
     fn label(&self) -> &str {

@@ -73,6 +73,11 @@ impl Node for Link {
         ctx.send_after(delay, self.next, packet);
     }
 
+    fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.bytes_carried = 0;
+    }
+
     fn label(&self) -> &str {
         &self.label
     }

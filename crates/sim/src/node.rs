@@ -52,6 +52,22 @@ pub trait Node {
         let _ = ctx;
     }
 
+    /// Restore the node to its as-built state so the simulation can be
+    /// re-run without reconstructing the topology (the scenario-reset
+    /// fast path; see `Sim::reset`).
+    ///
+    /// Contract: after `reset()` the node must behave **bit-identically**
+    /// to a freshly constructed copy of itself — clear queues, counters,
+    /// instrumentation state (including state shared with handles via
+    /// `Rc<RefCell<_>>`), and any time-dependent fields. Wiring
+    /// (downstream `NodeId`s) and configuration (schedules, rates,
+    /// labels) are construction-time constants and stay untouched.
+    /// Implementations should retain allocated capacity (e.g.
+    /// `Vec::clear`, not `Vec::new`) so resets stay allocation-free.
+    ///
+    /// The default is a no-op, which is correct only for stateless nodes.
+    fn reset(&mut self) {}
+
     /// Human-readable label for diagnostics.
     fn label(&self) -> &str {
         "node"

@@ -35,12 +35,37 @@ where
     parallel_map_with_threads(items, default_threads(), f)
 }
 
-/// [`parallel_map`] with an explicit worker count (≥ 1).
-pub fn parallel_map_with_threads<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+/// [`parallel_map`] with per-worker state: each worker calls `init()`
+/// once (lazily, before its first item) and threads the resulting state
+/// through every item it processes, in input order within each chunk.
+///
+/// This is the scenario-reset hook: a sweep worker builds one simulation
+/// topology in its state slot and *reseeds* it per item instead of
+/// rebuilding it, while results still come back in input order. The
+/// state is worker-local, so `S` needs no `Sync` and no locking; it is
+/// dropped with the worker thread.
+pub fn parallel_map_init<T, U, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
-    F: Fn(T) -> U + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    parallel_map_init_with_threads(items, default_threads(), init, f)
+}
+
+/// [`parallel_map_init`] with an explicit worker count (≥ 1).
+pub fn parallel_map_init_with_threads<T, U, S, I, F>(
+    items: Vec<T>,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
 {
     let n = items.len();
     if n == 0 {
@@ -48,7 +73,8 @@ where
     }
     let threads = threads.max(1).min(n);
     if threads == 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
 
     // Pre-split the input into chunks. Each chunk cell is taken exactly
@@ -75,19 +101,26 @@ where
             let work = &work;
             let results = &results;
             let next_chunk = &next_chunk;
+            let init = &init;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next_chunk.fetch_add(1, Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
+            scope.spawn(move || {
+                // Lazy: a worker that never claims a chunk never pays for
+                // state construction.
+                let mut state: Option<S> = None;
+                loop {
+                    let i = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let chunk = work[i]
+                        .lock()
+                        .expect("work mutex never poisoned before take")
+                        .take()
+                        .expect("chunk claimed exactly once");
+                    let state = state.get_or_insert_with(init);
+                    let out: Vec<U> = chunk.into_iter().map(|item| f(state, item)).collect();
+                    *results[i].lock().expect("result mutex poisoned") = Some(out);
                 }
-                let chunk = work[i]
-                    .lock()
-                    .expect("work mutex never poisoned before take")
-                    .take()
-                    .expect("chunk claimed exactly once");
-                let out: Vec<U> = chunk.into_iter().map(f).collect();
-                *results[i].lock().expect("result mutex poisoned") = Some(out);
             });
         }
     });
@@ -101,6 +134,16 @@ where
         out.extend(chunk);
     }
     out
+}
+
+/// [`parallel_map`] with an explicit worker count (≥ 1).
+pub fn parallel_map_with_threads<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    parallel_map_init_with_threads(items, threads, || (), |(), item| f(item))
 }
 
 /// Default worker count: `available_parallelism`, or 4 if unknown.
@@ -180,5 +223,45 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn init_state_is_reused_within_a_worker() {
+        use std::sync::atomic::AtomicUsize;
+        // Count state constructions: must be ≤ workers, not per item.
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        BUILDS.store(0, Ordering::SeqCst);
+        let items: Vec<u64> = (0..256).collect();
+        let out = parallel_map_init_with_threads(
+            items.clone(),
+            4,
+            || {
+                BUILDS.fetch_add(1, Ordering::SeqCst);
+                0u64 // per-worker accumulator
+            },
+            |acc, x| {
+                *acc += 1;
+                x * 3
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<u64>>());
+        let builds = BUILDS.load(Ordering::SeqCst);
+        assert!(
+            (1..=4).contains(&builds),
+            "state built once per active worker, got {builds}"
+        );
+    }
+
+    #[test]
+    fn init_single_thread_path_matches() {
+        let out = parallel_map_init_with_threads(vec![1u32, 2, 3], 1, || 10u32, |s, x| *s + x);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn init_order_preserved_across_chunks() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map_init(items.clone(), || (), |(), x| x + 1);
+        assert_eq!(out, (1..=1000).collect::<Vec<usize>>());
     }
 }

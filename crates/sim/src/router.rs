@@ -134,6 +134,14 @@ impl Node for Router {
         }
     }
 
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.in_service = None;
+        self.drops = 0;
+        self.forwarded = 0;
+        self.padded_delay = RunningMoments::new();
+    }
+
     fn label(&self) -> &str {
         &self.label
     }

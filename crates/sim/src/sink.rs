@@ -108,6 +108,13 @@ impl Node for Sink {
         st.arrivals.push((ctx.now(), packet.flow, packet.kind));
     }
 
+    fn reset(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.arrivals.clear();
+        st.latency = RunningMoments::new();
+        st.bytes = 0;
+    }
+
     fn label(&self) -> &str {
         &self.label
     }

@@ -99,6 +99,10 @@ impl Node for DistSource {
         }
     }
 
+    fn reset(&mut self) {
+        self.emitted = 0;
+    }
+
     fn label(&self) -> &str {
         &self.label
     }

@@ -29,6 +29,18 @@ struct TapState {
     cross: u64,
 }
 
+impl TapState {
+    /// Drop everything captured, keeping the timestamp buffer's
+    /// capacity. Shared by [`TapHandle::clear`] and the node's
+    /// scenario-reset hook so the two can never drift apart.
+    fn clear(&mut self) {
+        self.timestamps.clear();
+        self.payload = 0;
+        self.dummy = 0;
+        self.cross = 0;
+    }
+}
+
 /// Shared handle for reading what a [`Tap`] captured, usable after the
 /// simulation has run (the engine owns the tap node itself). Simulations
 /// are single-threaded, so the handle shares state over `Rc<RefCell<_>>`
@@ -103,11 +115,7 @@ impl TapHandle {
 
     /// Drop everything captured so far (e.g. to discard a warm-up phase).
     pub fn clear(&self) {
-        let mut st = self.state.borrow_mut();
-        st.timestamps.clear();
-        st.payload = 0;
-        st.dummy = 0;
-        st.cross = 0;
+        self.state.borrow_mut().clear();
     }
 }
 
@@ -190,6 +198,10 @@ impl Node for Tap {
         } else {
             packets.clear();
         }
+    }
+
+    fn reset(&mut self) {
+        self.state.borrow_mut().clear();
     }
 
     fn label(&self) -> &str {

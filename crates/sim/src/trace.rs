@@ -142,6 +142,10 @@ impl Node for TraceRecorder {
         }
     }
 
+    fn reset(&mut self) {
+        self.state.borrow_mut().clear();
+    }
+
     fn label(&self) -> &str {
         "trace-recorder"
     }
@@ -217,6 +221,10 @@ impl Node for TraceSource {
             self.cursor = 0;
             ctx.schedule_timer(self.mean_gap(), 0);
         }
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
     }
 
     fn label(&self) -> &str {

@@ -1,0 +1,315 @@
+//! Many-gateway aggregate workload: N padded flows on one trunk.
+//!
+//! The paper studies a single gateway pair; aggregate-traffic analyses
+//! (throughput fingerprinting, messaging-app traffic analysis) study an
+//! adversary who taps an *aggregated* link carrying many padded flows at
+//! once. This module opens that regime end to end:
+//!
+//! ```text
+//!  src_0 → GW1_0 → [tap@gw1] ─┐                ┌─ [tap@gw2] → GW2_0 → sink
+//!  src_1 → GW1_1 ─────────────┤                ├─ GW2_1
+//!   ...                       ├→ trunk router ─┤   ...      (per-flow
+//!  src_N → GW1_N ─────────────┘   [trunk tap]  └─ GW2_N      demux)
+//! ```
+//!
+//! Every flow `i` runs its own CIT/VIT padding gateway pair under
+//! `FlowId(i)`; all sender gateways feed one shared **trunk** (a FIFO
+//! router with configurable capacity and propagation). A **trunk tap**
+//! (no flow filter) records the aggregate arrival process — the
+//! adversary's view of the shared link — and a [`TrunkDemux`] fans the
+//! flows back out so the adversary pipeline (and QoS accounting) can
+//! also observe any single flow post-trunk. Flow 0 is the fully
+//! instrumented *target* flow: it keeps the lab scenario's sender-egress
+//! and receiver-ingress taps, so [`TapPosition`](crate::scenario::TapPosition)
+//! semantics carry over unchanged.
+//!
+//! With thousands of gateways and a long-haul trunk, hundreds of
+//! thousands of events (gateway ticks, source arrivals, in-flight trunk
+//! packets) are pending at any instant — the store-bound regime the
+//! ladder event queue was built for, as a real scenario rather than a
+//! microbench.
+
+use crate::scenario::{AggregateHandles, BuiltScenario, ScenarioBuilder, ScenarioError};
+use linkpad_core::gateway::{ReceiverGateway, SenderGateway};
+use linkpad_sim::engine::{Context, SimBuilder};
+use linkpad_sim::node::{Node, NodeId};
+use linkpad_sim::packet::{FlowId, Packet, PacketKind};
+use linkpad_sim::router::Router;
+use linkpad_sim::sink::Sink;
+use linkpad_sim::source::DistSource;
+use linkpad_sim::tap::Tap;
+use linkpad_sim::time::SimDuration;
+use linkpad_stats::rng::MasterSeed;
+
+/// Configuration of the aggregate (many-gateway trunk) topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateSpec {
+    /// Number of padded flows (sender/receiver gateway pairs). Each flow
+    /// `i` is carried as `FlowId(i)`; flow 0 is the instrumented target.
+    pub flows: usize,
+    /// Trunk link capacity, bits/s.
+    pub trunk_bps: f64,
+    /// Trunk propagation delay, seconds. Long-haul trunks keep many
+    /// packets in flight: the steady-state pending-event population is
+    /// roughly `flows × (2 + propagation/τ)`.
+    pub trunk_propagation: f64,
+}
+
+impl AggregateSpec {
+    /// Defaults for `flows` gateway pairs: a 10 Gb/s metro trunk with
+    /// 5 ms propagation. At the calibrated τ = 10 ms padding clock each
+    /// flow offers 400 kb/s, so utilization stays moderate up to ~10⁴
+    /// flows.
+    pub fn new(flows: usize) -> Self {
+        Self {
+            flows,
+            trunk_bps: 10e9,
+            trunk_propagation: 5e-3,
+        }
+    }
+}
+
+/// Per-flow fan-out after the trunk: routes `FlowId(i)` to `nexts[i]`.
+///
+/// The generalization of [`crate::demux::FlowDemux`] from two-way
+/// (padded/other) to N-way; aggregate scenarios use it to peel every
+/// padded flow off the shared trunk toward its own receiver gateway.
+#[derive(Debug)]
+pub struct TrunkDemux {
+    nexts: Vec<NodeId>,
+    forwarded: u64,
+    unknown: u64,
+}
+
+impl TrunkDemux {
+    /// A demux routing flow `i` to `nexts[i]`.
+    pub fn new(nexts: Vec<NodeId>) -> Self {
+        Self {
+            nexts,
+            forwarded: 0,
+            unknown: 0,
+        }
+    }
+
+    /// Packets forwarded to a per-flow branch.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets whose flow id had no branch (dropped).
+    pub fn unknown(&self) -> u64 {
+        self.unknown
+    }
+}
+
+impl Node for TrunkDemux {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        match self.nexts.get(packet.flow.0 as usize) {
+            Some(&next) => {
+                self.forwarded += 1;
+                ctx.send_now(next, packet);
+            }
+            None => self.unknown += 1,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.forwarded = 0;
+        self.unknown = 0;
+    }
+
+    fn label(&self) -> &str {
+        "trunk-demux"
+    }
+}
+
+/// Materialize the aggregate topology for `builder` (its payload,
+/// schedule, discipline and calibrated defaults apply to **every**
+/// flow; each flow draws from its own RNG streams, so flows are
+/// statistically independent replicas).
+pub(crate) fn build_aggregate(
+    builder: &ScenarioBuilder,
+    spec: AggregateSpec,
+) -> Result<BuiltScenario, ScenarioError> {
+    if spec.flows == 0 {
+        return Err(ScenarioError::EmptyAggregate);
+    }
+    let d = builder.defaults;
+    let mut b = SimBuilder::new(MasterSeed::new(builder.seed()));
+
+    // Receiver side, flow 0 (the instrumented target): sink ← GW2 ← tap.
+    let (payload_sink, sink) = Sink::new();
+    let sink_id = b.add_node(Box::new(sink.with_label("subnet-b")));
+    let (receiver, gw2) = ReceiverGateway::new(Some(sink_id));
+    let gw2_id = b.add_node(Box::new(gw2));
+    let (receiver_tap, rtap) = Tap::on_padded_flow(Some(gw2_id));
+    let rtap_id = b.add_node(Box::new(rtap.with_label("tap@gw2")));
+
+    // Receiver side, flows 1..N: a terminating gateway each.
+    let mut receivers = Vec::with_capacity(spec.flows);
+    receivers.push(receiver.clone());
+    let mut demux_nexts = Vec::with_capacity(spec.flows);
+    demux_nexts.push(rtap_id);
+    for i in 1..spec.flows {
+        let (r, gw2_i) = ReceiverGateway::new(None);
+        let id = b.add_node(Box::new(gw2_i.with_flow(FlowId(i as u32))));
+        receivers.push(r);
+        demux_nexts.push(id);
+    }
+
+    // The shared trunk: router → trunk tap (aggregate view) → demux.
+    let demux_id = b.add_node(Box::new(TrunkDemux::new(demux_nexts)));
+    let (trunk_tap, ttap) = Tap::new(None, Some(demux_id));
+    let ttap_id = b.add_node(Box::new(ttap.with_label("tap@trunk")));
+    let trunk_id = b.add_node(Box::new(
+        Router::new(
+            ttap_id,
+            spec.trunk_bps,
+            SimDuration::from_secs_f64(spec.trunk_propagation),
+        )
+        .with_label("trunk"),
+    ));
+
+    // Sender side: flow 0 through its egress tap, the rest straight in.
+    let (sender_tap, stap) = Tap::on_padded_flow(Some(trunk_id));
+    let stap_id = b.add_node(Box::new(stap.with_label("tap@gw1")));
+    let mut gateways = Vec::with_capacity(spec.flows);
+    for i in 0..spec.flows {
+        let flow = FlowId(i as u32);
+        let first_hop = if i == 0 { stap_id } else { trunk_id };
+        let (gw, gw1) = SenderGateway::new(
+            first_hop,
+            builder.schedule().to_schedule(d.tau)?,
+            d.jitter,
+            d.packet_size,
+        );
+        let gw1_id = b.add_node(Box::new(
+            gw1.with_discipline(builder.discipline())
+                .with_flow(flow)
+                .with_label(format!("gw1-{i}")),
+        ));
+        gateways.push(gw);
+        b.add_node(Box::new(DistSource::new(
+            gw1_id,
+            flow,
+            PacketKind::Payload,
+            builder.payload().interval_law()?,
+            Box::new(linkpad_stats::dist::Deterministic::new(
+                d.packet_size as f64,
+            )?),
+        )));
+    }
+
+    let sim = b.build()?;
+    Ok(BuiltScenario {
+        sim,
+        sender_tap,
+        receiver_tap,
+        gateway: gateways[0].clone(),
+        receiver: receivers[0].clone(),
+        payload_sink,
+        aggregate: Some(AggregateHandles {
+            trunk_tap,
+            gateways,
+            receivers,
+        }),
+        tau: d.tau,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TapPosition;
+    use linkpad_stats::moments::{sample_mean, sample_variance};
+
+    #[test]
+    fn aggregate_builds_and_collects_target_flow_piats() {
+        let b = ScenarioBuilder::aggregate(1, 16).with_payload_rate(10.0);
+        let mut s = b.build().unwrap();
+        let piats = s
+            .collect_piats(TapPosition::SenderEgress, 1000, 50)
+            .unwrap();
+        assert_eq!(piats.len(), 1000);
+        let m = sample_mean(&piats).unwrap();
+        // Flow 0's egress is still a τ-clocked padded stream.
+        assert!((m - 0.010).abs() < 1e-5, "mean {m}");
+        let sd = sample_variance(&piats).unwrap().sqrt();
+        assert!(sd > 1e-7 && sd < 100e-6, "sd {sd}");
+    }
+
+    #[test]
+    fn trunk_tap_sees_all_flows_and_demux_separates_them() {
+        let flows = 8;
+        let b = ScenarioBuilder::aggregate(2, flows).with_payload_rate(10.0);
+        let mut s = b.build().unwrap();
+        s.run_for_secs(5.0);
+        let agg = s.aggregate.as_ref().unwrap();
+        // Every gateway ticks at ~100 pps; the trunk tap sees the union.
+        let per_flow = s.sender_tap.count() as f64;
+        let trunk = agg.trunk_tap.count() as f64;
+        assert!(
+            (trunk / per_flow - flows as f64).abs() < 0.1 * flows as f64,
+            "trunk {trunk} vs per-flow {per_flow}"
+        );
+        // Post-demux, flow 0's tap is a clean single-flow stream again.
+        assert!(s.receiver_tap.count() > 400);
+        let (_, _, cross) = s.receiver_tap.kind_counts();
+        assert_eq!(cross, 0);
+        // Every receiver terminates only its own flow.
+        for (i, r) in agg.receivers.iter().enumerate() {
+            assert_eq!(r.unexpected(), 0, "receiver {i} saw foreign traffic");
+            assert!(
+                r.payload_delivered() + r.dummies_stripped() > 400,
+                "receiver {i} starved"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_receiver_gets_all_payload_per_flow() {
+        let b = ScenarioBuilder::aggregate(3, 4).with_payload_rate(40.0);
+        let mut s = b.build().unwrap();
+        s.run_for_secs(10.0);
+        let agg = s.aggregate.as_ref().unwrap();
+        for (gw, rx) in agg.gateways.iter().zip(&agg.receivers) {
+            // Everything sent is delivered, minus at most a couple in
+            // flight over the 5 ms trunk.
+            assert!(gw.payload_sent() >= 395, "sent {}", gw.payload_sent());
+            assert!(gw.payload_sent() - rx.payload_delivered() <= 2);
+            assert!(gw.dummy_sent() - rx.dummies_stripped() <= 2);
+        }
+        assert_eq!(
+            s.payload_sink.count() as u64,
+            agg.receivers[0].payload_delivered()
+        );
+    }
+
+    #[test]
+    fn empty_aggregate_is_a_build_error() {
+        let b = ScenarioBuilder::aggregate(4, 0);
+        assert!(matches!(b.build(), Err(ScenarioError::EmptyAggregate)));
+    }
+
+    #[test]
+    fn trunk_demux_counts_unknown_flows() {
+        use linkpad_sim::time::SimTime;
+        let mut b = SimBuilder::new(MasterSeed::new(5));
+        let (h, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        let demux_id = b.add_node(Box::new(TrunkDemux::new(vec![sink_id])));
+        // Flow 0 routes, flow 7 has no branch.
+        for (flow, period) in [(0u32, 0.010), (7u32, 0.004)] {
+            b.add_node(Box::new(DistSource::new(
+                demux_id,
+                FlowId(flow),
+                PacketKind::Dummy,
+                Box::new(linkpad_stats::dist::Deterministic::new(period).unwrap()),
+                Box::new(linkpad_stats::dist::Deterministic::new(500.0).unwrap()),
+            )));
+        }
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(h.count(), 100);
+    }
+}

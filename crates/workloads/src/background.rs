@@ -107,6 +107,10 @@ impl Node for BackgroundNoiseHop {
         ctx.send_after(delay, self.next, packet);
     }
 
+    fn reset(&mut self) {
+        self.last_departure = SimTime::ZERO;
+    }
+
     fn label(&self) -> &str {
         &self.label
     }

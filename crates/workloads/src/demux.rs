@@ -52,6 +52,11 @@ impl Node for FlowDemux {
         }
     }
 
+    fn reset(&mut self) {
+        self.padded_count = 0;
+        self.other_count = 0;
+    }
+
     fn label(&self) -> &str {
         "demux"
     }

@@ -13,15 +13,20 @@
 //!   path at each hop's egress, as in the paper's Fig. 3 topology.
 //! * [`switching`] — a payload source that switches between the low and
 //!   high rate over time (the hidden state the adversary estimates).
-//! * [`scenario`] — the three experiment topologies as builders:
+//! * [`scenario`] — the experiment topologies as builders:
 //!   **lab** (GW1 → ESR-5000-style router with cross traffic → GW2,
-//!   Fig. 3), **campus** (3-hop chain, Fig. 7a) and **wan** (15-hop
-//!   chain, Ohio→Texas, Fig. 7b), each returning a runnable simulation
-//!   plus tap/gateway handles and a PIAT collector.
+//!   Fig. 3), **campus** (3-hop chain, Fig. 7a), **wan** (15-hop
+//!   chain, Ohio→Texas, Fig. 7b) and **aggregate** (N gateway pairs on
+//!   one trunk), each returning a runnable simulation plus tap/gateway
+//!   handles, a PIAT collector, and a seed-reset fast path for sweeps.
+//! * [`aggregate`] — the many-gateway trunk topology: per-flow padded
+//!   gateway pairs feeding a shared trunk link, a trunk tap recording
+//!   the aggregate, and an N-way flow demux behind it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod background;
 pub mod cross;
 pub mod demux;
@@ -29,9 +34,10 @@ pub mod scenario;
 pub mod spec;
 pub mod switching;
 
+pub use aggregate::{AggregateSpec, TrunkDemux};
 pub use background::BackgroundNoiseHop;
 pub use cross::{cross_rate_for_utilization, DiurnalProfile, SizeMix};
 pub use demux::FlowDemux;
-pub use scenario::{BuiltScenario, ScenarioBuilder, TapPosition};
+pub use scenario::{AggregateHandles, BuiltScenario, ScenarioBuilder, TapPosition};
 pub use spec::{HopSpec, PayloadSpec, ScheduleSpec};
 pub use switching::SwitchingSource;

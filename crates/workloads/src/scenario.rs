@@ -14,6 +14,7 @@
 //! ingress) so experiments choose the adversary's vantage point, plus
 //! gateway/receiver handles for QoS and overhead accounting.
 
+use crate::aggregate::AggregateSpec;
 use crate::cross::{cross_interval_law, cross_rate_for_utilization, SizeMix};
 use crate::demux::FlowDemux;
 use crate::spec::{HopSpec, PayloadSpec, ScheduleSpec};
@@ -56,6 +57,8 @@ pub enum ScenarioError {
         /// Timestamps captured when the budget ran out.
         got: usize,
     },
+    /// An aggregate scenario was configured with zero flows.
+    EmptyAggregate,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -65,6 +68,9 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Build(e) => write!(f, "scenario wiring: {e}"),
             ScenarioError::CollectionStalled { needed, got } => {
                 write!(f, "tap stalled: needed {needed} packets, got {got}")
+            }
+            ScenarioError::EmptyAggregate => {
+                write!(f, "aggregate scenario needs at least one flow")
             }
         }
     }
@@ -98,6 +104,9 @@ pub struct ScenarioBuilder {
     /// calibrated lab value; campus/wan presets use faster links.
     hop_link_bps: f64,
     discipline: TimerDiscipline,
+    /// When set, `build()` materializes the many-gateway aggregate
+    /// topology instead of the single-pair hop chain.
+    aggregate: Option<AggregateSpec>,
     label: &'static str,
 }
 
@@ -120,8 +129,23 @@ impl ScenarioBuilder {
             hop_propagation: 0.5e-3,
             hop_link_bps: defaults.link_bps,
             discipline: defaults.discipline,
+            aggregate: None,
             label: "lab",
         }
+    }
+
+    /// The aggregate many-gateway topology (see [`crate::aggregate`]):
+    /// `flows` independent padded gateway pairs sharing one trunk link,
+    /// with a trunk tap on the aggregate and a per-flow demux behind it.
+    /// Flow 0 keeps the lab scenario's instrumentation, so the usual tap
+    /// positions and collectors work unchanged; the extra handles live
+    /// in [`BuiltScenario::aggregate`].
+    pub fn aggregate(seed: u64, flows: usize) -> Self {
+        let mut s = Self::lab(seed);
+        s.hops = Vec::new(); // the trunk replaces the hop chain
+        s.aggregate = Some(AggregateSpec::new(flows));
+        s.label = "aggregate";
+        s
     }
 
     /// The campus topology (Fig. 7a): 3 routers on 600 Mb/s enterprise
@@ -149,6 +173,16 @@ impl ScenarioBuilder {
     /// Override the shared hop link capacity (bits/s).
     pub fn with_hop_link_bps(mut self, bps: f64) -> Self {
         self.hop_link_bps = bps;
+        self
+    }
+
+    /// Override the aggregate trunk (capacity in bits/s, propagation in
+    /// seconds). No effect outside the aggregate family.
+    pub fn with_trunk(mut self, bps: f64, propagation_secs: f64) -> Self {
+        if let Some(spec) = &mut self.aggregate {
+            spec.trunk_bps = bps;
+            spec.trunk_propagation = propagation_secs;
+        }
         self
     }
 
@@ -222,13 +256,36 @@ impl ScenarioBuilder {
         self.hops.len()
     }
 
-    /// Scenario family name ("lab" / "campus" / "wan").
+    /// The timer discipline currently configured.
+    pub fn discipline(&self) -> TimerDiscipline {
+        self.discipline
+    }
+
+    /// The master seed this builder materializes RNG streams from.
+    ///
+    /// Exposed so sweep harnesses can derive per-replication child seeds
+    /// from the *configured* seed instead of hashing incidental builder
+    /// state (which silently reseeded every experiment whenever the
+    /// builder's `Debug` output changed).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Aggregate flow count (1 for the single-pair families).
+    pub fn flow_count(&self) -> usize {
+        self.aggregate.map_or(1, |a| a.flows)
+    }
+
+    /// Scenario family name ("lab" / "campus" / "wan" / "aggregate").
     pub fn label(&self) -> &'static str {
         self.label
     }
 
     /// Materialize the simulation.
     pub fn build(&self) -> Result<BuiltScenario, ScenarioError> {
+        if let Some(spec) = self.aggregate {
+            return crate::aggregate::build_aggregate(self, spec);
+        }
         let d = self.defaults;
         let mut b = SimBuilder::new(MasterSeed::new(self.seed));
 
@@ -317,9 +374,23 @@ impl ScenarioBuilder {
             gateway,
             receiver,
             payload_sink,
+            aggregate: None,
             tau: d.tau,
         })
     }
+}
+
+/// Extra instrumentation of an aggregate scenario (one entry per flow,
+/// indexed by flow id; flow 0 is also exposed through the plain
+/// [`BuiltScenario`] handles).
+pub struct AggregateHandles {
+    /// Tap on the shared trunk, recording **all** flows — the
+    /// aggregate-link adversary's view.
+    pub trunk_tap: TapHandle,
+    /// Per-flow sender-gateway instrumentation.
+    pub gateways: Vec<GatewayHandle>,
+    /// Per-flow receiver-gateway instrumentation.
+    pub receivers: Vec<ReceiverHandle>,
 }
 
 /// A runnable scenario with its instrumentation handles.
@@ -336,7 +407,9 @@ pub struct BuiltScenario {
     pub receiver: ReceiverHandle,
     /// Final payload sink in subnet B.
     pub payload_sink: SinkHandle,
-    tau: f64,
+    /// Aggregate-family extras (`None` for lab/campus/wan).
+    pub aggregate: Option<AggregateHandles>,
+    pub(crate) tau: f64,
 }
 
 impl BuiltScenario {
@@ -351,6 +424,22 @@ impl BuiltScenario {
     /// Run for `secs` of simulated time.
     pub fn run_for_secs(&mut self, secs: f64) {
         self.sim.run_for(SimDuration::from_secs_f64(secs));
+    }
+
+    /// Rewind the scenario to its as-built state under a new seed,
+    /// reusing the whole topology — nodes, event-store allocations,
+    /// tap capture buffers. The contract (guarded by
+    /// `tests/reset_determinism.rs`) is that `reset(s)` followed by any
+    /// run is **bit-identical** to `builder.with_seed(s).build()`
+    /// followed by the same run: every node drops its runtime and
+    /// instrumentation state, and every RNG stream is re-derived from
+    /// `(s, node index)`. Configuration (topology, schedules, rates) is
+    /// construction-time state and is reused, not re-randomized.
+    ///
+    /// This is the sweep fast path: replications differ only by seed,
+    /// so rebuilding the topology per replication is pure overhead.
+    pub fn reset(&mut self, seed: u64) {
+        self.sim.reset(MasterSeed::new(seed));
     }
 
     /// Drive the simulation until the tap at `at` has captured
@@ -408,6 +497,20 @@ impl BuiltScenario {
         let filled = self.tap(at).piats_window_into(warmup, count, out);
         debug_assert!(filled, "collection loop guaranteed enough packets");
         Ok(())
+    }
+
+    /// Reset to `seed` and collect — one replication of a sweep, reusing
+    /// the built topology (see [`BuiltScenario::reset`]). Equivalent to
+    /// `piats_for(&builder.with_seed(seed), ..)` without the rebuild.
+    pub fn collect_piats_reseeded(
+        &mut self,
+        seed: u64,
+        at: TapPosition,
+        count: usize,
+        warmup: usize,
+    ) -> Result<Vec<f64>, ScenarioError> {
+        self.reset(seed);
+        self.collect_piats(at, count, warmup)
     }
 }
 

@@ -116,6 +116,11 @@ impl Node for SwitchingSource {
         }
     }
 
+    fn reset(&mut self) {
+        self.active = 0;
+        self.log.borrow_mut().clear();
+    }
+
     fn label(&self) -> &str {
         "switching-source"
     }

@@ -1,0 +1,128 @@
+//! Reset-vs-fresh determinism: the scenario-reset fast path must be
+//! **bit-identical** to rebuilding.
+//!
+//! `BuiltScenario::reset(seed)` exists so sweeps can reuse a topology
+//! across replications; its whole value rests on the contract that a
+//! reset scenario replays exactly what a fresh `build()` at the same
+//! seed would produce. These property tests drive that contract over
+//! randomized seeds for the lab, campus and aggregate families, on both
+//! tap positions, comparing PIAT traces at full bit precision
+//! (`f64::to_bits`) — any drifted RNG stream, stale node state, or
+//! leftover event-store entry shows up as a bit difference.
+
+use linkpad_workloads::scenario::{BuiltScenario, ScenarioBuilder, TapPosition};
+use proptest::prelude::*;
+
+/// Collect a PIAT trace as raw bits (exact comparison, no epsilons).
+fn trace_bits(s: &mut BuiltScenario, at: TapPosition, count: usize) -> Vec<u64> {
+    s.collect_piats(at, count, 8)
+        .expect("collection succeeds")
+        .into_iter()
+        .map(f64::to_bits)
+        .collect()
+}
+
+/// The three scenario families under test, smallest faithful shapes.
+fn families(seed: u64) -> Vec<(&'static str, ScenarioBuilder)> {
+    vec![
+        ("lab", ScenarioBuilder::lab(seed).with_payload_rate(10.0)),
+        (
+            "campus",
+            ScenarioBuilder::campus(seed, 0.2).with_payload_rate(10.0),
+        ),
+        (
+            "aggregate",
+            ScenarioBuilder::aggregate(seed, 6).with_payload_rate(10.0),
+        ),
+    ]
+}
+
+/// Fresh build at `seed` vs: a scenario built at `other`, dirtied by a
+/// run, then reset to `seed`. Must match bit-for-bit at both taps.
+fn assert_reset_matches_fresh(seed: u64, other: u64, count: usize) {
+    for (name, builder) in families(seed) {
+        for at in [TapPosition::SenderEgress, TapPosition::ReceiverIngress] {
+            let mut fresh = builder.build().expect("fresh build");
+            let want = trace_bits(&mut fresh, at, count);
+
+            // Build under a *different* seed and dirty every node and the
+            // event store before resetting — reset must erase all of it.
+            let mut reused = builder.clone().with_seed(other).build().expect("build");
+            reused.run_for_secs(1.3);
+            reused.reset(seed);
+            let got = trace_bits(&mut reused, at, count);
+            assert_eq!(
+                got, want,
+                "{name}/{at:?}: reset trace diverged from fresh build"
+            );
+
+            // Resetting again replays again (idempotent reuse).
+            reused.reset(seed);
+            let again = trace_bits(&mut reused, at, count);
+            assert_eq!(again, want, "{name}/{at:?}: second reset diverged");
+        }
+    }
+}
+
+proptest! {
+    // Each case builds 3 families × 2 taps × 3 runs; keep the case count
+    // modest so the suite stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn reset_is_bit_identical_to_fresh_build(seed in 1u64..u64::MAX / 2, salt in 1u64..1000) {
+        assert_reset_matches_fresh(seed, seed.wrapping_add(salt), 120);
+    }
+
+    #[test]
+    fn different_seeds_diverge_after_reset(seed in 1u64..u64::MAX / 2) {
+        // The converse guard: reset really reseeds (a reset that ignored
+        // the seed would pass the identity test whenever other == seed).
+        let builder = ScenarioBuilder::lab(seed).with_payload_rate(10.0);
+        let mut s = builder.build().expect("build");
+        let a = trace_bits(&mut s, TapPosition::SenderEgress, 200);
+        s.reset(seed.wrapping_add(1));
+        let b = trace_bits(&mut s, TapPosition::SenderEgress, 200);
+        prop_assert!(a != b, "different seeds must give different jitter traces");
+    }
+}
+
+#[test]
+fn reset_after_partial_collection_still_matches() {
+    // A mid-collection reset (tap partially filled, events in flight at
+    // every tier of the queue) is the sweep loop's actual usage pattern.
+    for (name, builder) in families(42) {
+        let mut fresh = builder.build().expect("fresh");
+        let want = trace_bits(&mut fresh, TapPosition::ReceiverIngress, 150);
+
+        let mut reused = builder.build().expect("build");
+        let _ = trace_bits(&mut reused, TapPosition::ReceiverIngress, 37);
+        reused.run_for_secs(0.01); // stop mid-flight
+        reused.reset(42);
+        let got = trace_bits(&mut reused, TapPosition::ReceiverIngress, 150);
+        assert_eq!(got, want, "{name}: mid-collection reset diverged");
+    }
+}
+
+#[test]
+fn reset_clears_instrumentation_handles() {
+    let builder = ScenarioBuilder::aggregate(7, 4).with_payload_rate(20.0);
+    let mut s = builder.build().expect("build");
+    s.run_for_secs(2.0);
+    let agg = s.aggregate.as_ref().expect("aggregate handles");
+    assert!(s.gateway.ticks() > 0);
+    assert!(agg.trunk_tap.count() > 0);
+    assert!(s.payload_sink.count() > 0);
+    s.reset(7);
+    let agg = s.aggregate.as_ref().expect("aggregate handles");
+    assert_eq!(s.gateway.ticks(), 0, "gateway stats survive reset");
+    assert_eq!(s.receiver.payload_delivered(), 0);
+    assert_eq!(agg.trunk_tap.count(), 0, "trunk tap survives reset");
+    assert_eq!(s.sender_tap.count(), 0);
+    assert_eq!(s.receiver_tap.count(), 0);
+    assert_eq!(s.payload_sink.count(), 0);
+    for (gw, rx) in agg.gateways.iter().zip(&agg.receivers) {
+        assert_eq!(gw.ticks(), 0);
+        assert_eq!(rx.dummies_stripped(), 0);
+    }
+}
