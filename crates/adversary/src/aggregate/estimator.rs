@@ -1,0 +1,223 @@
+//! Flow-count estimation from the aggregate window-count process.
+//!
+//! Under CIT padding every flow emits exactly one packet per padding
+//! period τ (jitter is µs-scale on a 10 ms period). Superposing N such
+//! streams and counting arrivals in windows of width `W` gives, per
+//! window,
+//!
+//! ```text
+//!   count ≈ N · W/τ                                   (rate law)
+//! ```
+//!
+//! because each flow contributes `⌊W/τ⌋` or `⌈W/τ⌉` arrivals depending
+//! on its phase. The **rate estimator** inverts the first moment:
+//! `N̂ = mean(count) / (W/τ)`. With `W` an integer multiple of τ every
+//! flow contributes *exactly* `W/τ` per window and the estimate is
+//! essentially exact after a handful of windows.
+//!
+//! The **variance estimator** uses the second moment: a flow with phase
+//! φ contributes `⌈W/τ⌉` arrivals to the fraction `f = frac(W/τ)` of
+//! windows and `⌊W/τ⌋` to the rest, so across windows each flow's count
+//! is a Bernoulli(f) offset with variance `f(1−f)`, and for independent
+//! uniform phases the aggregate count variance is
+//!
+//! ```text
+//!   var(count) ≈ N · f(1−f)        →       N̂_var = var(count) / f(1−f)
+//! ```
+//!
+//! The variance route needs a *fractional* window (`f(1−f)` bounded away
+//! from 0) and many windows to converge; it is exposed as a cross-check
+//! — e.g. against an adversary who mis-calibrated τ, which biases the
+//! rate law proportionally but leaves the Bernoulli structure intact.
+//!
+//! The variance law doubles as a **phase-synchronization diagnostic**.
+//! With *synchronized* padding clocks (every gateway ticking on the same
+//! τ grid — e.g. gateways deployed together and never restarted) the
+//! per-flow Bernoulli offsets are perfectly correlated, so
+//! `var(count) ≈ N²·f(1−f)` and the independent-phase estimate reads
+//! `≈ N²`: [`FlowCountEstimate::n_hat_var_synchronized`] takes the
+//! square root for that regime, and the ratio
+//! `n_hat_var / n_hat ∈ [1, N]` measures how synchronized the aggregate
+//! is. The workspace's aggregate scenarios *are* synchronized (all
+//! gateways arm their first timer at t = 0), which the
+//! `fig_aggregate_adversary` experiment demonstrates.
+//!
+//! The adversary knows τ by reconstructing the padding system off-line,
+//! exactly as the paper's §3.3 adversary does.
+
+use linkpad_stats::moments::{sample_mean, sample_variance};
+use linkpad_stats::{Result, StatsError};
+
+/// A flow-count estimate from aggregate window counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowCountEstimate {
+    /// Rate-law estimate `mean(count)·τ/W` — the primary estimator.
+    pub n_hat: f64,
+    /// Variance-law cross-check `var(count)/(f(1−f))`; `None` when the
+    /// window is too close to a multiple of τ for the Bernoulli term to
+    /// carry signal (`f(1−f) < 0.05`).
+    pub n_hat_var: Option<f64>,
+    /// Mean arrivals per window.
+    pub mean_count: f64,
+    /// Unbiased variance of arrivals per window.
+    pub var_count: f64,
+    /// Number of windows the estimate was computed from.
+    pub windows: usize,
+}
+
+impl FlowCountEstimate {
+    /// The rate-law estimate rounded to a whole flow count.
+    pub fn rounded(&self) -> u64 {
+        self.n_hat.round().max(0.0) as u64
+    }
+
+    /// Relative error of the rate-law estimate against a known truth.
+    pub fn relative_error(&self, true_flows: usize) -> f64 {
+        (self.n_hat - true_flows as f64).abs() / true_flows as f64
+    }
+
+    /// The variance-law estimate under the *synchronized-clock* model
+    /// (`var ≈ N²·f(1−f)`, so `N̂ = √(var/f(1−f))`). See the module docs;
+    /// compare against [`FlowCountEstimate::n_hat`] to judge which phase
+    /// regime the aggregate is in.
+    pub fn n_hat_var_synchronized(&self) -> Option<f64> {
+        self.n_hat_var.map(f64::sqrt)
+    }
+}
+
+/// Estimate how many CIT-padded flows produced the per-window arrival
+/// `counts`, given the window-to-period ratio `window_over_tau = W/τ`.
+///
+/// Skip boot-transient windows (gateway phase-in) and the trailing
+/// partially-filled window before calling; the estimator assumes every
+/// count covers a full window at steady state.
+pub fn estimate_flow_count(counts: &[f64], window_over_tau: f64) -> Result<FlowCountEstimate> {
+    if !(window_over_tau.is_finite() && window_over_tau > 0.0) {
+        return Err(StatsError::NonPositive {
+            what: "window/tau ratio",
+            value: window_over_tau,
+        });
+    }
+    // Two windows give a variance; the caller decides how much
+    // averaging its error budget needs.
+    let mean_count = sample_mean(counts)?;
+    let var_count = sample_variance(counts)?;
+    let f = window_over_tau.fract();
+    let bernoulli = f * (1.0 - f);
+    Ok(FlowCountEstimate {
+        n_hat: mean_count / window_over_tau,
+        n_hat_var: (bernoulli >= 0.05).then(|| var_count / bernoulli),
+        mean_count,
+        var_count,
+        windows: counts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkpad_stats::rng::MasterSeed;
+
+    /// Synthetic aggregate window counts: N ideal CIT flows with
+    /// independent uniform phases, window/τ ratio `wot`, M windows.
+    fn synthetic_counts(n: usize, wot: f64, m: usize, seed: u64) -> Vec<f64> {
+        let mut rng = MasterSeed::new(seed).stream(0);
+        let phases: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        (0..m)
+            .map(|w| {
+                phases
+                    .iter()
+                    // Arrivals of a period-1 comb at phase φ in
+                    // [w·wot, (w+1)·wot): ⌊(w+1)·wot − φ⌋ − ⌊w·wot − φ⌋ (+1 at φ crossings).
+                    .map(|&phi| {
+                        let hi = ((w + 1) as f64 * wot - phi).floor();
+                        let lo = (w as f64 * wot - phi).floor();
+                        hi - lo
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn integer_window_rate_estimate_is_exact() {
+        // W = 20τ: every flow contributes exactly 20 per window.
+        for n in [10usize, 100, 1000] {
+            let counts = synthetic_counts(n, 20.0, 25, n as u64);
+            let est = estimate_flow_count(&counts, 20.0).unwrap();
+            assert!(
+                est.relative_error(n) < 0.01,
+                "N={n}: n_hat={} err={}",
+                est.n_hat,
+                est.relative_error(n)
+            );
+            assert_eq!(est.rounded(), n as u64);
+            // Integer ratio → no Bernoulli signal → no variance estimate.
+            assert!(est.n_hat_var.is_none());
+            assert_eq!(est.windows, 25);
+        }
+    }
+
+    #[test]
+    fn fractional_window_variance_estimate_tracks_n() {
+        // W = 10.37τ → f(1−f) ≈ 0.233. A single phase configuration
+        // leaves O(1/√N) cross-flow covariance in the window variance,
+        // so the honest contract is convergence *in expectation over
+        // phase draws*: average the estimator over independent runs.
+        for n in [20usize, 200] {
+            let mut acc = 0.0;
+            let runs = 10;
+            for s in 0..runs {
+                let counts = synthetic_counts(n, 10.37, 2000, 7 + s + n as u64);
+                let est = estimate_flow_count(&counts, 10.37).unwrap();
+                assert!(est.relative_error(n) < 0.02, "rate law: {}", est.n_hat);
+                acc += est.n_hat_var.expect("fractional window has signal");
+            }
+            let nv = acc / runs as f64;
+            assert!(
+                (nv - n as f64).abs() / (n as f64) < 0.3,
+                "N={n}: mean n_hat_var={nv}"
+            );
+        }
+    }
+
+    #[test]
+    fn synchronized_clocks_square_the_variance_law() {
+        // Every flow at the *same* phase: offsets perfectly correlated,
+        // var = N²·f(1−f) → the synchronized reading recovers N and the
+        // independent-phase reading overshoots to ~N².
+        let n = 50usize;
+        let wot = 10.37;
+        let counts: Vec<f64> = (0..2000)
+            .map(|w| {
+                let hi = ((w + 1) as f64 * wot - 0.4).floor();
+                let lo = (w as f64 * wot - 0.4).floor();
+                n as f64 * (hi - lo)
+            })
+            .collect();
+        let est = estimate_flow_count(&counts, wot).unwrap();
+        assert!(est.relative_error(n) < 0.02, "rate law: {}", est.n_hat);
+        let sync = est.n_hat_var_synchronized().unwrap();
+        assert!((sync - n as f64).abs() / (n as f64) < 0.1, "sync: {sync}");
+        assert!(
+            est.n_hat_var.unwrap() > 10.0 * n as f64,
+            "independent reading should overshoot"
+        );
+    }
+
+    #[test]
+    fn estimator_validates_input() {
+        assert!(estimate_flow_count(&[10.0], 20.0).is_err()); // needs ≥ 2 windows
+        assert!(estimate_flow_count(&[], 20.0).is_err());
+        assert!(estimate_flow_count(&[10.0, 10.0], 0.0).is_err());
+        assert!(estimate_flow_count(&[10.0, 10.0], f64::NAN).is_err());
+        assert!(estimate_flow_count(&[10.0, 10.0], -3.0).is_err());
+    }
+
+    #[test]
+    fn rounded_clamps_at_zero() {
+        let est = estimate_flow_count(&[0.0, 0.0, 0.0], 20.0).unwrap();
+        assert_eq!(est.rounded(), 0);
+        assert_eq!(est.n_hat, 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! The **aggregate-link adversary**: traffic analysis of a shared trunk.
+//!
+//! The paper's §3.3 adversary taps the link between one gateway pair.
+//! The realistic big-pipe adversary (throughput fingerprinting, Mittal
+//! et al.; messaging-app traffic analysis, Bahramali et al.) taps an
+//! *aggregated* trunk carrying many padded flows at once and asks two
+//! questions the per-flow pipeline cannot:
+//!
+//! 1. **How many flows does the trunk carry?** CIT padding makes every
+//!    flow's output a near-deterministic `1/τ` stream, so the aggregate
+//!    window-count process exposes N through its first two moments —
+//!    see [`estimator`].
+//! 2. **Which rate class is a target flow running?** Window-level PIAT
+//!    statistics of the aggregate carry (a heavily diluted) image of
+//!    the target's gateway jitter; [`windows`] provides the signature
+//!    correlation tools, and the existing
+//!    [`KdeBayes`](crate::classifier::KdeBayes)/[`Feature`](crate::feature::Feature)
+//!    machinery classifies window-level feature streams exactly as it
+//!    classifies PIAT samples.
+//!
+//! **Information barrier.** Everything here consumes plain `&[f64]`
+//! window series (arrival counts, byte rates, PIAT moments per window)
+//! — data legitimately derivable from the timestamps and sizes a wire
+//! tap sees. Nothing accepts packet kinds, flow ids or gateway state.
+//! The window series themselves come from
+//! `linkpad_sim::observer::WindowedObserver` (or any other instrument);
+//! this crate deliberately does not depend on the simulator.
+
+pub mod estimator;
+pub mod windows;
+
+pub use estimator::{estimate_flow_count, FlowCountEstimate};
+pub use windows::{best_phase, pearson, square_signature};

@@ -1,0 +1,174 @@
+//! Window-series tools: rate-signature correlation over trunk windows.
+//!
+//! A rate-switching target flow modulates the aggregate's window-level
+//! statistics with a square wave at the switching period (the paper's
+//! hidden rate state, made time-varying). These helpers let the
+//! adversary test a *candidate* signature against an observed window
+//! series — Pearson correlation against a ±1 square wave swept over
+//! phase — before handing the per-segment classification to the
+//! KDE-Bayes machinery.
+//!
+//! Window series may contain `NaN` entries (empty windows have no PIAT
+//! moments); the correlation treats them as missing and skips those
+//! windows pairwise.
+
+use linkpad_stats::{Result, StatsError};
+
+/// Pearson correlation of two equally-long series, skipping index pairs
+/// where either value is non-finite. Errors if fewer than two finite
+/// pairs remain or either series is constant over them.
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "correlation series",
+            needed: 2,
+            got: a.len().min(b.len()),
+        });
+    }
+    let (mut n, mut sa, mut sb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            n += 1.0;
+            sa += x;
+            sb += y;
+        }
+    }
+    if n < 2.0 {
+        return Err(StatsError::InsufficientData {
+            what: "finite correlation pairs",
+            needed: 2,
+            got: n as usize,
+        });
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut num, mut va, mut vb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            num += (x - ma) * (y - mb);
+            va += (x - ma) * (x - ma);
+            vb += (y - mb) * (y - mb);
+        }
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "correlation variance",
+            value: va.min(vb),
+        });
+    }
+    Ok(num / (va * vb).sqrt())
+}
+
+/// A ±1 square-wave signature of a two-rate switching schedule, sampled
+/// per window: −1 over the first half of each period (the low-rate
+/// dwell; switching sources start low), +1 over the second half.
+/// `period_windows` is the full low+high period in window units;
+/// `phase_windows` shifts the wave right.
+pub fn square_signature(period_windows: f64, phase_windows: f64, len: usize) -> Vec<f64> {
+    assert!(
+        period_windows.is_finite() && period_windows > 0.0,
+        "signature period must be positive"
+    );
+    (0..len)
+        .map(|i| {
+            let pos = ((i as f64 - phase_windows) / period_windows).rem_euclid(1.0);
+            if pos < 0.5 {
+                -1.0
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Correlate `series` against the square signature at `period_windows`,
+/// scanning `steps` evenly-spaced phases over one period. Returns the
+/// best `(phase_windows, correlation)` by absolute correlation — the
+/// adversary cares about lock strength; the sign tells which dwell is
+/// which.
+pub fn best_phase(series: &[f64], period_windows: f64, steps: usize) -> Result<(f64, f64)> {
+    if steps == 0 {
+        return Err(StatsError::InsufficientData {
+            what: "phase scan steps",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut best = None;
+    for k in 0..steps {
+        let phase = period_windows * k as f64 / steps as f64;
+        let sig = square_signature(period_windows, phase, series.len());
+        if let Ok(r) = pearson(series, &sig) {
+            if best.is_none_or(|(_, b): (f64, f64)| r.abs() > b.abs()) {
+                best = Some((phase, r));
+            }
+        }
+    }
+    best.ok_or(StatsError::InsufficientData {
+        what: "correlatable phase",
+        needed: 1,
+        got: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let r = pearson(&xs, &xs).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_skips_nan_pairs() {
+        let a = [1.0, f64::NAN, 3.0, 4.0, 5.0];
+        let b = [2.0, 7.0, 6.0, f64::NAN, 10.0];
+        // Finite pairs: (1,2), (3,6), (5,10) — perfectly linear.
+        let r = pearson(&a, &b).unwrap();
+        assert!((r - 1.0).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn pearson_validates() {
+        assert!(pearson(&[1.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_err()); // length mismatch
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err()); // constant
+        assert!(pearson(&[f64::NAN, 1.0], &[1.0, 2.0]).is_err()); // 1 finite pair
+    }
+
+    #[test]
+    fn square_signature_alternates_at_the_period() {
+        let sig = square_signature(10.0, 0.0, 20);
+        assert_eq!(&sig[..5], &[-1.0; 5]);
+        assert_eq!(&sig[5..10], &[1.0; 5]);
+        assert_eq!(&sig[10..15], &[-1.0; 5]);
+        // Phase shifts the wave right (earlier indices wrap into the
+        // previous period's high half).
+        let shifted = square_signature(10.0, 2.0, 20);
+        assert_eq!(&shifted[..2], &[1.0, 1.0]);
+        assert_eq!(&shifted[2..7], &[-1.0; 5]);
+        assert_eq!(&shifted[7..12], &[1.0; 5]);
+    }
+
+    #[test]
+    fn best_phase_locks_onto_an_embedded_square_wave() {
+        // Noise-free square wave at period 12, phase 3.
+        let truth = square_signature(12.0, 3.0, 120);
+        let (phase, r) = best_phase(&truth, 12.0, 24).unwrap();
+        assert!((r.abs() - 1.0).abs() < 1e-9, "r = {r}");
+        assert!((phase - 3.0).abs() < 0.51, "phase = {phase}");
+        // A wrong candidate period must lock much more weakly.
+        let (_, r_wrong) = best_phase(&truth, 7.3, 24).unwrap();
+        assert!(r_wrong.abs() < 0.5, "wrong period locked: {r_wrong}");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_signature_panics() {
+        let _ = square_signature(0.0, 0.0, 4);
+    }
+}

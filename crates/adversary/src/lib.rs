@@ -15,6 +15,10 @@
 //! * [`pipeline`] — the end-to-end experiment: slice PIAT streams into
 //!   samples of size *n*, train, test, and report a detection rate with
 //!   a Wilson confidence interval (eq. 6–7).
+//! * [`aggregate`] — the aggregate-link adversary: flow-count
+//!   estimation and rate-signature correlation over *window-level*
+//!   trunk statistics (counts, byte rates, PIAT moments per window)
+//!   instead of per-flow PIATs.
 //!
 //! **Information barrier.** Nothing in this crate accepts packet kinds,
 //! payload contents, or gateway state: the adversary sees `&[f64]` PIATs
@@ -23,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod classifier;
 pub mod feature;
 pub mod pipeline;
 
+pub use aggregate::{estimate_flow_count, FlowCountEstimate};
 pub use classifier::KdeBayes;
 pub use feature::{Feature, MedianAbsDev, SampleEntropy, SampleMean, SampleVariance};
 pub use pipeline::{DetectionReport, DetectionStudy};

@@ -12,8 +12,23 @@ use linkpad_stats::special::std_normal_quantile;
 use linkpad_stats::{Result, StatsError};
 
 /// Slice a PIAT stream into disjoint samples of `n` and compute the
-/// feature on each. Trailing PIATs that do not fill a sample are dropped.
+/// feature on each. Trailing PIATs that do not fill a sample are dropped;
+/// use [`features_from_piats_counted`] when the caller needs to account
+/// for that waste.
 pub fn features_from_piats(feature: &dyn Feature, piats: &[f64], n: usize) -> Result<Vec<f64>> {
+    features_from_piats_counted(feature, piats, n).map(|(feats, _)| feats)
+}
+
+/// [`features_from_piats`], also returning how many trailing PIATs were
+/// dropped because they did not fill a sample of `n`. Sweep harnesses
+/// surface the total through [`DetectionReport::dropped_piats`] so
+/// badly-aligned sample sizes show up as visible sample waste instead of
+/// silently shrinking the study.
+pub fn features_from_piats_counted(
+    feature: &dyn Feature,
+    piats: &[f64],
+    n: usize,
+) -> Result<(Vec<f64>, usize)> {
     if n < feature.min_sample_size().max(1) {
         return Err(StatsError::InsufficientData {
             what: "feature sample size",
@@ -32,7 +47,7 @@ pub fn features_from_piats(feature: &dyn Feature, piats: &[f64], n: usize) -> Re
             got: piats.len(),
         });
     }
-    Ok(out)
+    Ok((out, piats.len() % n))
 }
 
 /// Result of one detection experiment.
@@ -46,6 +61,11 @@ pub struct DetectionReport {
     pub per_class: Vec<(u64, u64)>,
     /// The two-class Bayes threshold `d`, when defined.
     pub threshold: Option<f64>,
+    /// PIATs the study *collected but never used*: stream tails beyond
+    /// the train+test budget plus partial trailing sample chunks, summed
+    /// over classes. Zero when the sweep's collection is sized exactly;
+    /// a large value means the sweep config wastes sample budget.
+    pub dropped_piats: u64,
 }
 
 impl DetectionReport {
@@ -130,6 +150,7 @@ impl DetectionStudy {
         }
         let mut train_features = Vec::with_capacity(piats_per_class.len());
         let mut test_features = Vec::with_capacity(piats_per_class.len());
+        let mut dropped = 0u64;
         for stream in piats_per_class {
             let needed = self.piats_needed();
             if stream.len() < needed {
@@ -139,20 +160,23 @@ impl DetectionStudy {
                     got: stream.len(),
                 });
             }
+            // Anything past the budget is collected-but-unused sample
+            // waste; the train/test splits are exact multiples of n, so
+            // chunking inside them never drops more.
+            dropped += (stream.len() - needed) as u64;
             let split = self.train_samples * self.sample_size;
-            train_features.push(features_from_piats(
-                feature,
-                &stream[..split],
-                self.sample_size,
-            )?);
-            test_features.push(features_from_piats(
-                feature,
-                &stream[split..needed],
-                self.sample_size,
-            )?);
+            let (train, d_train) =
+                features_from_piats_counted(feature, &stream[..split], self.sample_size)?;
+            let (test, d_test) =
+                features_from_piats_counted(feature, &stream[split..needed], self.sample_size)?;
+            dropped += (d_train + d_test) as u64;
+            train_features.push(train);
+            test_features.push(test);
         }
         let classifier = KdeBayes::train(&train_features)?;
-        Ok(evaluate(&classifier, &test_features))
+        let mut report = evaluate(&classifier, &test_features);
+        report.dropped_piats = dropped;
+        Ok(report)
     }
 }
 
@@ -177,6 +201,7 @@ pub fn evaluate(classifier: &KdeBayes, test_features_per_class: &[Vec<f64>]) -> 
         total,
         per_class,
         threshold: classifier.two_class_threshold(),
+        dropped_piats: 0,
     }
 }
 
@@ -203,6 +228,39 @@ mod tests {
         // 3-chunks: drops the trailing partial chunk.
         let feats = features_from_piats(&SampleMean, &xs, 3).unwrap();
         assert_eq!(feats.len(), 3);
+    }
+
+    #[test]
+    fn features_from_piats_counts_the_dropped_tail() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let (feats, dropped) = features_from_piats_counted(&SampleMean, &xs, 3).unwrap();
+        assert_eq!(feats.len(), 3);
+        assert_eq!(dropped, 1);
+        let (_, none) = features_from_piats_counted(&SampleMean, &xs, 5).unwrap();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn study_surfaces_sample_waste() {
+        let study = DetectionStudy {
+            sample_size: 200,
+            train_samples: 20,
+            test_samples: 10,
+        };
+        // Exactly-sized streams waste nothing.
+        let lo = piats(6e-6, study.piats_needed(), 20);
+        let hi = piats(9e-6, study.piats_needed(), 21);
+        let report = study
+            .run(&SampleVariance, &[lo.clone(), hi.clone()])
+            .unwrap();
+        assert_eq!(report.dropped_piats, 0);
+        // Over-collected streams surface the unused tail, per class.
+        let mut lo_fat = lo;
+        lo_fat.extend(piats(6e-6, 137, 22));
+        let mut hi_fat = hi;
+        hi_fat.extend(piats(9e-6, 63, 23));
+        let report = study.run(&SampleVariance, &[lo_fat, hi_fat]).unwrap();
+        assert_eq!(report.dropped_piats, 137 + 63);
     }
 
     #[test]
@@ -285,6 +343,7 @@ mod tests {
             total: 100,
             per_class: vec![(40, 50), (40, 50)],
             threshold: None,
+            dropped_piats: 0,
         };
         let (lo, hi) = report.wilson_interval(0.05);
         assert!(lo < 0.8 && 0.8 < hi);
@@ -295,6 +354,7 @@ mod tests {
             total: 0,
             per_class: vec![],
             threshold: None,
+            dropped_piats: 0,
         };
         assert_eq!(empty.wilson_interval(0.05), (0.0, 1.0));
         assert_eq!(empty.detection_rate(), 0.0);

@@ -1,22 +1,24 @@
 //! Perf baseline: measures raw engine throughput (events/sec) against a
 //! `BinaryHeap` reference event loop — on the classic timer microbench
-//! *and* on the aggregate-trunk workload — plus scenario-reset setup
-//! cost and a representative sweep wall-clock, and writes `BENCH_2.json`
-//! at the workspace root so later PRs have a recorded trajectory
-//! (`bench_compare` diffs consecutive baselines in CI).
+//! *and* on the aggregate-trunk workload — plus the aggregate-observer
+//! scenario (streaming trunk observer, the O(windows) aggregate
+//! observation path), scenario-reset setup cost and a representative
+//! sweep wall-clock, and writes `BENCH_3.json` at the workspace root so
+//! later PRs have a recorded trajectory (`bench_compare` diffs
+//! consecutive baselines in CI).
 //!
 //! Run from anywhere in the workspace:
 //! `cargo run --release -p linkpad-bench --bin perf_baseline`
 
 use linkpad_bench::perf::{
-    aggregate_scenario_events_per_sec, aggregate_trunk_events_per_sec,
-    heap_reference_aggregate_events_per_sec, heap_reference_events_per_sec, reset_vs_rebuild,
-    sim_events_per_sec, sweep_wall_clock_secs,
+    aggregate_observer_events_per_sec, aggregate_scenario_events_per_sec,
+    aggregate_trunk_events_per_sec, heap_reference_aggregate_events_per_sec,
+    heap_reference_events_per_sec, reset_vs_rebuild, sim_events_per_sec, sweep_wall_clock_secs,
 };
 use std::io::Write;
 
 /// Sequence number of the baseline this binary writes.
-const BASELINE: u32 = 2;
+const BASELINE: u32 = 3;
 
 fn main() {
     // Sized so the run takes a few seconds in release mode; override with
@@ -88,9 +90,30 @@ fn main() {
             b
         }
     };
-    let trunk_engine = trunk_best(&|| aggregate_trunk_events_per_sec(events, flows));
-    let trunk_heap = trunk_best(&|| heap_reference_aggregate_events_per_sec(events, flows));
-    let trunk_speedup = trunk_engine.events_per_sec / trunk_heap.events_per_sec;
+    // Same per-metric protocol as the event-loop shapes: engine and
+    // heap each record their own best, and the speedup is the best
+    // *paired* ratio — never engine-best / heap-best, which would mix
+    // two runs' noise bands.
+    let (trunk_engine, trunk_heap, trunk_speedup) = {
+        let (mut engine, mut heap, mut speedup) = (
+            aggregate_trunk_events_per_sec(events, flows),
+            heap_reference_aggregate_events_per_sec(events, flows),
+            0.0f64,
+        );
+        speedup = speedup.max(engine.events_per_sec / heap.events_per_sec);
+        let (e, h) = (
+            aggregate_trunk_events_per_sec(events, flows),
+            heap_reference_aggregate_events_per_sec(events, flows),
+        );
+        speedup = speedup.max(e.events_per_sec / h.events_per_sec);
+        if e.events_per_sec > engine.events_per_sec {
+            engine = e;
+        }
+        if h.events_per_sec > heap.events_per_sec {
+            heap = h;
+        }
+        (engine, heap, speedup)
+    };
     eprintln!(
         "  {} pending: engine {:.0} ev/s, reference {:.0} ev/s ({} pending), {trunk_speedup:.2}x",
         trunk_engine.pending,
@@ -103,6 +126,30 @@ fn main() {
     eprintln!(
         "  scenario: {:.0} ev/s at {} pending",
         scenario.events_per_sec, scenario.pending
+    );
+
+    // Aggregate observer: the same 10⁴-flow scenario with the streaming
+    // windowed observer on the trunk instead of the store-everything
+    // tap — the aggregate-adversary observation path. windows/arrivals
+    // documents the O(windows) memory contract.
+    const OBSERVER_WINDOW_MS: f64 = 200.0;
+    eprintln!(
+        "measuring aggregate observer ({flows} gateway pairs, {OBSERVER_WINDOW_MS} ms windows)..."
+    );
+    let observer = {
+        let (a, b) = (
+            aggregate_observer_events_per_sec(flows, 1.0, OBSERVER_WINDOW_MS * 1e-3),
+            aggregate_observer_events_per_sec(flows, 1.0, OBSERVER_WINDOW_MS * 1e-3),
+        );
+        if a.events_per_sec >= b.events_per_sec {
+            a
+        } else {
+            b
+        }
+    };
+    eprintln!(
+        "  observer: {:.0} ev/s at {} pending; {} arrivals folded into {} windows",
+        observer.events_per_sec, observer.pending, observer.arrivals, observer.windows
     );
 
     eprintln!("measuring scenario reset vs rebuild (lab sweep unit)...");
@@ -126,13 +173,17 @@ fn main() {
     eprintln!("  sweep: {sweep:.3} s");
 
     let json = format!(
-        "{{\n  \"schema\": \"linkpad-bench-baseline-v3\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
+        "{{\n  \"schema\": \"linkpad-bench-baseline-v4\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
         shape_entries.join(",\n"),
         trunk_engine.pending,
         trunk_engine.events_per_sec,
         trunk_heap.events_per_sec,
         scenario.pending,
         scenario.events_per_sec,
+        observer.pending,
+        observer.windows,
+        observer.arrivals,
+        observer.events_per_sec,
         reset.build_us,
         reset.reset_us,
         reset.setup_speedup(),

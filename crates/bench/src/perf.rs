@@ -450,6 +450,64 @@ pub fn aggregate_scenario_events_per_sec(flows: usize, sim_secs: f64) -> TrunkMe
     }
 }
 
+/// Result of one aggregate-observer measurement: the full aggregate
+/// scenario with the streaming [`WindowedObserver`] on the trunk in
+/// place of the store-everything tap.
+///
+/// [`WindowedObserver`]: linkpad_sim::observer::WindowedObserver
+#[derive(Debug, Clone, Copy)]
+pub struct ObserverMeasurement {
+    /// Events per wall-clock second over the timed span.
+    pub events_per_sec: f64,
+    /// Concurrent pending events at steady state, before the timed span.
+    pub pending: usize,
+    /// Windows materialized by the observer over the whole run — the
+    /// observer's entire memory footprint is proportional to this.
+    pub windows: usize,
+    /// Trunk arrivals folded into those windows. `arrivals / windows` is
+    /// how many per-packet captures a trunk tap would have stored per
+    /// window the observer actually keeps.
+    pub arrivals: u64,
+}
+
+/// Events/sec and observer footprint of the **real** aggregate scenario
+/// running with the streaming trunk observer (`window_secs`-wide
+/// windows) instead of the trunk tap: the aggregate-adversary
+/// observation path at scale. Comparable to
+/// [`aggregate_scenario_events_per_sec`] — same topology, different
+/// trunk instrument — while the windows/arrivals ratio documents the
+/// O(windows)-vs-O(arrivals) memory contract.
+pub fn aggregate_observer_events_per_sec(
+    flows: usize,
+    sim_secs: f64,
+    window_secs: f64,
+) -> ObserverMeasurement {
+    let b = ScenarioBuilder::aggregate(1, flows)
+        .with_trunk(10e9, 0.1)
+        .with_trunk_observer(window_secs);
+    let mut s = b.build().expect("aggregate observer scenario builds");
+    // Warm past the 100 ms trunk so the in-flight population is steady.
+    s.run_for_secs(0.25);
+    let pending = s.sim.pending_events();
+    let before = s.sim.events_processed();
+    let start = Instant::now();
+    s.run_for_secs(sim_secs);
+    let elapsed = start.elapsed().as_secs_f64();
+    let obs = s
+        .aggregate
+        .as_ref()
+        .expect("aggregate handles")
+        .trunk_observer
+        .clone()
+        .expect("observer-mode trunk");
+    ObserverMeasurement {
+        events_per_sec: (s.sim.events_processed() - before) as f64 / elapsed,
+        pending,
+        windows: obs.windows(),
+        arrivals: obs.arrivals(),
+    }
+}
+
 // ---- Scenario reset vs rebuild ----------------------------------------
 
 /// Timing of per-replication setup: rebuilding the lab topology from its
@@ -574,6 +632,23 @@ mod tests {
         assert!(m.events_per_sec > 0.0);
         // 16 flows × (2 timers + ~10 in-flight on the 100 ms trunk).
         assert!(m.pending > 16 * 3, "pending {}", m.pending);
+    }
+
+    #[test]
+    fn aggregate_observer_measurement_is_o_windows() {
+        let m = aggregate_observer_events_per_sec(16, 0.4, 0.05);
+        assert!(m.events_per_sec > 0.0);
+        assert!(m.pending > 16 * 3, "pending {}", m.pending);
+        // 0.65 s observed in 50 ms windows → ~13 windows; arrivals are
+        // 16 flows × ~100 pps × 0.65 s ≈ 10³ — two orders more than the
+        // windows that store them.
+        assert!(m.windows <= 16, "windows {}", m.windows);
+        assert!(
+            m.arrivals > 40 * m.windows as u64,
+            "arrivals {} windows {}",
+            m.arrivals,
+            m.windows
+        );
     }
 
     #[test]

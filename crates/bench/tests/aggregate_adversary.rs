@@ -1,0 +1,106 @@
+//! End-to-end checks of the aggregate-link adversary pipeline at test
+//! budgets: simulator → streaming trunk observer → estimator/classifier.
+//! The full sweep lives in the `fig_aggregate_adversary` binary; these
+//! are the fast guards that the pieces stay wired together.
+
+use linkpad_adversary::aggregate::{best_phase, estimate_flow_count};
+use linkpad_adversary::feature::SampleMean;
+use linkpad_adversary::pipeline::DetectionStudy;
+use linkpad_sim::time::SimTime;
+use linkpad_workloads::scenario::ScenarioBuilder;
+
+/// Run an aggregate observer scenario and return steady-state window
+/// counts (boot windows skipped).
+fn window_counts(flows: usize, window: f64, skip: usize, measured: usize) -> Vec<f64> {
+    let b = ScenarioBuilder::aggregate(5 + flows as u64, flows)
+        .with_payload_rate(10.0)
+        .with_trunk_observer(window);
+    let mut s = b.build().expect("scenario builds");
+    s.run_for_secs(window * (skip + measured + 1) as f64);
+    let obs = s
+        .aggregate
+        .as_ref()
+        .unwrap()
+        .trunk_observer
+        .clone()
+        .unwrap();
+    let counts = obs.counts();
+    counts[skip..skip + measured].to_vec()
+}
+
+#[test]
+fn flow_count_estimation_is_within_ten_percent() {
+    let tau = ScenarioBuilder::aggregate(1, 1).defaults.tau;
+    let window = 20.0 * tau;
+    for flows in [10usize, 100] {
+        let counts = window_counts(flows, window, 5, 12);
+        let est = estimate_flow_count(&counts, window / tau).unwrap();
+        assert!(
+            est.relative_error(flows) <= 0.10,
+            "N = {flows}: n_hat = {} ({}% off)",
+            est.n_hat,
+            est.relative_error(flows) * 100.0
+        );
+        assert_eq!(est.rounded() as usize, flows);
+    }
+}
+
+#[test]
+fn target_rate_detection_works_in_the_per_flow_regime() {
+    // N = 1 is the degenerate aggregate — the lab regime seen through
+    // window statistics. The window-feature adversary must beat chance
+    // comfortably here; at larger N dilution erodes it (measured by the
+    // fig binary, not gated here).
+    let (dwell, w) = (2.0, 0.1);
+    let study = DetectionStudy {
+        sample_size: 4,
+        train_samples: 30,
+        test_samples: 20,
+    };
+    let needed = study.piats_needed();
+    let per_seg = (dwell / w) as usize - 2;
+    let sim_secs = dwell + (needed.div_ceil(per_seg) + 1) as f64 * 2.0 * dwell;
+    let b = ScenarioBuilder::aggregate(77, 1)
+        .with_trunk_observer(w)
+        .with_switching_target([10.0, 40.0], dwell);
+    let mut s = b.build().expect("scenario builds");
+    s.run_for_secs(sim_secs);
+    let agg = s.aggregate.as_ref().unwrap();
+    let obs = agg.trunk_observer.clone().unwrap();
+    let log = agg.target_rate_log.clone().unwrap();
+    let vars = obs.piat_variances();
+    let mut streams = [Vec::new(), Vec::new()];
+    for (i, &v) in vars.iter().enumerate().skip((dwell / w) as usize) {
+        let mid = (i as f64 + 0.5) * w;
+        let phase = mid % dwell;
+        if phase < w || phase > dwell - w || !v.is_finite() {
+            continue;
+        }
+        if let Some(r) = log.rate_at(SimTime::from_secs_f64(mid)) {
+            if r == 10.0 {
+                streams[0].push(v);
+            } else if r == 40.0 {
+                streams[1].push(v);
+            }
+        }
+    }
+    for stream in &mut streams {
+        assert!(stream.len() >= needed, "{} < {needed}", stream.len());
+        stream.truncate(needed);
+    }
+    let report = study.run(&SampleMean, &streams).unwrap();
+    let rate = report.detection_rate();
+    assert!(rate > 0.65, "window-feature adversary near chance: {rate}");
+    // The signature detector locks onto the true switching period
+    // (correlating the steady-state series, boot dwell dropped)…
+    let steady = &vars[(dwell / w) as usize..];
+    let period = 2.0 * dwell / w;
+    let (_, r_true) = best_phase(steady, period, 16).unwrap();
+    assert!(r_true.abs() > 0.25, "no signature lock: {r_true}");
+    // …and substantially less onto a wrong one.
+    let (_, r_wrong) = best_phase(steady, period * 0.73, 16).unwrap();
+    assert!(
+        r_true.abs() > r_wrong.abs(),
+        "true {r_true} vs wrong {r_wrong}"
+    );
+}

@@ -19,6 +19,11 @@
 //!   `δ_net` disturbance (eq. 10) and drives the Fig. 6 / Fig. 8 results.
 //! * **Taps** ([`tap::Tap`]) are passive timestamp recorders — the
 //!   "Agilent J6841A network analyzer" the paper's adversary uses.
+//! * **Windowed observers** ([`observer::WindowedObserver`]) are the
+//!   aggregate-link counterpart: they fold arrivals online into
+//!   fixed-width window statistics (count, byte rate, PIAT moments) in
+//!   `O(windows)` memory, for trunks where storing every timestamp is
+//!   untenable.
 //! * **Sources** ([`source::DistSource`]) emit traffic with pluggable
 //!   inter-arrival and packet-size laws from `linkpad-stats`.
 //! * **Parallel sweeps** ([`parallel::parallel_map`]) fan independent
@@ -39,6 +44,7 @@ pub mod engine;
 pub mod equeue;
 pub mod link;
 pub mod node;
+pub mod observer;
 pub mod packet;
 pub mod parallel;
 pub mod router;
@@ -52,6 +58,7 @@ pub use engine::{Context, RunStats, Sim, SimBuilder};
 pub use equeue::EventQueue;
 pub use link::Link;
 pub use node::{Node, NodeId};
+pub use observer::{ObserverHandle, WindowStats, WindowedObserver};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use parallel::parallel_map;
 pub use router::Router;

@@ -1,0 +1,371 @@
+//! Streaming windowed link observer — the aggregate-link adversary's
+//! measurement instrument.
+//!
+//! A [`Tap`](crate::tap::Tap) stores every arrival timestamp, which is
+//! the right instrument for per-flow captures (memory `O(arrivals)`,
+//! and the detection pipeline wants the raw PIATs anyway). On an
+//! *aggregated* trunk carrying 10⁴ padded flows the same run produces
+//! millions of arrivals per simulated second, almost all of which the
+//! aggregate-link adversary immediately folds into coarse statistics.
+//! [`WindowedObserver`] does that folding online: arrivals are binned
+//! into fixed-width time windows and each window keeps only
+//!
+//! * the **arrival count**,
+//! * the **byte total** (→ byte rate), and
+//! * the **PIAT moments** (count/mean/variance/… via
+//!   [`RunningMoments`]) of inter-arrival times whose *later* arrival
+//!   fell inside the window.
+//!
+//! Memory is `O(windows)` = `O(observed time / window width)` —
+//! independent of the arrival count — so the observer sustains trunks
+//! that would make a store-everything tap reallocate without bound.
+//!
+//! **Information barrier:** the observer sees exactly what a passive
+//! wire tap sees — arrival timestamps and on-the-wire sizes. It never
+//! reads packet kinds or flow ids (packets are "perfectly encrypted" in
+//! the threat model), so everything the [`ObserverHandle`] exposes is
+//! legitimately available to the adversary.
+
+use crate::engine::Context;
+use crate::node::{Node, NodeId};
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use linkpad_stats::moments::RunningMoments;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Statistics of one fixed-width observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Arrivals whose timestamp fell inside the window.
+    pub count: u64,
+    /// Sum of on-the-wire sizes of those arrivals, bytes.
+    pub bytes: u64,
+    /// Moments of the inter-arrival times ending in this window (an
+    /// inter-arrival spanning a window boundary is attributed to the
+    /// window of its *later* arrival). Seconds.
+    pub piats: RunningMoments,
+}
+
+impl WindowStats {
+    fn empty() -> Self {
+        Self {
+            count: 0,
+            bytes: 0,
+            piats: RunningMoments::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ObserverState {
+    windows: Vec<WindowStats>,
+    last_arrival: Option<SimTime>,
+    arrivals: u64,
+}
+
+impl ObserverState {
+    /// Drop everything observed, keeping the window buffer's capacity
+    /// (shared by [`ObserverHandle::clear`] and the node's reset hook).
+    fn clear(&mut self) {
+        self.windows.clear();
+        self.last_arrival = None;
+        self.arrivals = 0;
+    }
+
+    #[inline]
+    fn record(&mut self, now: SimTime, size_bytes: u32, window_nanos: u64) {
+        let idx = (now.as_nanos() / window_nanos) as usize;
+        if self.windows.len() <= idx {
+            self.windows.resize(idx + 1, WindowStats::empty());
+        }
+        let w = &mut self.windows[idx];
+        w.count += 1;
+        w.bytes += size_bytes as u64;
+        if let Some(prev) = self.last_arrival {
+            w.piats.push(now.saturating_since(prev).as_secs_f64());
+        }
+        self.last_arrival = Some(now);
+        self.arrivals += 1;
+    }
+}
+
+/// Shared handle for reading what a [`WindowedObserver`] accumulated,
+/// usable after the simulation has run (the engine owns the node).
+/// Single-threaded `Rc<RefCell<_>>` sharing, like
+/// [`TapHandle`](crate::tap::TapHandle).
+#[derive(Debug, Clone)]
+pub struct ObserverHandle {
+    state: Rc<RefCell<ObserverState>>,
+    window: SimDuration,
+}
+
+impl ObserverHandle {
+    /// The configured window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The configured window width in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window.as_secs_f64()
+    }
+
+    /// Number of windows spanned so far (windows exist from time zero up
+    /// to the latest arrival; trailing quiet time opens no windows). The
+    /// last window is generally still filling.
+    pub fn windows(&self) -> usize {
+        self.state.borrow().windows.len()
+    }
+
+    /// Total arrivals observed (`Σ count` over all windows).
+    pub fn arrivals(&self) -> u64 {
+        self.state.borrow().arrivals
+    }
+
+    /// Run `f` over the raw per-window statistics without cloning them.
+    pub fn with_windows<R>(&self, f: impl FnOnce(&[WindowStats]) -> R) -> R {
+        f(&self.state.borrow().windows)
+    }
+
+    /// Per-window arrival counts, as `f64` for the estimators.
+    pub fn counts(&self) -> Vec<f64> {
+        self.with_windows(|ws| ws.iter().map(|w| w.count as f64).collect())
+    }
+
+    /// Per-window byte rates (bytes per second over the full window
+    /// width; the trailing partially-filled window reads low).
+    pub fn byte_rates(&self) -> Vec<f64> {
+        let secs = self.window.as_secs_f64();
+        self.with_windows(|ws| ws.iter().map(|w| w.bytes as f64 / secs).collect())
+    }
+
+    /// Per-window PIAT sample means, seconds (`NaN` for windows with no
+    /// completed inter-arrival).
+    pub fn piat_means(&self) -> Vec<f64> {
+        self.with_windows(|ws| {
+            ws.iter()
+                .map(|w| w.piats.mean().unwrap_or(f64::NAN))
+                .collect()
+        })
+    }
+
+    /// Per-window unbiased PIAT sample variances, s² (`NaN` for windows
+    /// with fewer than two completed inter-arrivals).
+    pub fn piat_variances(&self) -> Vec<f64> {
+        self.with_windows(|ws| {
+            ws.iter()
+                .map(|w| w.piats.variance().unwrap_or(f64::NAN))
+                .collect()
+        })
+    }
+
+    /// Pre-reserve window capacity for an expected observation span.
+    pub fn reserve(&self, windows: usize) {
+        self.state.borrow_mut().windows.reserve(windows);
+    }
+
+    /// Drop everything observed so far (e.g. to discard a warm-up span).
+    pub fn clear(&self) {
+        self.state.borrow_mut().clear();
+    }
+}
+
+/// The observer node: records window statistics for **every** packet
+/// crossing it (an aggregate link has no flow filter) and forwards the
+/// packet unchanged with zero delay, like a passive splitter.
+#[derive(Debug)]
+pub struct WindowedObserver {
+    state: Rc<RefCell<ObserverState>>,
+    window_nanos: u64,
+    /// Downstream node (`None` = capture-only endpoint).
+    next: Option<NodeId>,
+    label: String,
+}
+
+impl WindowedObserver {
+    /// An observer with fixed window width `window`, forwarding to
+    /// `next`. Windows are anchored at simulation time zero: window `i`
+    /// covers `[i·window, (i+1)·window)`.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero (configuration constant).
+    pub fn new(window: SimDuration, next: Option<NodeId>) -> (ObserverHandle, Self) {
+        assert!(
+            window > SimDuration::ZERO,
+            "observer window width must be positive"
+        );
+        let state = Rc::new(RefCell::new(ObserverState {
+            windows: Vec::new(),
+            last_arrival: None,
+            arrivals: 0,
+        }));
+        (
+            ObserverHandle {
+                state: Rc::clone(&state),
+                window,
+            },
+            Self {
+                state,
+                window_nanos: window.as_nanos(),
+                next,
+                label: "observer".to_string(),
+            },
+        )
+    }
+
+    /// Builder-style label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Node for WindowedObserver {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        self.state
+            .borrow_mut()
+            .record(ctx.now(), packet.size_bytes, self.window_nanos);
+        if let Some(next) = self.next {
+            ctx.send_now(next, packet);
+        }
+    }
+
+    fn on_packets(&mut self, packets: &mut Vec<Packet>, ctx: &mut Context<'_>) {
+        // Burst path: one state borrow for the whole batch.
+        {
+            let mut st = self.state.borrow_mut();
+            let now = ctx.now();
+            for packet in packets.iter() {
+                st.record(now, packet.size_bytes, self.window_nanos);
+            }
+        }
+        if let Some(next) = self.next {
+            for packet in packets.drain(..) {
+                ctx.send_now(next, packet);
+            }
+        } else {
+            packets.clear();
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state.borrow_mut().clear();
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimBuilder;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::sink::Sink;
+    use linkpad_stats::rng::MasterSeed;
+
+    /// Emits one 500-byte packet every `period`.
+    struct Clock {
+        dst: NodeId,
+        period: SimDuration,
+        remaining: u32,
+    }
+    impl Node for Clock {
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.schedule_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+            let pkt = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 500);
+            ctx.send_now(self.dst, pkt);
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.schedule_timer(self.period, 0);
+            }
+        }
+    }
+
+    fn run_clocked(period_ms: f64, total: u32, window_ms: f64) -> (ObserverHandle, u32) {
+        let mut b = SimBuilder::new(MasterSeed::new(1));
+        let (sink_handle, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        let (obs, node) =
+            WindowedObserver::new(SimDuration::from_millis_f64(window_ms), Some(sink_id));
+        let obs_id = b.add_node(Box::new(node));
+        b.add_node(Box::new(Clock {
+            dst: obs_id,
+            period: SimDuration::from_millis_f64(period_ms),
+            remaining: total,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::MAX);
+        (obs, sink_handle.count() as u32)
+    }
+
+    #[test]
+    fn windows_partition_a_periodic_stream() {
+        // 10 ms period, 100 ms windows → 10 arrivals per full window.
+        let (obs, forwarded) = run_clocked(10.0, 100, 100.0);
+        assert_eq!(forwarded, 100, "observer forwards everything");
+        assert_eq!(obs.arrivals(), 100);
+        let counts = obs.counts();
+        assert_eq!(counts.iter().sum::<f64>(), 100.0);
+        // Arrivals at 10,20,…,1000 ms: window 0 covers [0,100) — nine
+        // arrivals (t = 100 ms sits on the boundary and opens window 1)
+        // — then ten per window until the last arrival opens window 10.
+        assert_eq!(counts.len(), 11);
+        assert_eq!(counts[0], 9.0, "{counts:?}");
+        assert!(counts[1..10].iter().all(|&c| c == 10.0), "{counts:?}");
+        assert_eq!(counts[10], 1.0);
+        // Byte rate of a full window: 10 × 500 B / 0.1 s = 50 kB/s.
+        assert_eq!(obs.byte_rates()[3], 50_000.0);
+    }
+
+    #[test]
+    fn piat_moments_recover_the_period() {
+        let (obs, _) = run_clocked(10.0, 60, 200.0);
+        let means = obs.piat_means();
+        let vars = obs.piat_variances();
+        // Full windows: PIAT mean exactly the 10 ms period, zero variance.
+        assert!((means[1] - 0.010).abs() < 1e-12, "{means:?}");
+        assert_eq!(vars[1], 0.0);
+        obs.with_windows(|ws| {
+            assert_eq!(ws[1].piats.count(), 20);
+            // Window 0 covers [0,200): 19 arrivals (t = 200 ms opens
+            // window 1), and the first arrival starts the PIAT chain.
+            assert_eq!(ws[0].piats.count(), 18);
+        });
+    }
+
+    #[test]
+    fn empty_windows_between_bursts_are_materialized() {
+        // 400 ms period, 100 ms windows: three of every four windows are
+        // empty — they must still exist (the series is a time series).
+        let (obs, _) = run_clocked(400.0, 4, 100.0);
+        let counts = obs.counts();
+        assert_eq!(counts.len(), 17); // arrival at 1600 ms → window 16
+        assert_eq!(counts.iter().sum::<f64>(), 4.0);
+        assert_eq!(counts[4], 1.0);
+        assert_eq!(counts[5], 0.0);
+        assert!(obs.piat_means()[5].is_nan());
+        assert!(obs.piat_variances()[4].is_nan()); // one PIAT, no variance
+    }
+
+    #[test]
+    fn clear_discards_and_observer_keeps_window_config() {
+        let (obs, _) = run_clocked(10.0, 30, 50.0);
+        assert!(obs.windows() > 0 && obs.arrivals() == 30);
+        obs.clear();
+        assert_eq!(obs.windows(), 0);
+        assert_eq!(obs.arrivals(), 0);
+        assert_eq!(obs.window_secs(), 0.050);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn zero_window_panics() {
+        let _ = WindowedObserver::new(SimDuration::ZERO, None);
+    }
+}

@@ -13,6 +13,19 @@
 //! instrumentation-only [`TapHandle::kind_counts`] accessor, which tests
 //! and overhead accounting may use but the `linkpad-adversary` crate never
 //! touches — packets are "perfectly encrypted" in the threat model.
+//!
+//! **Memory model:** a tap stores every matching arrival, so its memory
+//! is `O(arrivals)` — one `SimTime` per capture, growing for as long as
+//! the simulation runs. That is the right trade for per-flow captures
+//! (the detection pipeline consumes the raw PIATs), but a *filterless*
+//! tap on a many-flow trunk accumulates the whole aggregate: 10⁴ CIT
+//! flows produce ~10⁶ captures per simulated second, reallocating the
+//! buffer unboundedly on long runs. Scenario builders should pre-size
+//! with [`Tap::with_capacity`] (or [`TapHandle::reserve`]) when the
+//! capture size is predictable, and aggregate experiments that only need
+//! window-level statistics should use
+//! [`WindowedObserver`](crate::observer::WindowedObserver) instead,
+//! whose memory is `O(windows)` — independent of the arrival count.
 
 use crate::engine::Context;
 use crate::node::{Node, NodeId};
@@ -156,6 +169,16 @@ impl Tap {
     /// Builder-style label.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Builder-style capture-capacity hint: pre-size the timestamp
+    /// buffer for `captures` expected packets, so a predictable capture
+    /// (e.g. an aggregate trunk at a known rate) never reallocates
+    /// mid-run. The buffer still grows beyond the hint on demand, and
+    /// `reset`/[`TapHandle::clear`] keep the reserved capacity.
+    pub fn with_capacity(self, captures: usize) -> Self {
+        self.state.borrow_mut().timestamps.reserve(captures);
         self
     }
 }
@@ -316,6 +339,23 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(1.0));
         assert_eq!(tap_handle.count(), 4);
         assert_eq!(tap_handle.kind_counts().1 + tap_handle.kind_counts().2, 4);
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_without_changing_behavior() {
+        let mut b = SimBuilder::new(MasterSeed::new(6));
+        let (handle, tap) = Tap::new(None, None);
+        let tap_id = b.add_node(Box::new(tap.with_capacity(4096)));
+        b.add_node(Box::new(Mixer {
+            dst: tap_id,
+            sent: 0,
+            total: 6,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(handle.count(), 6);
+        handle.clear();
+        assert_eq!(handle.count(), 0);
     }
 
     #[test]

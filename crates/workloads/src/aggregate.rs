@@ -30,9 +30,11 @@
 //! microbench.
 
 use crate::scenario::{AggregateHandles, BuiltScenario, ScenarioBuilder, ScenarioError};
+use crate::switching::SwitchingSource;
 use linkpad_core::gateway::{ReceiverGateway, SenderGateway};
 use linkpad_sim::engine::{Context, SimBuilder};
 use linkpad_sim::node::{Node, NodeId};
+use linkpad_sim::observer::WindowedObserver;
 use linkpad_sim::packet::{FlowId, Packet, PacketKind};
 use linkpad_sim::router::Router;
 use linkpad_sim::sink::Sink;
@@ -40,6 +42,18 @@ use linkpad_sim::source::DistSource;
 use linkpad_sim::tap::Tap;
 use linkpad_sim::time::SimDuration;
 use linkpad_stats::rng::MasterSeed;
+use linkpad_stats::StatsError;
+
+/// Rate-switching drive for the target flow (flow 0) of an aggregate
+/// scenario: the hidden state the aggregate-link adversary estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingSpec {
+    /// The two payload rates (pps) the target alternates between,
+    /// starting with `rates[0]`.
+    pub rates: [f64; 2],
+    /// Dwell time at each rate, seconds.
+    pub dwell_secs: f64,
+}
 
 /// Configuration of the aggregate (many-gateway trunk) topology.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,18 +67,32 @@ pub struct AggregateSpec {
     /// packets in flight: the steady-state pending-event population is
     /// roughly `flows × (2 + propagation/τ)`.
     pub trunk_propagation: f64,
+    /// Width (seconds) of the streaming trunk observer's windows. When
+    /// set, a [`WindowedObserver`] replaces the store-everything trunk
+    /// tap — `O(windows)` memory instead of `O(arrivals)` — and the
+    /// aggregate view lives in
+    /// [`AggregateHandles::trunk_observer`](crate::scenario::AggregateHandles).
+    pub observer_window: Option<f64>,
+    /// When set, flow 0's payload is driven by a rate-switching source
+    /// instead of the builder's payload law; the ground-truth switch log
+    /// lands in
+    /// [`AggregateHandles::target_rate_log`](crate::scenario::AggregateHandles).
+    pub switching: Option<SwitchingSpec>,
 }
 
 impl AggregateSpec {
     /// Defaults for `flows` gateway pairs: a 10 Gb/s metro trunk with
     /// 5 ms propagation. At the calibrated τ = 10 ms padding clock each
     /// flow offers 400 kb/s, so utilization stays moderate up to ~10⁴
-    /// flows.
+    /// flows. The trunk instrument defaults to the store-everything tap
+    /// and flow 0 to the builder's payload law.
     pub fn new(flows: usize) -> Self {
         Self {
             flows,
             trunk_bps: 10e9,
             trunk_propagation: 5e-3,
+            observer_window: None,
+            switching: None,
         }
     }
 }
@@ -74,11 +102,17 @@ impl AggregateSpec {
 /// The generalization of [`crate::demux::FlowDemux`] from two-way
 /// (padded/other) to N-way; aggregate scenarios use it to peel every
 /// padded flow off the shared trunk toward its own receiver gateway.
+///
+/// Every flow on the trunk **must** have a branch: an unknown `FlowId`
+/// is a topology wiring bug (a source feeding the trunk that the
+/// builder never gave a receiver), and silently dropping its packets
+/// would skew QoS and overhead accounting without a trace. The demux
+/// therefore panics on unknown flows, in the same fail-loudly-at-the-
+/// source spirit as `SimBuilder::install`.
 #[derive(Debug)]
 pub struct TrunkDemux {
     nexts: Vec<NodeId>,
     forwarded: u64,
-    unknown: u64,
 }
 
 impl TrunkDemux {
@@ -87,7 +121,6 @@ impl TrunkDemux {
         Self {
             nexts,
             forwarded: 0,
-            unknown: 0,
         }
     }
 
@@ -96,26 +129,29 @@ impl TrunkDemux {
         self.forwarded
     }
 
-    /// Packets whose flow id had no branch (dropped).
-    pub fn unknown(&self) -> u64 {
-        self.unknown
+    #[inline]
+    fn branch(&self, packet: &Packet) -> NodeId {
+        match self.nexts.get(packet.flow.0 as usize) {
+            Some(&next) => next,
+            None => panic!(
+                "trunk demux: no branch for flow {} ({} branches wired) — \
+                 every flow on the trunk must have a receiver",
+                packet.flow.0,
+                self.nexts.len()
+            ),
+        }
     }
 }
 
 impl Node for TrunkDemux {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        match self.nexts.get(packet.flow.0 as usize) {
-            Some(&next) => {
-                self.forwarded += 1;
-                ctx.send_now(next, packet);
-            }
-            None => self.unknown += 1,
-        }
+        let next = self.branch(&packet);
+        self.forwarded += 1;
+        ctx.send_now(next, packet);
     }
 
     fn reset(&mut self) {
         self.forwarded = 0;
-        self.unknown = 0;
     }
 
     fn label(&self) -> &str {
@@ -133,6 +169,30 @@ pub(crate) fn build_aggregate(
 ) -> Result<BuiltScenario, ScenarioError> {
     if spec.flows == 0 {
         return Err(ScenarioError::EmptyAggregate);
+    }
+    if let Some(sw) = spec.switching {
+        for r in sw.rates {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(ScenarioError::Stats(StatsError::NonPositive {
+                    what: "switching target rate",
+                    value: r,
+                }));
+            }
+        }
+        if !(sw.dwell_secs.is_finite() && sw.dwell_secs > 0.0) {
+            return Err(ScenarioError::Stats(StatsError::NonPositive {
+                what: "switching dwell",
+                value: sw.dwell_secs,
+            }));
+        }
+    }
+    if let Some(w) = spec.observer_window {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(ScenarioError::Stats(StatsError::NonPositive {
+                what: "observer window",
+                value: w,
+            }));
+        }
     }
     let d = builder.defaults;
     let mut b = SimBuilder::new(MasterSeed::new(builder.seed()));
@@ -157,13 +217,31 @@ pub(crate) fn build_aggregate(
         demux_nexts.push(id);
     }
 
-    // The shared trunk: router → trunk tap (aggregate view) → demux.
+    // The shared trunk: router → aggregate instrument → demux. The
+    // instrument is the adversary's view of the shared link: either the
+    // store-everything tap (default; pre-sized so the first ~0.64 s of
+    // τ-clocked aggregate traffic never reallocates — see the memory
+    // model in `Tap`'s docs) or, for long/huge runs, the streaming
+    // windowed observer in O(windows) memory.
     let demux_id = b.add_node(Box::new(TrunkDemux::new(demux_nexts)));
-    let (trunk_tap, ttap) = Tap::new(None, Some(demux_id));
-    let ttap_id = b.add_node(Box::new(ttap.with_label("tap@trunk")));
+    let (trunk_tap, trunk_observer, instrument_id) = match spec.observer_window {
+        Some(window) => {
+            let (obs, node) =
+                WindowedObserver::new(SimDuration::from_secs_f64(window), Some(demux_id));
+            let id = b.add_node(Box::new(node.with_label("observer@trunk")));
+            (None, Some(obs), id)
+        }
+        None => {
+            let (tap, node) = Tap::new(None, Some(demux_id));
+            let id = b.add_node(Box::new(
+                node.with_capacity(spec.flows * 64).with_label("tap@trunk"),
+            ));
+            (Some(tap), None, id)
+        }
+    };
     let trunk_id = b.add_node(Box::new(
         Router::new(
-            ttap_id,
+            instrument_id,
             spec.trunk_bps,
             SimDuration::from_secs_f64(spec.trunk_propagation),
         )
@@ -174,6 +252,7 @@ pub(crate) fn build_aggregate(
     let (sender_tap, stap) = Tap::on_padded_flow(Some(trunk_id));
     let stap_id = b.add_node(Box::new(stap.with_label("tap@gw1")));
     let mut gateways = Vec::with_capacity(spec.flows);
+    let mut target_rate_log = None;
     for i in 0..spec.flows {
         let flow = FlowId(i as u32);
         let first_hop = if i == 0 { stap_id } else { trunk_id };
@@ -189,15 +268,33 @@ pub(crate) fn build_aggregate(
                 .with_label(format!("gw1-{i}")),
         ));
         gateways.push(gw);
-        b.add_node(Box::new(DistSource::new(
-            gw1_id,
-            flow,
-            PacketKind::Payload,
-            builder.payload().interval_law()?,
-            Box::new(linkpad_stats::dist::Deterministic::new(
-                d.packet_size as f64,
-            )?),
-        )));
+        // Flow 0 optionally runs the rate-switching drive (the hidden
+        // state the aggregate adversary estimates); every other flow —
+        // and flow 0 without a switching spec — follows the builder's
+        // payload law.
+        match (i, spec.switching) {
+            (0, Some(sw)) => {
+                let (log, src) = SwitchingSource::new(
+                    gw1_id,
+                    sw.rates,
+                    SimDuration::from_secs_f64(sw.dwell_secs),
+                    d.packet_size,
+                );
+                target_rate_log = Some(log);
+                b.add_node(Box::new(src));
+            }
+            _ => {
+                b.add_node(Box::new(DistSource::new(
+                    gw1_id,
+                    flow,
+                    PacketKind::Payload,
+                    builder.payload().interval_law()?,
+                    Box::new(linkpad_stats::dist::Deterministic::new(
+                        d.packet_size as f64,
+                    )?),
+                )));
+            }
+        }
     }
 
     let sim = b.build()?;
@@ -210,6 +307,8 @@ pub(crate) fn build_aggregate(
         payload_sink,
         aggregate: Some(AggregateHandles {
             trunk_tap,
+            trunk_observer,
+            target_rate_log,
             gateways,
             receivers,
         }),
@@ -247,7 +346,7 @@ mod tests {
         let agg = s.aggregate.as_ref().unwrap();
         // Every gateway ticks at ~100 pps; the trunk tap sees the union.
         let per_flow = s.sender_tap.count() as f64;
-        let trunk = agg.trunk_tap.count() as f64;
+        let trunk = agg.trunk_tap.as_ref().unwrap().count() as f64;
         assert!(
             (trunk / per_flow - flows as f64).abs() < 0.1 * flows as f64,
             "trunk {trunk} vs per-flow {per_flow}"
@@ -292,24 +391,107 @@ mod tests {
     }
 
     #[test]
-    fn trunk_demux_counts_unknown_flows() {
+    fn trunk_demux_forwards_known_flows() {
         use linkpad_sim::time::SimTime;
         let mut b = SimBuilder::new(MasterSeed::new(5));
         let (h, sink) = Sink::new();
         let sink_id = b.add_node(Box::new(sink));
         let demux_id = b.add_node(Box::new(TrunkDemux::new(vec![sink_id])));
-        // Flow 0 routes, flow 7 has no branch.
-        for (flow, period) in [(0u32, 0.010), (7u32, 0.004)] {
-            b.add_node(Box::new(DistSource::new(
-                demux_id,
-                FlowId(flow),
-                PacketKind::Dummy,
-                Box::new(linkpad_stats::dist::Deterministic::new(period).unwrap()),
-                Box::new(linkpad_stats::dist::Deterministic::new(500.0).unwrap()),
-            )));
-        }
+        b.add_node(Box::new(DistSource::new(
+            demux_id,
+            FlowId(0),
+            PacketKind::Dummy,
+            Box::new(linkpad_stats::dist::Deterministic::new(0.010).unwrap()),
+            Box::new(linkpad_stats::dist::Deterministic::new(500.0).unwrap()),
+        )));
         let mut sim = b.build().unwrap();
         sim.run_until(SimTime::from_secs_f64(1.0));
         assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no branch for flow 7")]
+    fn trunk_demux_errors_on_unknown_flow() {
+        use linkpad_sim::time::SimTime;
+        let mut b = SimBuilder::new(MasterSeed::new(5));
+        let (_h, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        let demux_id = b.add_node(Box::new(TrunkDemux::new(vec![sink_id])));
+        // Flow 7 has no branch: a wiring bug, and it must fail loudly
+        // rather than silently dropping the flow's packets.
+        b.add_node(Box::new(DistSource::new(
+            demux_id,
+            FlowId(7),
+            PacketKind::Dummy,
+            Box::new(linkpad_stats::dist::Deterministic::new(0.004).unwrap()),
+            Box::new(linkpad_stats::dist::Deterministic::new(500.0).unwrap()),
+        )));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn observer_replaces_trunk_tap_and_sees_the_same_aggregate() {
+        let flows = 6;
+        let tapped = ScenarioBuilder::aggregate(9, flows).with_payload_rate(10.0);
+        let observed = tapped.clone().with_trunk_observer(0.1);
+        let mut a = tapped.build().unwrap();
+        let mut b = observed.build().unwrap();
+        a.run_for_secs(4.0);
+        b.run_for_secs(4.0);
+        let tap = a.aggregate.as_ref().unwrap().trunk_tap.clone().unwrap();
+        let agg_b = b.aggregate.as_ref().unwrap();
+        assert!(agg_b.trunk_tap.is_none(), "observer replaces the tap");
+        let obs = agg_b.trunk_observer.clone().unwrap();
+        // Identical seed and topology shape → identical trunk arrivals,
+        // just folded into windows instead of stored one by one.
+        assert_eq!(obs.arrivals(), tap.count() as u64);
+        assert_eq!(
+            obs.counts().iter().sum::<f64>(),
+            tap.count() as f64,
+            "window counts partition the arrivals"
+        );
+        assert!(
+            obs.windows() <= 41,
+            "windows {} not O(arrivals)",
+            obs.windows()
+        );
+        // Full windows hold ~flows × window/τ arrivals.
+        let mid = obs.counts()[20];
+        assert!((mid - (flows * 10) as f64).abs() <= 2.0, "mid window {mid}");
+    }
+
+    #[test]
+    fn switching_target_records_ground_truth_and_keeps_qos() {
+        let b = ScenarioBuilder::aggregate(12, 3)
+            .with_trunk_observer(0.05)
+            .with_switching_target([10.0, 40.0], 1.0);
+        let mut s = b.build().unwrap();
+        s.run_for_secs(3.5);
+        let agg = s.aggregate.as_ref().unwrap();
+        let log = agg.target_rate_log.clone().unwrap();
+        let entries = log.entries();
+        assert_eq!(entries.len(), 4, "start + 3 switches: {entries:?}");
+        assert_eq!(entries[0].1, 10.0);
+        assert_eq!(entries[1].1, 40.0);
+        // The switching payload still rides the padded flow end to end.
+        assert!(s.receiver.payload_delivered() > 50);
+        assert_eq!(s.receiver.unexpected(), 0);
+        for (i, r) in agg.receivers.iter().enumerate() {
+            assert!(
+                r.payload_delivered() + r.dummies_stripped() > 300,
+                "receiver {i} starved"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_switching_and_observer_specs_error_cleanly() {
+        let bad_rate = ScenarioBuilder::aggregate(1, 2).with_switching_target([0.0, 40.0], 1.0);
+        assert!(matches!(bad_rate.build(), Err(ScenarioError::Stats(_))));
+        let bad_dwell = ScenarioBuilder::aggregate(1, 2).with_switching_target([10.0, 40.0], -1.0);
+        assert!(matches!(bad_dwell.build(), Err(ScenarioError::Stats(_))));
+        let bad_window = ScenarioBuilder::aggregate(1, 2).with_trunk_observer(0.0);
+        assert!(matches!(bad_window.build(), Err(ScenarioError::Stats(_))));
     }
 }

@@ -34,10 +34,10 @@ pub mod scenario;
 pub mod spec;
 pub mod switching;
 
-pub use aggregate::{AggregateSpec, TrunkDemux};
+pub use aggregate::{AggregateSpec, SwitchingSpec, TrunkDemux};
 pub use background::BackgroundNoiseHop;
 pub use cross::{cross_rate_for_utilization, DiurnalProfile, SizeMix};
 pub use demux::FlowDemux;
 pub use scenario::{AggregateHandles, BuiltScenario, ScenarioBuilder, TapPosition};
 pub use spec::{HopSpec, PayloadSpec, ScheduleSpec};
-pub use switching::SwitchingSource;
+pub use switching::{RateLog, SwitchingSource};

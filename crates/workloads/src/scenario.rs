@@ -14,15 +14,17 @@
 //! ingress) so experiments choose the adversary's vantage point, plus
 //! gateway/receiver handles for QoS and overhead accounting.
 
-use crate::aggregate::AggregateSpec;
+use crate::aggregate::{AggregateSpec, SwitchingSpec};
 use crate::cross::{cross_interval_law, cross_rate_for_utilization, SizeMix};
 use crate::demux::FlowDemux;
 use crate::spec::{HopSpec, PayloadSpec, ScheduleSpec};
+use crate::switching::RateLog;
 use linkpad_core::calibration::CalibratedDefaults;
 use linkpad_core::gateway::{
     GatewayHandle, ReceiverGateway, ReceiverHandle, SenderGateway, TimerDiscipline,
 };
 use linkpad_sim::engine::{BuildError, Sim, SimBuilder};
+use linkpad_sim::observer::ObserverHandle;
 use linkpad_sim::packet::{FlowId, PacketKind};
 use linkpad_sim::router::Router;
 use linkpad_sim::sink::{Sink, SinkHandle};
@@ -182,6 +184,33 @@ impl ScenarioBuilder {
         if let Some(spec) = &mut self.aggregate {
             spec.trunk_bps = bps;
             spec.trunk_propagation = propagation_secs;
+        }
+        self
+    }
+
+    /// Replace the aggregate trunk's store-everything tap with a
+    /// streaming windowed observer of the given window width (seconds):
+    /// the aggregate-link adversary's instrument, folding arrivals into
+    /// per-window count/byte-rate/PIAT-moment statistics in `O(windows)`
+    /// memory. The handle lands in [`AggregateHandles::trunk_observer`];
+    /// [`AggregateHandles::trunk_tap`] becomes `None`. No effect outside
+    /// the aggregate family.
+    pub fn with_trunk_observer(mut self, window_secs: f64) -> Self {
+        if let Some(spec) = &mut self.aggregate {
+            spec.observer_window = Some(window_secs);
+        }
+        self
+    }
+
+    /// Drive the aggregate target flow (flow 0) with a rate-switching
+    /// payload source alternating between `rates[0]` and `rates[1]`
+    /// (pps) every `dwell_secs` — the hidden state the aggregate-link
+    /// adversary estimates. The ground-truth switch log lands in
+    /// [`AggregateHandles::target_rate_log`]. No effect outside the
+    /// aggregate family.
+    pub fn with_switching_target(mut self, rates: [f64; 2], dwell_secs: f64) -> Self {
+        if let Some(spec) = &mut self.aggregate {
+            spec.switching = Some(SwitchingSpec { rates, dwell_secs });
         }
         self
     }
@@ -385,8 +414,17 @@ impl ScenarioBuilder {
 /// [`BuiltScenario`] handles).
 pub struct AggregateHandles {
     /// Tap on the shared trunk, recording **all** flows — the
-    /// aggregate-link adversary's view.
-    pub trunk_tap: TapHandle,
+    /// aggregate-link adversary's raw view. `None` when the builder
+    /// selected the streaming observer instead
+    /// ([`ScenarioBuilder::with_trunk_observer`]).
+    pub trunk_tap: Option<TapHandle>,
+    /// Streaming windowed observer on the shared trunk — the
+    /// aggregate-link adversary's `O(windows)` view. `None` unless
+    /// [`ScenarioBuilder::with_trunk_observer`] was used.
+    pub trunk_observer: Option<ObserverHandle>,
+    /// Ground-truth rate-switch log of the target flow. `None` unless
+    /// [`ScenarioBuilder::with_switching_target`] was used.
+    pub target_rate_log: Option<RateLog>,
     /// Per-flow sender-gateway instrumentation.
     pub gateways: Vec<GatewayHandle>,
     /// Per-flow receiver-gateway instrumentation.

@@ -34,6 +34,16 @@ fn families(seed: u64) -> Vec<(&'static str, ScenarioBuilder)> {
             "aggregate",
             ScenarioBuilder::aggregate(seed, 6).with_payload_rate(10.0),
         ),
+        (
+            // Streaming trunk observer + rate-switching target: the
+            // aggregate-adversary configuration, exercising the
+            // observer's and switching source's reset hooks.
+            "aggregate-observer",
+            ScenarioBuilder::aggregate(seed, 5)
+                .with_payload_rate(10.0)
+                .with_trunk_observer(0.05)
+                .with_switching_target([10.0, 40.0], 0.4),
+        ),
     ]
 }
 
@@ -110,14 +120,15 @@ fn reset_clears_instrumentation_handles() {
     let mut s = builder.build().expect("build");
     s.run_for_secs(2.0);
     let agg = s.aggregate.as_ref().expect("aggregate handles");
+    let trunk_tap = agg.trunk_tap.clone().expect("tap-mode trunk");
     assert!(s.gateway.ticks() > 0);
-    assert!(agg.trunk_tap.count() > 0);
+    assert!(trunk_tap.count() > 0);
     assert!(s.payload_sink.count() > 0);
     s.reset(7);
     let agg = s.aggregate.as_ref().expect("aggregate handles");
     assert_eq!(s.gateway.ticks(), 0, "gateway stats survive reset");
     assert_eq!(s.receiver.payload_delivered(), 0);
-    assert_eq!(agg.trunk_tap.count(), 0, "trunk tap survives reset");
+    assert_eq!(trunk_tap.count(), 0, "trunk tap survives reset");
     assert_eq!(s.sender_tap.count(), 0);
     assert_eq!(s.receiver_tap.count(), 0);
     assert_eq!(s.payload_sink.count(), 0);
@@ -125,4 +136,62 @@ fn reset_clears_instrumentation_handles() {
         assert_eq!(gw.ticks(), 0);
         assert_eq!(rx.dummies_stripped(), 0);
     }
+}
+
+/// The streaming observer's window series as raw bits: counts, byte
+/// rates and PIAT moments, all at full `f64` precision (`NaN`s included
+/// — empty windows must be empty in *exactly* the same places).
+fn observer_series_bits(s: &mut BuiltScenario, secs: f64) -> Vec<u64> {
+    s.run_for_secs(secs);
+    let obs = s
+        .aggregate
+        .as_ref()
+        .expect("aggregate handles")
+        .trunk_observer
+        .clone()
+        .expect("observer-mode trunk");
+    let mut bits: Vec<u64> = obs.counts().iter().map(|c| c.to_bits()).collect();
+    bits.extend(obs.byte_rates().iter().map(|x| x.to_bits()));
+    bits.extend(obs.piat_means().iter().map(|x| x.to_bits()));
+    bits.extend(obs.piat_variances().iter().map(|x| x.to_bits()));
+    bits
+}
+
+#[test]
+fn observer_window_series_is_bit_identical_across_reset() {
+    let builder = ScenarioBuilder::aggregate(23, 5)
+        .with_payload_rate(10.0)
+        .with_trunk_observer(0.05)
+        .with_switching_target([10.0, 40.0], 0.4);
+
+    let mut fresh = builder.build().expect("fresh build");
+    let want = observer_series_bits(&mut fresh, 2.0);
+    assert!(want.len() > 40, "observer captured a real series");
+
+    // Build under a different seed, dirty it mid-window, then reset.
+    let mut reused = builder.clone().with_seed(77).build().expect("build");
+    reused.run_for_secs(1.234);
+    reused.reset(23);
+    {
+        let agg = reused.aggregate.as_ref().expect("aggregate handles");
+        let obs = agg.trunk_observer.clone().expect("observer-mode trunk");
+        assert_eq!(obs.windows(), 0, "reset empties the window series");
+        assert_eq!(obs.arrivals(), 0);
+        let log = agg.target_rate_log.clone().expect("switching target");
+        assert!(log.entries().is_empty(), "reset clears the rate log");
+    }
+    let got = observer_series_bits(&mut reused, 2.0);
+    assert_eq!(got, want, "observer series diverged from fresh build");
+
+    // And the ground-truth log replays identically too.
+    let log = |s: &BuiltScenario| {
+        s.aggregate
+            .as_ref()
+            .unwrap()
+            .target_rate_log
+            .clone()
+            .unwrap()
+            .entries()
+    };
+    assert_eq!(log(&fresh), log(&reused));
 }
