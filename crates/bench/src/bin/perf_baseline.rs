@@ -2,10 +2,12 @@
 //! `BinaryHeap` reference event loop — on the classic timer microbench
 //! *and* on the aggregate-trunk workload — plus the aggregate-observer
 //! scenario (streaming trunk observer, the O(windows) aggregate
-//! observation path), scenario-reset setup cost and a representative
-//! sweep wall-clock, and writes `BENCH_3.json` at the workspace root so
-//! later PRs have a recorded trajectory (`bench_compare` diffs
-//! consecutive baselines in CI).
+//! observation path), the sharded million-flow cohort aggregate
+//! (flow cohorts + per-shard sub-sims, merged trunk windows),
+//! scenario-reset setup cost and a representative sweep wall-clock, and
+//! writes `BENCH_4.json` at the workspace root so later PRs have a
+//! recorded trajectory (`bench_compare` diffs consecutive baselines in
+//! CI).
 //!
 //! Run from anywhere in the workspace:
 //! `cargo run --release -p linkpad-bench --bin perf_baseline`
@@ -13,12 +15,13 @@
 use linkpad_bench::perf::{
     aggregate_observer_events_per_sec, aggregate_scenario_events_per_sec,
     aggregate_trunk_events_per_sec, heap_reference_aggregate_events_per_sec,
-    heap_reference_events_per_sec, reset_vs_rebuild, sim_events_per_sec, sweep_wall_clock_secs,
+    heap_reference_events_per_sec, reset_vs_rebuild, sharded_aggregate_measurement,
+    sim_events_per_sec, sweep_wall_clock_secs,
 };
 use std::io::Write;
 
 /// Sequence number of the baseline this binary writes.
-const BASELINE: u32 = 3;
+const BASELINE: u32 = 4;
 
 fn main() {
     // Sized so the run takes a few seconds in release mode; override with
@@ -152,8 +155,44 @@ fn main() {
         observer.events_per_sec, observer.pending, observer.arrivals, observer.windows
     );
 
+    // Million flows: the sharded cohort path — 10⁶ CIT flows in
+    // 1024-flow cohorts over 4 worker sub-sims, merged trunk windows.
+    const MF_FLOWS: usize = 1_000_000;
+    const MF_COHORT: usize = 1_024;
+    const MF_SHARDS: usize = 4;
+    const MF_SIM_SECS: f64 = 0.45;
+    eprintln!(
+        "measuring sharded million-flow aggregate ({MF_FLOWS} flows, \
+         {MF_COHORT}-cohorts, {MF_SHARDS} shards, {MF_SIM_SECS} sim-s)..."
+    );
+    let million = sharded_aggregate_measurement(MF_FLOWS, MF_COHORT, MF_SHARDS, 0.2, MF_SIM_SECS);
+    eprintln!(
+        "  million_flows: {:.0} ev/s over {} shards ({:.1} s wall), peak pending {}, \
+         {} arrivals in {} merged windows",
+        million.events_per_sec,
+        MF_SHARDS,
+        million.wall_clock_secs,
+        million.peak_pending,
+        million.arrivals,
+        million.merged_windows,
+    );
+
     eprintln!("measuring scenario reset vs rebuild (lab sweep unit)...");
-    let reset = reset_vs_rebuild(200, 400);
+    // Same per-metric best-of protocol as every other recorded number:
+    // these are sub-µs per-replication costs over 200 reps, the noisiest
+    // timings in the file (±20-30 % run to run from allocator and cache
+    // state), so a single draw would whipsaw the regression gate.
+    let reset = {
+        let mut best = reset_vs_rebuild(200, 400);
+        for _ in 0..4 {
+            let m = reset_vs_rebuild(200, 400);
+            best.build_us = best.build_us.min(m.build_us);
+            best.reset_us = best.reset_us.min(m.reset_us);
+            best.sweep_rebuild_secs = best.sweep_rebuild_secs.min(m.sweep_rebuild_secs);
+            best.sweep_reset_secs = best.sweep_reset_secs.min(m.sweep_reset_secs);
+        }
+        best
+    };
     eprintln!(
         "  build {:.1} µs vs reset {:.2} µs per replication ({:.1}x); sweep {:.3} s → {:.3} s",
         reset.build_us,
@@ -173,7 +212,7 @@ fn main() {
     eprintln!("  sweep: {sweep:.3} s");
 
     let json = format!(
-        "{{\n  \"schema\": \"linkpad-bench-baseline-v4\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
+        "{{\n  \"schema\": \"linkpad-bench-baseline-v5\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"million_flows\": {{\n    \"flows\": {MF_FLOWS},\n    \"cohort_size\": {MF_COHORT},\n    \"shards\": {MF_SHARDS},\n    \"simulated_seconds\": {MF_SIM_SECS},\n    \"arrivals\": {},\n    \"merged_windows\": {},\n    \"peak_pending\": {},\n    \"events_per_sec\": {:.0},\n    \"per_shard_events_per_sec\": {:.0},\n    \"wall_clock_secs\": {:.3}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
         shape_entries.join(",\n"),
         trunk_engine.pending,
         trunk_engine.events_per_sec,
@@ -184,6 +223,12 @@ fn main() {
         observer.windows,
         observer.arrivals,
         observer.events_per_sec,
+        million.arrivals,
+        million.merged_windows,
+        million.peak_pending,
+        million.events_per_sec,
+        million.per_shard_events_per_sec,
+        million.wall_clock_secs,
         reset.build_us,
         reset.reset_us,
         reset.setup_speedup(),

@@ -17,10 +17,14 @@
 //!   parameters like `pending`/`flows`, the `aggregate_observer`
 //!   footprint fields `windows`/`arrivals`/`window_ms` (they describe
 //!   the workload shape; `scenario_events_per_sec` carries that
-//!   section's regression signal), and everything measured **against
-//!   the heap reference** — its absolutes *and* the `speedup_vs_heap`
-//!   ratios, whose denominator is the yardstick (see
-//!   `higher_is_better`).
+//!   section's regression signal), the `million_flows` shape and
+//!   footprint fields (`cohort_size`/`shards`/`peak_pending`/
+//!   `merged_windows`/`simulated_seconds`), **per-shard ratios**
+//!   (`per_shard_*` — an engine absolute divided by the recording
+//!   container's worker count; the aggregate `events_per_sec` is the
+//!   gated number), and everything measured **against the heap
+//!   reference** — its absolutes *and* the `speedup_vs_heap` ratios,
+//!   whose denominator is the yardstick (see `higher_is_better`).
 //!
 //! The workspace has no JSON dependency (offline builds), so this module
 //! carries a minimal recursive-descent parser covering the subset the
@@ -271,7 +275,13 @@ fn flatten(json: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
 /// `None` = context only (never compared).
 fn higher_is_better(path: &str) -> Option<bool> {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    if leaf.starts_with("heap_reference") || leaf == "speedup_vs_heap" {
+    if leaf.starts_with("per_shard") {
+        // Per-shard ratios divide an engine absolute by the shard/worker
+        // count of the recording container; the aggregate absolute
+        // (`events_per_sec`) carries the regression signal, and the
+        // per-shard reading is context for humans sizing worker pools.
+        None
+    } else if leaf.starts_with("heap_reference") || leaf == "speedup_vs_heap" {
         // The reference engine is the yardstick, not the product: its
         // absolute throughput moves with the machine and with which run
         // the paired-best protocol selects — and a ratio *against* the
@@ -560,6 +570,61 @@ mod tests {
             || m.contains("arrivals")
             || m.contains("window_ms")
             || m.contains("pending")));
+    }
+
+    #[test]
+    fn million_flows_metrics_classify_directionally() {
+        const REPORT: &str = r#"{
+          "million_flows": {
+            "flows": 1000000, "cohort_size": 1024, "shards": 4,
+            "simulated_seconds": 0.45,
+            "arrivals": 45000000, "merged_windows": 4, "peak_pending": 700000,
+            "events_per_sec": 9000000,
+            "per_shard_events_per_sec": 2250000,
+            "wall_clock_secs": 15.0
+          }
+        }"#;
+        let j = Json::parse(REPORT).unwrap();
+        let cmp = compare_reports(&j, &j);
+        let metrics: Vec<&str> = cmp.iter().map(|c| c.metric.as_str()).collect();
+        // The engine absolutes gate: aggregate throughput and the fixed
+        // workload's wall clock.
+        assert!(metrics.contains(&"million_flows.events_per_sec"));
+        assert!(metrics.contains(&"million_flows.wall_clock_secs"));
+        assert_eq!(cmp.len(), 2, "{metrics:?}");
+        // Shape, footprint and per-shard ratios are context only: the
+        // per-shard reading divides by the recording container's worker
+        // pool, and peak_pending/merged_windows/arrivals describe the
+        // workload, not engine speed.
+        for context in [
+            "per_shard_events_per_sec",
+            "peak_pending",
+            "merged_windows",
+            "arrivals",
+            "cohort_size",
+            "shards",
+            "simulated_seconds",
+        ] {
+            assert!(
+                !metrics.iter().any(|m| m.ends_with(context)),
+                "{context} must not gate"
+            );
+        }
+        // And the gated ones regress in the right direction.
+        let worse = Json::parse(
+            &REPORT
+                .replace("\"events_per_sec\": 9000000", "\"events_per_sec\": 7000000")
+                .replace("15.0", "19.0"),
+        )
+        .unwrap();
+        let cmp = compare_reports(&j, &worse);
+        for name in [
+            "million_flows.events_per_sec",
+            "million_flows.wall_clock_secs",
+        ] {
+            let c = cmp.iter().find(|c| c.metric == name).unwrap();
+            assert!(c.regressed_beyond(0.10), "{c:?}");
+        }
     }
 
     #[test]

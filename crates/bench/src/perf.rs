@@ -508,6 +508,73 @@ pub fn aggregate_observer_events_per_sec(
     }
 }
 
+// ---- Sharded million-flow aggregate -----------------------------------
+
+/// Result of one sharded cohort-aggregate measurement — the 10⁶-flow
+/// execution path: non-target flows as `FlowCohort`s, the population
+/// split over worker sub-sims, per-shard window series merged into one
+/// trunk view.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedMeasurement {
+    /// Events per wall-clock second, summed across all shard event loops
+    /// over the whole fan-out (including merge).
+    pub events_per_sec: f64,
+    /// The same throughput divided by the shard count — a context ratio
+    /// tied to this container's worker pool, not a gated engine number.
+    pub per_shard_events_per_sec: f64,
+    /// Wall-clock seconds for the whole sharded run.
+    pub wall_clock_secs: f64,
+    /// Largest pending-event population sampled in any shard (the
+    /// per-worker memory high-water proxy).
+    pub peak_pending: usize,
+    /// Trunk arrivals folded across all shards.
+    pub arrivals: u64,
+    /// Windows in the merged trunk series.
+    pub merged_windows: usize,
+}
+
+/// Trunk capacity for a cohort-scale aggregate of `flows` CIT flows:
+/// ~2.5× the offered load (each τ = 10 ms flow offers 400 kb/s of
+/// 500-byte packets), floored at the family's 10 Gb/s default — which
+/// saturates above ~2.5×10⁴ flows. One policy shared by the recorded
+/// baseline and the `fig_million_flows` experiment so both always
+/// measure identically provisioned trunks.
+pub fn provisioned_trunk_bps(flows: usize) -> f64 {
+    (flows as f64 * 1e6).max(10e9)
+}
+
+/// Run the sharded cohort aggregate: `flows` CIT flows in cohorts of
+/// `cohort_size`, split over `shards` sub-sims, observed in
+/// `window_secs` windows for `sim_secs` of simulated time. The trunk
+/// is provisioned by [`provisioned_trunk_bps`].
+pub fn sharded_aggregate_measurement(
+    flows: usize,
+    cohort_size: usize,
+    shards: usize,
+    window_secs: f64,
+    sim_secs: f64,
+) -> ShardedMeasurement {
+    let trunk_bps = provisioned_trunk_bps(flows);
+    let builder = linkpad_workloads::scenario::ScenarioBuilder::aggregate(1, flows)
+        .with_trunk(trunk_bps, 5e-3)
+        .with_trunk_observer(window_secs)
+        .with_cohorts(cohort_size)
+        .with_shards(shards);
+    let sharded =
+        linkpad_workloads::shard::ShardedAggregate::new(builder).expect("sharded config valid");
+    let run = sharded
+        .run_for_secs(sim_secs)
+        .expect("sharded run succeeds");
+    ShardedMeasurement {
+        events_per_sec: run.events_per_sec(),
+        per_shard_events_per_sec: run.events_per_sec() / shards as f64,
+        wall_clock_secs: run.wall_secs,
+        peak_pending: run.pending_peak(),
+        arrivals: run.arrivals(),
+        merged_windows: run.windows.len(),
+    }
+}
+
 // ---- Scenario reset vs rebuild ----------------------------------------
 
 /// Timing of per-replication setup: rebuilding the lab topology from its
@@ -649,6 +716,18 @@ mod tests {
             m.arrivals,
             m.windows
         );
+    }
+
+    #[test]
+    fn sharded_measurement_reports_the_whole_population() {
+        // Tiny shape: 64 flows in 16-cohorts over 2 shards, 0.5 s.
+        let m = sharded_aggregate_measurement(64, 16, 2, 0.05, 0.5);
+        assert!(m.events_per_sec > 0.0 && m.wall_clock_secs > 0.0);
+        assert!(m.per_shard_events_per_sec <= m.events_per_sec);
+        // 64 flows × 100 pps × ~0.5 s, minus the first-period ramp.
+        assert!(m.arrivals >= 3000, "arrivals {}", m.arrivals);
+        assert!(m.merged_windows >= 9, "windows {}", m.merged_windows);
+        assert!(m.peak_pending > 0);
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub struct SenderGateway {
     /// Constant on-the-wire size of every padded packet (threat model
     /// remark 3: all packets look identical).
     packet_size: u32,
+    /// Clock start offset: the first timer interval is measured from
+    /// `start_phase` instead of simulation time zero, so the tick grid
+    /// sits at `start_phase + Σ Tⱼ`. Desynchronized gateway deployments
+    /// (ROADMAP: staggered padding clocks) differ only in this phase.
+    start_phase: SimDuration,
     /// Optional bound on the payload queue (failure injection / memory
     /// safety in long runs). `None` = unbounded.
     queue_capacity: Option<usize>,
@@ -143,6 +148,7 @@ impl SenderGateway {
                 next,
                 flow: FlowId::PADDED,
                 packet_size,
+                start_phase: SimDuration::ZERO,
                 queue_capacity: None,
                 queue: VecDeque::new(),
                 arrivals_since_tick: 0,
@@ -162,6 +168,17 @@ impl SenderGateway {
     /// [`FlowId::PADDED`]) — used by aggregate many-gateway scenarios.
     pub fn with_flow(mut self, flow: FlowId) -> Self {
         self.flow = flow;
+        self
+    }
+
+    /// Start the padding clock at an offset: every tick's nominal
+    /// instant shifts by exactly `phase` (first tick at `phase + T₁`
+    /// instead of `T₁`). The desynchronized-clock knob — aggregate
+    /// scenarios give each gateway its own phase so padding clocks stop
+    /// sharing one τ grid. Default [`SimDuration::ZERO`] (the historical
+    /// synchronized behavior).
+    pub fn with_start_phase(mut self, phase: SimDuration) -> Self {
+        self.start_phase = phase;
         self
     }
 
@@ -242,7 +259,11 @@ impl Node for SenderGateway {
 
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let first = self.schedule.next_interval_secs(ctx.rng);
-        ctx.schedule_timer(SimDuration::from_secs_f64(first), TICK);
+        ctx.schedule_timer(
+            self.start_phase
+                .saturating_add(SimDuration::from_secs_f64(first)),
+            TICK,
+        );
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
@@ -640,6 +661,45 @@ mod tests {
         assert_eq!(sink_handle.bytes(), sink_handle.count() as u64 * 500);
         let ticks = gw_handle.payload_sent() + gw_handle.dummy_sent();
         assert!(ticks - sink_handle.count() as u64 <= 1);
+    }
+
+    #[test]
+    fn start_phase_shifts_every_emission_exactly() {
+        // Zero-base-sigma jitter and no payload → no RNG draws on the
+        // tick path, so emission times are exact nominal instants and
+        // the phase shift must appear bit-for-bit on every timestamp.
+        let run = |phase_ns: u64| {
+            let mut b = SimBuilder::new(MasterSeed::new(21));
+            let (tap_handle, tap) = Tap::new(None, None);
+            let tap_id = b.add_node(Box::new(tap));
+            let (_, gw) = SenderGateway::new(
+                tap_id,
+                PaddingSchedule::cit(0.010).unwrap(),
+                GatewayJitterModel::new(0.0, 6e-6).unwrap(),
+                500,
+            );
+            b.add_node(Box::new(
+                gw.with_start_phase(SimDuration::from_nanos(phase_ns)),
+            ));
+            let mut sim = b.build().unwrap();
+            sim.run_until(SimTime::from_secs_f64(0.5));
+            tap_handle.timestamps()
+        };
+        let base = run(0);
+        let shifted = run(3_000_000); // 3 ms offset
+        assert_eq!(base[0].as_nanos(), 10_000_000, "first tick at τ");
+        assert_eq!(shifted[0].as_nanos(), 13_000_000, "first tick at φ + τ");
+        // The run bound clips one shifted tick (at 503 ms); every pair
+        // that exists must differ by exactly the phase.
+        assert_eq!(base.len(), 50);
+        assert_eq!(shifted.len(), 49);
+        for (b_t, s_t) in base.iter().zip(&shifted) {
+            assert_eq!(
+                s_t.as_nanos(),
+                b_t.as_nanos() + 3_000_000,
+                "offset shifts the whole grid exactly"
+            );
+        }
     }
 
     #[test]

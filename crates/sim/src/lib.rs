@@ -24,6 +24,10 @@
 //!   fixed-width window statistics (count, byte rate, PIAT moments) in
 //!   `O(windows)` memory, for trunks where storing every timestamp is
 //!   untenable.
+//! * **Flow cohorts** ([`cohort::FlowCohort`]) superpose K CIT-padded
+//!   flows' combined arrival process in one node — a per-cohort phase
+//!   vector and a single pending timer instead of K gateways — which is
+//!   what takes aggregate scenarios from ~10⁴ to 10⁶ concurrent flows.
 //! * **Sources** ([`source::DistSource`]) emit traffic with pluggable
 //!   inter-arrival and packet-size laws from `linkpad-stats`.
 //! * **Parallel sweeps** ([`parallel::parallel_map`]) fan independent
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cohort;
 pub mod engine;
 pub mod equeue;
 pub mod link;
@@ -54,6 +59,7 @@ pub mod tap;
 pub mod time;
 pub mod trace;
 
+pub use cohort::{CohortHandle, CohortJitter, FlowCohort, COHORT_FLOW};
 pub use engine::{Context, RunStats, Sim, SimBuilder};
 pub use equeue::EventQueue;
 pub use link::Link;

@@ -48,12 +48,51 @@ pub struct WindowStats {
 }
 
 impl WindowStats {
-    fn empty() -> Self {
+    /// A window with nothing observed (the identity of [`WindowStats::merge`]).
+    pub fn empty() -> Self {
         Self {
             count: 0,
             bytes: 0,
             piats: RunningMoments::new(),
         }
+    }
+
+    /// Fold another window's statistics into this one.
+    ///
+    /// Counts and bytes **superpose exactly** (the merged window counts
+    /// precisely the union of both arrival sets), so summing per-shard
+    /// series reconstructs the single-trunk count/byte series
+    /// bit-identically. The PIAT moments **pool**: the merged
+    /// accumulator is the exact pairwise combination
+    /// ([`RunningMoments::merge`]) of both windows' inter-arrival
+    /// populations — the moments of all PIATs observed by either
+    /// component, *not* the inter-arrival process of the interleaved
+    /// union (which cannot be reconstructed from per-component
+    /// statistics in `O(windows)`; see DESIGN.md, cohort superposition).
+    /// Merging with [`WindowStats::empty`] on either side is an exact
+    /// identity, bit for bit.
+    pub fn merge(&mut self, other: &WindowStats) {
+        self.count += other.count;
+        self.bytes += other.bytes;
+        self.piats.merge(&other.piats);
+    }
+}
+
+/// Merge one window series into another element-wise (window `i` of
+/// `from` folds into window `i` of `into` via [`WindowStats::merge`]).
+/// Ragged lengths are fine: `into` grows to cover `from`, and windows
+/// present in only one series pass through unchanged (merge with the
+/// empty window is exact). This is the shard-reduction step: summing the
+/// per-shard trunk series of a [`ShardedAggregate`-style] split
+/// reconstructs the whole trunk's count/byte view.
+///
+/// [`ShardedAggregate`-style]: WindowStats::merge
+pub fn merge_window_series(into: &mut Vec<WindowStats>, from: &[WindowStats]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), WindowStats::empty());
+    }
+    for (dst, src) in into.iter_mut().zip(from) {
+        dst.merge(src);
     }
 }
 
@@ -126,6 +165,13 @@ impl ObserverHandle {
     /// Run `f` over the raw per-window statistics without cloning them.
     pub fn with_windows<R>(&self, f: impl FnOnce(&[WindowStats]) -> R) -> R {
         f(&self.state.borrow().windows)
+    }
+
+    /// Clone out the whole window series — the mergeable trunk view a
+    /// sharded run extracts from each worker (see
+    /// [`merge_window_series`]).
+    pub fn window_series(&self) -> Vec<WindowStats> {
+        self.with_windows(|ws| ws.to_vec())
     }
 
     /// Per-window arrival counts, as `f64` for the estimators.
@@ -367,5 +413,79 @@ mod tests {
     #[should_panic(expected = "window width must be positive")]
     fn zero_window_panics() {
         let _ = WindowedObserver::new(SimDuration::ZERO, None);
+    }
+
+    /// Fold `(piat, bytes)` observations into one window.
+    fn window_of(samples: &[(f64, u64)]) -> WindowStats {
+        let mut w = WindowStats::empty();
+        for &(piat, bytes) in samples {
+            w.count += 1;
+            w.bytes += bytes;
+            w.piats.push(piat);
+        }
+        w
+    }
+
+    #[test]
+    fn merge_of_split_halves_equals_sequential_folding() {
+        // The satellite property: any split of a window's observation
+        // population merges back to the sequential fold — counts/bytes
+        // bit-for-bit, moments f64-equal (RunningMoments::merge is the
+        // exact pairwise combination; tolerances cover re-association).
+        let samples: Vec<(f64, u64)> = (0..257)
+            .map(|i| (10e-3 + (i as f64 * 0.7).sin() * 8e-6, 500 + (i % 3)))
+            .collect();
+        let whole = window_of(&samples);
+        for split in [0usize, 1, 64, 128, 256, 257] {
+            let mut a = window_of(&samples[..split]);
+            let b = window_of(&samples[split..]);
+            a.merge(&b);
+            assert_eq!(a.count, whole.count);
+            assert_eq!(a.bytes, whole.bytes);
+            assert_eq!(a.piats.count(), whole.piats.count());
+            let (am, wm) = (a.piats.mean().unwrap(), whole.piats.mean().unwrap());
+            assert!((am - wm).abs() < 1e-15, "split {split}: mean {am} vs {wm}");
+            let (av, wv) = (a.piats.variance().unwrap(), whole.piats.variance().unwrap());
+            assert!(
+                ((av - wv) / wv).abs() < 1e-9,
+                "split {split}: var {av:e} vs {wv:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_bit_identity() {
+        let w = window_of(&[(0.01, 500), (0.0101, 500), (0.0099, 500)]);
+        let mut a = w;
+        a.merge(&WindowStats::empty());
+        assert_eq!(a, w, "empty on the right is an exact identity");
+        let mut e = WindowStats::empty();
+        e.merge(&w);
+        assert_eq!(e, w, "empty on the left is an exact identity");
+    }
+
+    #[test]
+    fn series_merge_handles_ragged_lengths() {
+        let (long, _) = run_clocked(10.0, 100, 100.0); // 11 windows
+        let (short, _) = run_clocked(10.0, 40, 100.0); // 5 windows
+        let mut merged = long.window_series();
+        merge_window_series(&mut merged, &short.window_series());
+        assert_eq!(merged.len(), 11);
+        // Overlapping windows sum counts; the tail passes through.
+        let long_counts = long.counts();
+        let short_counts = short.counts();
+        for (i, w) in merged.iter().enumerate() {
+            let want = long_counts[i] + short_counts.get(i).copied().unwrap_or(0.0);
+            assert_eq!(w.count as f64, want, "window {i}");
+        }
+        // Growing direction: short grows to cover long.
+        let mut grown = short.window_series();
+        merge_window_series(&mut grown, &long.window_series());
+        assert_eq!(grown.len(), 11);
+        assert_eq!(
+            grown.iter().map(|w| w.count).sum::<u64>(),
+            140,
+            "all arrivals of both series survive the merge"
+        );
     }
 }

@@ -30,8 +30,10 @@
 //! microbench.
 
 use crate::scenario::{AggregateHandles, BuiltScenario, ScenarioBuilder, ScenarioError};
+use crate::spec::ScheduleSpec;
 use crate::switching::SwitchingSource;
 use linkpad_core::gateway::{ReceiverGateway, SenderGateway};
+use linkpad_sim::cohort::{CohortHandle, CohortJitter, FlowCohort, COHORT_FLOW};
 use linkpad_sim::engine::{Context, SimBuilder};
 use linkpad_sim::node::{Node, NodeId};
 use linkpad_sim::observer::WindowedObserver;
@@ -41,7 +43,7 @@ use linkpad_sim::sink::Sink;
 use linkpad_sim::source::DistSource;
 use linkpad_sim::tap::Tap;
 use linkpad_sim::time::SimDuration;
-use linkpad_stats::rng::MasterSeed;
+use linkpad_stats::rng::{splitmix64_mix, MasterSeed};
 use linkpad_stats::StatsError;
 
 /// Rate-switching drive for the target flow (flow 0) of an aggregate
@@ -53,6 +55,60 @@ pub struct SwitchingSpec {
     pub rates: [f64; 2],
     /// Dwell time at each rate, seconds.
     pub dwell_secs: f64,
+}
+
+/// How the padding-clock start phases of an aggregate's flows are laid
+/// out — the desynchronized-clock knob from the ROADMAP. Flow k's
+/// gateway (or cohort member) starts its clock at the given offset, so
+/// its ticks sit at `phase + j·τ`; the phase layout decides whether the
+/// trunk's per-window count variance reads `N²·f(1−f)` (synchronized,
+/// perfectly correlated Bernoulli offsets) or `N·f(1−f)` (independent
+/// phases) — see `linkpad_adversary::aggregate::estimator`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseSpec {
+    /// Every clock starts at zero — one shared τ grid (the historical
+    /// default; gateways deployed together and never restarted).
+    Synchronized,
+    /// Phases spread evenly over the period: stratification index `i`
+    /// of a population `m` gets phase `(i/m)·τ`. In cohort mode the
+    /// index is the flow's **global** within-cohort position
+    /// (`(f−1) % K` over the global cohort grid) and in per-flow mode
+    /// its global id over the whole population — both keyed to the
+    /// flow, never to a shard-local position, so the aggregate phase
+    /// multiset is identical however the population is split.
+    Stratified,
+    /// Independent uniform phases in `[0, τ)`, drawn per **global** flow
+    /// id from a dedicated phase seed. The seed is configuration (not
+    /// the scenario's master seed), so rebuilding or reseeding a
+    /// topology never re-randomizes the clock layout — `reset()` and
+    /// `build()` stay bit-identical.
+    Uniform {
+        /// Phase-layout seed (configuration, independent of run seeds).
+        seed: u64,
+    },
+}
+
+impl PhaseSpec {
+    /// The clock start phase of one flow, in seconds (always `< tau`).
+    ///
+    /// `flow` is the global flow id (drives [`PhaseSpec::Uniform`]);
+    /// `index`/`modulus` are the stratification position and population
+    /// (member-within-cohort for cohorts, global-flow-within-aggregate
+    /// for real gateway pairs).
+    pub fn phase_secs(&self, flow: usize, index: usize, modulus: usize, tau: f64) -> f64 {
+        match *self {
+            PhaseSpec::Synchronized => 0.0,
+            PhaseSpec::Stratified => {
+                let m = modulus.max(1);
+                (index % m) as f64 / m as f64 * tau
+            }
+            PhaseSpec::Uniform { seed } => {
+                let word = splitmix64_mix(seed ^ (flow as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                // 53-bit uniform in [0, 1) → phase strictly below τ.
+                (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * tau
+            }
+        }
+    }
 }
 
 /// Configuration of the aggregate (many-gateway trunk) topology.
@@ -78,6 +134,24 @@ pub struct AggregateSpec {
     /// lands in
     /// [`AggregateHandles::target_rate_log`](crate::scenario::AggregateHandles).
     pub switching: Option<SwitchingSpec>,
+    /// When set, flows other than the instrumented target are simulated
+    /// as [`FlowCohort`]s of up to this many flows each — one node and
+    /// one pending timer per cohort instead of per flow — which is what
+    /// takes the family from ~10⁴ to 10⁶ flows. Requires the CIT
+    /// schedule (the superposition is exact only for CIT; see
+    /// `linkpad_sim::cohort`). The cohorts' wire traffic carries
+    /// [`COHORT_FLOW`] and is absorbed at the trunk demux; QoS
+    /// instrumentation exists only for the target flow.
+    pub cohort_size: Option<usize>,
+    /// Padding-clock phase layout across the flow population.
+    pub phases: PhaseSpec,
+    /// Restrict the built topology to the global flow sub-population
+    /// `[start, start+count)` — the sharded-execution plumbing
+    /// ([`crate::shard::ShardedAggregate`] gives each worker sub-sim one
+    /// range). The instrumented target exists only in the range
+    /// containing flow 0; other ranges build observer-only shards whose
+    /// target handles read zero.
+    pub flow_range: Option<(usize, usize)>,
 }
 
 impl AggregateSpec {
@@ -93,6 +167,9 @@ impl AggregateSpec {
             trunk_propagation: 5e-3,
             observer_window: None,
             switching: None,
+            cohort_size: None,
+            phases: PhaseSpec::Synchronized,
+            flow_range: None,
         }
     }
 }
@@ -109,10 +186,20 @@ impl AggregateSpec {
 /// would skew QoS and overhead accounting without a trace. The demux
 /// therefore panics on unknown flows, in the same fail-loudly-at-the-
 /// source spirit as `SimBuilder::install`.
+///
+/// Two extensions serve the cohort/shard family: a **base** offset so a
+/// shard carrying global flows `[base, base+n)` indexes its branch table
+/// locally, and an **absorb** flow id terminated in place — cohort
+/// traffic has been observed by the trunk instrument and has no
+/// receiver, and absorbing it here (counted) saves one event per packet
+/// at million-flow scale.
 #[derive(Debug)]
 pub struct TrunkDemux {
     nexts: Vec<NodeId>,
+    base: usize,
+    absorb: Option<FlowId>,
     forwarded: u64,
+    absorbed: u64,
 }
 
 impl TrunkDemux {
@@ -120,8 +207,24 @@ impl TrunkDemux {
     pub fn new(nexts: Vec<NodeId>) -> Self {
         Self {
             nexts,
+            base: 0,
+            absorb: None,
             forwarded: 0,
+            absorbed: 0,
         }
+    }
+
+    /// Route global flow `base + i` to `nexts[i]` (shard plumbing).
+    pub fn with_base(mut self, base: usize) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Terminate packets of this flow id in place (counted), instead of
+    /// requiring a branch — the cohort-traffic sink.
+    pub fn with_absorb(mut self, flow: FlowId) -> Self {
+        self.absorb = Some(flow);
+        self
     }
 
     /// Packets forwarded to a per-flow branch.
@@ -129,15 +232,26 @@ impl TrunkDemux {
         self.forwarded
     }
 
+    /// Packets terminated by the absorb rule.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// The branch for a packet, or `None` for absorbed traffic.
     #[inline]
-    fn branch(&self, packet: &Packet) -> NodeId {
-        match self.nexts.get(packet.flow.0 as usize) {
-            Some(&next) => next,
+    fn branch(&self, packet: &Packet) -> Option<NodeId> {
+        if self.absorb == Some(packet.flow) {
+            return None;
+        }
+        let local = (packet.flow.0 as usize).checked_sub(self.base);
+        match local.and_then(|i| self.nexts.get(i)) {
+            Some(&next) => Some(next),
             None => panic!(
-                "trunk demux: no branch for flow {} ({} branches wired) — \
+                "trunk demux: no branch for flow {} ({} branches wired at base {}) — \
                  every flow on the trunk must have a receiver",
                 packet.flow.0,
-                self.nexts.len()
+                self.nexts.len(),
+                self.base,
             ),
         }
     }
@@ -145,13 +259,32 @@ impl TrunkDemux {
 
 impl Node for TrunkDemux {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        let next = self.branch(&packet);
-        self.forwarded += 1;
-        ctx.send_now(next, packet);
+        match self.branch(&packet) {
+            Some(next) => {
+                self.forwarded += 1;
+                ctx.send_now(next, packet);
+            }
+            None => self.absorbed += 1,
+        }
+    }
+
+    fn on_packets(&mut self, packets: &mut Vec<Packet>, ctx: &mut Context<'_>) {
+        // Burst path: at cohort scale a whole period's emissions arrive
+        // as one same-instant batch, and almost all of it absorbs.
+        for packet in packets.drain(..) {
+            match self.branch(&packet) {
+                Some(next) => {
+                    self.forwarded += 1;
+                    ctx.send_now(next, packet);
+                }
+                None => self.absorbed += 1,
+            }
+        }
     }
 
     fn reset(&mut self) {
         self.forwarded = 0;
+        self.absorbed = 0;
     }
 
     fn label(&self) -> &str {
@@ -163,6 +296,14 @@ impl Node for TrunkDemux {
 /// schedule, discipline and calibrated defaults apply to **every**
 /// flow; each flow draws from its own RNG streams, so flows are
 /// statistically independent replicas).
+///
+/// With [`AggregateSpec::cohort_size`] set, flows other than the target
+/// are grouped into [`FlowCohort`]s; with
+/// [`AggregateSpec::flow_range`] set, only that global sub-population is
+/// built (shard plumbing). Ranges that exclude flow 0 produce
+/// observer-only shards: the target-flow scaffold handles exist so
+/// [`BuiltScenario`]'s shape is uniform, but no target nodes are wired
+/// and their counters stay zero.
 pub(crate) fn build_aggregate(
     builder: &ScenarioBuilder,
     spec: AggregateSpec,
@@ -194,36 +335,80 @@ pub(crate) fn build_aggregate(
             }));
         }
     }
+    let (start, count) = spec.flow_range.unwrap_or((0, spec.flows));
+    if count == 0 || start.checked_add(count).is_none_or(|end| end > spec.flows) {
+        return Err(ScenarioError::InvalidFlowRange {
+            start,
+            count,
+            flows: spec.flows,
+        });
+    }
+    if let Some(k) = spec.cohort_size {
+        if k == 0 {
+            return Err(ScenarioError::EmptyCohort);
+        }
+        if builder.schedule() != ScheduleSpec::Cit {
+            return Err(ScenarioError::CohortRequiresCit);
+        }
+    }
+    // Validate the payload law up front: a cohort-only shard builds no
+    // payload source, but a misconfigured rate must still fail loudly.
+    drop(builder.payload().interval_law()?);
+
+    let has_target = start == 0;
     let d = builder.defaults;
+    let tau = d.tau;
     let mut b = SimBuilder::new(MasterSeed::new(builder.seed()));
 
     // Receiver side, flow 0 (the instrumented target): sink ← GW2 ← tap.
-    let (payload_sink, sink) = Sink::new();
-    let sink_id = b.add_node(Box::new(sink.with_label("subnet-b")));
-    let (receiver, gw2) = ReceiverGateway::new(Some(sink_id));
-    let gw2_id = b.add_node(Box::new(gw2));
-    let (receiver_tap, rtap) = Tap::on_padded_flow(Some(gw2_id));
-    let rtap_id = b.add_node(Box::new(rtap.with_label("tap@gw2")));
+    // Observer-only shards (ranges excluding flow 0) keep the handles —
+    // constructed, never wired — so every shard exposes the same
+    // `BuiltScenario` shape with zeroed target instrumentation.
+    let mut demux_nexts: Vec<NodeId> = Vec::new();
+    let (payload_sink, receiver, receiver_tap) = if has_target {
+        let (payload_sink, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink.with_label("subnet-b")));
+        let (receiver, gw2) = ReceiverGateway::new(Some(sink_id));
+        let gw2_id = b.add_node(Box::new(gw2));
+        let (receiver_tap, rtap) = Tap::on_padded_flow(Some(gw2_id));
+        let rtap_id = b.add_node(Box::new(rtap.with_label("tap@gw2")));
+        demux_nexts.push(rtap_id);
+        (payload_sink, receiver, receiver_tap)
+    } else {
+        let (payload_sink, _sink) = Sink::new();
+        let (receiver, _gw2) = ReceiverGateway::new(None);
+        let (receiver_tap, _rtap) = Tap::on_padded_flow(None);
+        (payload_sink, receiver, receiver_tap)
+    };
 
-    // Receiver side, flows 1..N: a terminating gateway each.
-    let mut receivers = Vec::with_capacity(spec.flows);
-    receivers.push(receiver.clone());
-    let mut demux_nexts = Vec::with_capacity(spec.flows);
-    demux_nexts.push(rtap_id);
-    for i in 1..spec.flows {
-        let (r, gw2_i) = ReceiverGateway::new(None);
-        let id = b.add_node(Box::new(gw2_i.with_flow(FlowId(i as u32))));
-        receivers.push(r);
-        demux_nexts.push(id);
+    // Receiver side, non-target flows: a terminating gateway each in the
+    // per-flow mode; absorbed at the demux in cohort mode.
+    let mut receivers = Vec::new();
+    if has_target {
+        receivers.push(receiver.clone());
+    }
+    if spec.cohort_size.is_none() {
+        for f in start.max(1)..start + count {
+            let (r, gw2_f) = ReceiverGateway::new(None);
+            let id = b.add_node(Box::new(gw2_f.with_flow(FlowId(f as u32))));
+            receivers.push(r);
+            demux_nexts.push(id);
+        }
     }
 
     // The shared trunk: router → aggregate instrument → demux. The
     // instrument is the adversary's view of the shared link: either the
     // store-everything tap (default; pre-sized so the first ~0.64 s of
     // τ-clocked aggregate traffic never reallocates — see the memory
-    // model in `Tap`'s docs) or, for long/huge runs, the streaming
-    // windowed observer in O(windows) memory.
-    let demux_id = b.add_node(Box::new(TrunkDemux::new(demux_nexts)));
+    // model in `Tap`'s docs — with the pre-size capped at 10⁶ captures
+    // so cohort-scale populations don't pre-commit gigabytes) or, for
+    // long/huge runs, the streaming windowed observer in O(windows)
+    // memory.
+    let mut demux = TrunkDemux::new(demux_nexts).with_base(start);
+    if spec.cohort_size.is_some() {
+        demux = demux.with_absorb(COHORT_FLOW);
+    }
+    let demux_id = b.add_node(Box::new(demux));
     let (trunk_tap, trunk_observer, instrument_id) = match spec.observer_window {
         Some(window) => {
             let (obs, node) =
@@ -234,7 +419,8 @@ pub(crate) fn build_aggregate(
         None => {
             let (tap, node) = Tap::new(None, Some(demux_id));
             let id = b.add_node(Box::new(
-                node.with_capacity(spec.flows * 64).with_label("tap@trunk"),
+                node.with_capacity((count * 64).min(1_000_000))
+                    .with_label("tap@trunk"),
             ));
             (Some(tap), None, id)
         }
@@ -248,32 +434,32 @@ pub(crate) fn build_aggregate(
         .with_label("trunk"),
     ));
 
-    // Sender side: flow 0 through its egress tap, the rest straight in.
-    let (sender_tap, stap) = Tap::on_padded_flow(Some(trunk_id));
-    let stap_id = b.add_node(Box::new(stap.with_label("tap@gw1")));
-    let mut gateways = Vec::with_capacity(spec.flows);
+    // Sender side: the target flow through its egress tap, everything
+    // else straight into the trunk.
+    let mut gateways = Vec::new();
+    let mut cohorts: Vec<CohortHandle> = Vec::new();
     let mut target_rate_log = None;
-    for i in 0..spec.flows {
-        let flow = FlowId(i as u32);
-        let first_hop = if i == 0 { stap_id } else { trunk_id };
+    let (sender_tap, gateway) = if has_target {
+        let (sender_tap, stap) = Tap::on_padded_flow(Some(trunk_id));
+        let stap_id = b.add_node(Box::new(stap.with_label("tap@gw1")));
+        let phase = spec.phases.phase_secs(0, 0, spec.flows, tau);
         let (gw, gw1) = SenderGateway::new(
-            first_hop,
-            builder.schedule().to_schedule(d.tau)?,
+            stap_id,
+            builder.schedule().to_schedule(tau)?,
             d.jitter,
             d.packet_size,
         );
         let gw1_id = b.add_node(Box::new(
             gw1.with_discipline(builder.discipline())
-                .with_flow(flow)
-                .with_label(format!("gw1-{i}")),
+                .with_flow(FlowId(0))
+                .with_start_phase(SimDuration::from_secs_f64(phase))
+                .with_label("gw1-0"),
         ));
-        gateways.push(gw);
-        // Flow 0 optionally runs the rate-switching drive (the hidden
-        // state the aggregate adversary estimates); every other flow —
-        // and flow 0 without a switching spec — follows the builder's
-        // payload law.
-        match (i, spec.switching) {
-            (0, Some(sw)) => {
+        // The target optionally runs the rate-switching drive (the
+        // hidden state the aggregate adversary estimates); without a
+        // switching spec it follows the builder's payload law.
+        match spec.switching {
+            Some(sw) => {
                 let (log, src) = SwitchingSource::new(
                     gw1_id,
                     sw.rates,
@@ -283,7 +469,50 @@ pub(crate) fn build_aggregate(
                 target_rate_log = Some(log);
                 b.add_node(Box::new(src));
             }
-            _ => {
+            None => {
+                b.add_node(Box::new(DistSource::new(
+                    gw1_id,
+                    FlowId(0),
+                    PacketKind::Payload,
+                    builder.payload().interval_law()?,
+                    Box::new(linkpad_stats::dist::Deterministic::new(
+                        d.packet_size as f64,
+                    )?),
+                )));
+            }
+        }
+        gateways.push(gw.clone());
+        (sender_tap, gw)
+    } else {
+        let (sender_tap, _stap) = Tap::on_padded_flow(None);
+        let (gw, _gw1) = SenderGateway::new(
+            trunk_id,
+            builder.schedule().to_schedule(tau)?,
+            d.jitter,
+            d.packet_size,
+        );
+        (sender_tap, gw)
+    };
+
+    match spec.cohort_size {
+        // Per-flow mode: a real gateway pair and payload source per flow.
+        None => {
+            for f in start.max(1)..start + count {
+                let flow = FlowId(f as u32);
+                let phase = spec.phases.phase_secs(f, f, spec.flows, tau);
+                let (gw, gw1) = SenderGateway::new(
+                    trunk_id,
+                    builder.schedule().to_schedule(tau)?,
+                    d.jitter,
+                    d.packet_size,
+                );
+                let gw1_id = b.add_node(Box::new(
+                    gw1.with_discipline(builder.discipline())
+                        .with_flow(flow)
+                        .with_start_phase(SimDuration::from_secs_f64(phase))
+                        .with_label(format!("gw1-{f}")),
+                ));
+                gateways.push(gw);
                 b.add_node(Box::new(DistSource::new(
                     gw1_id,
                     flow,
@@ -295,6 +524,56 @@ pub(crate) fn build_aggregate(
                 )));
             }
         }
+        // Cohort mode: non-target flows grouped K at a time into
+        // superposition nodes. Grouping and stratification are keyed to
+        // each flow's **global** member position (flow f is member
+        // `f − 1`; global cohort id `(f − 1)/K`, within-cohort index
+        // `(f − 1) % K`), never to the shard-local chunk position — so a
+        // flow's phase, and therefore the merged arrival multiset, is
+        // identical no matter how the population is split over shards
+        // (shard boundaries merely create partial cohorts at the edges).
+        // The payload's only wire-visible effect under CIT is the
+        // per-tick interrupt-blocking delay, carried by the cohort
+        // jitter's Bernoulli arrival probability p = rate·τ (the paper's
+        // sub-unit-rate regime; see DESIGN.md).
+        Some(k) => {
+            let jitter = CohortJitter {
+                base_sigma: d.jitter.base_sigma,
+                blocking_mean: d.jitter.blocking_mean,
+                arrival_prob: (builder.payload().rate() * tau).clamp(0.0, 1.0),
+            };
+            let mut group: Vec<SimDuration> = Vec::with_capacity(k);
+            let mut group_id = None;
+            let mut flush =
+                |group: &mut Vec<SimDuration>, group_id: &mut Option<usize>, b: &mut SimBuilder| {
+                    let Some(g) = group_id.take() else { return };
+                    let (h, cohort) = FlowCohort::new(
+                        trunk_id,
+                        SimDuration::from_secs_f64(tau),
+                        group,
+                        d.packet_size,
+                    );
+                    b.add_node(Box::new(
+                        cohort.with_jitter(jitter).with_label(format!("cohort-{g}")),
+                    ));
+                    cohorts.push(h);
+                    group.clear();
+                };
+            for f in start.max(1)..start + count {
+                let member = f - 1;
+                if group_id != Some(member / k) {
+                    flush(&mut group, &mut group_id, &mut b);
+                    group_id = Some(member / k);
+                }
+                group.push(SimDuration::from_secs_f64(spec.phases.phase_secs(
+                    f,
+                    member % k,
+                    k,
+                    tau,
+                )));
+            }
+            flush(&mut group, &mut group_id, &mut b);
+        }
     }
 
     let sim = b.build()?;
@@ -302,8 +581,8 @@ pub(crate) fn build_aggregate(
         sim,
         sender_tap,
         receiver_tap,
-        gateway: gateways[0].clone(),
-        receiver: receivers[0].clone(),
+        gateway,
+        receiver,
         payload_sink,
         aggregate: Some(AggregateHandles {
             trunk_tap,
@@ -311,8 +590,9 @@ pub(crate) fn build_aggregate(
             target_rate_log,
             gateways,
             receivers,
+            cohorts,
         }),
-        tau: d.tau,
+        tau,
     })
 }
 

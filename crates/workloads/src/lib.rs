@@ -21,7 +21,15 @@
 //!   handles, a PIAT collector, and a seed-reset fast path for sweeps.
 //! * [`aggregate`] — the many-gateway trunk topology: per-flow padded
 //!   gateway pairs feeding a shared trunk link, a trunk tap recording
-//!   the aggregate, and an N-way flow demux behind it.
+//!   the aggregate, and an N-way flow demux behind it. Cohort mode
+//!   ([`ScenarioBuilder::with_cohorts`](scenario::ScenarioBuilder::with_cohorts))
+//!   swaps the non-target pairs for `FlowCohort` superposition nodes;
+//!   [`PhaseSpec`](aggregate::PhaseSpec) lays out the padding-clock
+//!   start phases (the desynchronized-clock knob).
+//! * [`shard`] — sharded aggregate execution: split one trunk
+//!   scenario's flow population over worker sub-sims and merge the
+//!   per-shard window series into one trunk view (counts/bytes
+//!   superpose exactly) — with cohorts, the 10⁶-flow path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,13 +39,15 @@ pub mod background;
 pub mod cross;
 pub mod demux;
 pub mod scenario;
+pub mod shard;
 pub mod spec;
 pub mod switching;
 
-pub use aggregate::{AggregateSpec, SwitchingSpec, TrunkDemux};
+pub use aggregate::{AggregateSpec, PhaseSpec, SwitchingSpec, TrunkDemux};
 pub use background::BackgroundNoiseHop;
 pub use cross::{cross_rate_for_utilization, DiurnalProfile, SizeMix};
 pub use demux::FlowDemux;
 pub use scenario::{AggregateHandles, BuiltScenario, ScenarioBuilder, TapPosition};
+pub use shard::{ShardReport, ShardedAggregate, ShardedRun};
 pub use spec::{HopSpec, PayloadSpec, ScheduleSpec};
 pub use switching::{RateLog, SwitchingSource};

@@ -14,7 +14,7 @@
 //! ingress) so experiments choose the adversary's vantage point, plus
 //! gateway/receiver handles for QoS and overhead accounting.
 
-use crate::aggregate::{AggregateSpec, SwitchingSpec};
+use crate::aggregate::{AggregateSpec, PhaseSpec, SwitchingSpec};
 use crate::cross::{cross_interval_law, cross_rate_for_utilization, SizeMix};
 use crate::demux::FlowDemux;
 use crate::spec::{HopSpec, PayloadSpec, ScheduleSpec};
@@ -61,6 +61,25 @@ pub enum ScenarioError {
     },
     /// An aggregate scenario was configured with zero flows.
     EmptyAggregate,
+    /// An aggregate cohort was configured with zero flows per cohort.
+    EmptyCohort,
+    /// Cohort mode requires the CIT schedule: the one-node superposition
+    /// is exact only when every member flow ticks on a deterministic
+    /// τ comb (VIT clocks drift per flow — see DESIGN.md).
+    CohortRequiresCit,
+    /// An aggregate flow range lies outside the configured population.
+    InvalidFlowRange {
+        /// First global flow of the requested range.
+        start: usize,
+        /// Number of flows in the requested range.
+        count: usize,
+        /// Total flows in the aggregate.
+        flows: usize,
+    },
+    /// A sharded run was configured with an unusable shard count or a
+    /// builder the sharding layer cannot split (see
+    /// [`crate::shard::ShardedAggregate::new`]).
+    InvalidSharding(&'static str),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -73,6 +92,30 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::EmptyAggregate => {
                 write!(f, "aggregate scenario needs at least one flow")
+            }
+            ScenarioError::EmptyCohort => {
+                write!(f, "aggregate cohorts need at least one flow each")
+            }
+            ScenarioError::CohortRequiresCit => {
+                write!(
+                    f,
+                    "flow cohorts require the CIT schedule (superposition is \
+                     exact only for deterministic padding combs)"
+                )
+            }
+            ScenarioError::InvalidFlowRange {
+                start,
+                count,
+                flows,
+            } => {
+                write!(
+                    f,
+                    "aggregate flow range [{start}, {}) outside population of {flows}",
+                    start + count
+                )
+            }
+            ScenarioError::InvalidSharding(why) => {
+                write!(f, "sharded aggregate misconfigured: {why}")
             }
         }
     }
@@ -109,6 +152,10 @@ pub struct ScenarioBuilder {
     /// When set, `build()` materializes the many-gateway aggregate
     /// topology instead of the single-pair hop chain.
     aggregate: Option<AggregateSpec>,
+    /// How many worker sub-sims a [`crate::shard::ShardedAggregate`]
+    /// splits this scenario's flow population across (1 = unsharded;
+    /// plain `build()` ignores it).
+    shards: usize,
     label: &'static str,
 }
 
@@ -132,6 +179,7 @@ impl ScenarioBuilder {
             hop_link_bps: defaults.link_bps,
             discipline: defaults.discipline,
             aggregate: None,
+            shards: 1,
             label: "lab",
         }
     }
@@ -211,6 +259,54 @@ impl ScenarioBuilder {
     pub fn with_switching_target(mut self, rates: [f64; 2], dwell_secs: f64) -> Self {
         if let Some(spec) = &mut self.aggregate {
             spec.switching = Some(SwitchingSpec { rates, dwell_secs });
+        }
+        self
+    }
+
+    /// Simulate the aggregate's non-target flows as
+    /// [`FlowCohort`](linkpad_sim::cohort::FlowCohort)s of up to
+    /// `cohort_size` flows each — one node and one pending timer per
+    /// cohort instead of ~10 nodes per flow, the lever that takes the
+    /// family to 10⁶ concurrent flows. Requires the CIT schedule (build
+    /// fails with [`ScenarioError::CohortRequiresCit`] otherwise); QoS
+    /// instrumentation then exists only for the target flow. No effect
+    /// outside the aggregate family.
+    pub fn with_cohorts(mut self, cohort_size: usize) -> Self {
+        if let Some(spec) = &mut self.aggregate {
+            spec.cohort_size = Some(cohort_size);
+        }
+        self
+    }
+
+    /// Padding-clock phase layout across the aggregate's flows (default
+    /// [`PhaseSpec::Synchronized`], the one-τ-grid regime): the
+    /// desynchronized-clock countermeasure comparison from the ROADMAP.
+    /// No effect outside the aggregate family.
+    pub fn with_phases(mut self, phases: PhaseSpec) -> Self {
+        if let Some(spec) = &mut self.aggregate {
+            spec.phases = phases;
+        }
+        self
+    }
+
+    /// Split this aggregate over `shards` worker sub-sims when executed
+    /// through [`crate::shard::ShardedAggregate`] (plain `build()`
+    /// ignores the setting). No effect outside the aggregate family.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Build only the global flow sub-population `[start, start+count)`
+    /// — the per-worker view of a sharded run. The instrumented target
+    /// exists only in the range containing flow 0; other ranges build
+    /// observer-only shards. Exposed so shard workers (and tests) can
+    /// materialize a single shard; most callers want
+    /// [`crate::shard::ShardedAggregate`] instead. No effect outside
+    /// the aggregate family.
+    pub fn with_flow_range(mut self, start: usize, count: usize) -> Self {
+        if let Some(spec) = &mut self.aggregate {
+            spec.flow_range = Some((start, count));
         }
         self
     }
@@ -303,6 +399,16 @@ impl ScenarioBuilder {
     /// Aggregate flow count (1 for the single-pair families).
     pub fn flow_count(&self) -> usize {
         self.aggregate.map_or(1, |a| a.flows)
+    }
+
+    /// The aggregate topology spec, when this is the aggregate family.
+    pub fn aggregate_spec(&self) -> Option<AggregateSpec> {
+        self.aggregate
+    }
+
+    /// Configured shard count (see [`ScenarioBuilder::with_shards`]).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Scenario family name ("lab" / "campus" / "wan" / "aggregate").
@@ -425,10 +531,15 @@ pub struct AggregateHandles {
     /// Ground-truth rate-switch log of the target flow. `None` unless
     /// [`ScenarioBuilder::with_switching_target`] was used.
     pub target_rate_log: Option<RateLog>,
-    /// Per-flow sender-gateway instrumentation.
+    /// Per-flow sender-gateway instrumentation. In cohort mode only the
+    /// target flow has a real gateway, so this holds at most one entry.
     pub gateways: Vec<GatewayHandle>,
-    /// Per-flow receiver-gateway instrumentation.
+    /// Per-flow receiver-gateway instrumentation (target only in cohort
+    /// mode).
     pub receivers: Vec<ReceiverHandle>,
+    /// Per-cohort instrumentation (empty unless
+    /// [`ScenarioBuilder::with_cohorts`] was used).
+    pub cohorts: Vec<linkpad_sim::cohort::CohortHandle>,
 }
 
 /// A runnable scenario with its instrumentation handles.

@@ -1,0 +1,593 @@
+//! Sharded aggregate execution: one trunk scenario, many worker sub-sims.
+//!
+//! The second wall between the aggregate family and 10⁶ flows (after
+//! per-flow node state, which [`linkpad_sim::cohort`] removes) is the
+//! **one event-loop thread per scenario**: a single `Sim` serializes
+//! every gateway tick and trunk arrival through one queue. The flows of
+//! an aggregate are statistically independent — each draws from its own
+//! RNG streams and, under CIT, its wire output is a phase-offset comb —
+//! so the population can be **partitioned**: [`ShardedAggregate`] splits
+//! the global flow range over `shards` sub-simulations, runs each on a
+//! worker (dynamic work-stealing via
+//! [`parallel_map_init`](linkpad_sim::parallel::parallel_map_init), with
+//! per-worker topology reuse through [`BuiltScenario::reset`] when
+//! consecutive shards share a shape), and merges the per-shard trunk
+//! window series into one trunk view with
+//! [`merge_window_series`](linkpad_sim::observer::merge_window_series).
+//!
+//! **What the merge means.** Per-window arrival counts and byte totals
+//! **superpose exactly**: the merged series is bit-identical to what a
+//! single sim of the whole population records (arrival timestamps are
+//! µs-jittered per flow but sit ms-deep inside 10⁻¹–10⁰ s windows, so
+//! no arrival can change windows across the split; guarded by this
+//! module's tests). These count/byte series are what the aggregate
+//! adversary's flow-count estimators consume. The per-window PIAT
+//! moments **pool** across shards (the exact
+//! `RunningMoments::merge` reduction of each shard's inter-arrival
+//! population); they are *not* the inter-arrival process of the
+//! interleaved union, which is not reconstructible from per-shard
+//! statistics in `O(windows)` — see DESIGN.md. A one-shard run is the
+//! degenerate case and is bit-identical to the plain single sim,
+//! moments included.
+//!
+//! Shard 0 carries the instrumented target flow (and runs under the
+//! builder's own seed, so `shards = 1` reproduces the unsharded run
+//! exactly); shards 1.. are observer-only populations under seeds
+//! derived from the builder seed and the shard index.
+
+use crate::aggregate::PhaseSpec;
+use crate::scenario::{BuiltScenario, ScenarioBuilder, ScenarioError};
+use linkpad_sim::observer::{merge_window_series, WindowStats};
+use linkpad_sim::parallel::{default_threads, parallel_map_init_with_threads};
+use linkpad_stats::rng::splitmix64_mix;
+use std::time::Instant;
+
+/// Shape fingerprint of a shard's topology: shards with equal shapes are
+/// identical up to their RNG seed, so a worker that just ran one can
+/// [`BuiltScenario::reset`] it for the next instead of rebuilding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardShape {
+    flows: usize,
+    has_target: bool,
+    /// Phase layouts that depend on *global* flow position — uniform
+    /// draws per flow id, and stratified spreads (keyed to the global
+    /// flow/member index so the merged arrival multiset is independent
+    /// of the split) — key the shape to the range start, forfeiting
+    /// reuse; only the synchronized layout (every phase zero) shares
+    /// one key and therefore one topology across shards.
+    phase_key: u64,
+    /// Cohort mode groups members on the **global** cohort grid, so a
+    /// range's partition into (partial) cohorts depends on where its
+    /// start sits within a cohort: equal-sized ranges at different
+    /// alignments build different node partitions (e.g. cohort sizes
+    /// [1, 2] vs [2, 1]), which draw jitter in different per-node
+    /// sequences. The alignment therefore keys the shape — without it,
+    /// reset-reuse would replay another partition's draw order and the
+    /// merged PIAT moments would depend on which worker ran which
+    /// shard.
+    cohort_align: u64,
+}
+
+/// Result of one shard's sub-simulation.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index (0 carries the target flow).
+    pub shard: usize,
+    /// Global flow range `[start, start+count)` this shard simulated.
+    pub flow_range: (usize, usize),
+    /// The shard's trunk window series.
+    pub windows: Vec<WindowStats>,
+    /// Trunk arrivals the shard's observer folded.
+    pub arrivals: u64,
+    /// Events the shard's event loop dispatched.
+    pub events: u64,
+    /// Largest pending-event population sampled during the run (at the
+    /// run-slice granularity — a lower bound on the true peak).
+    pub pending_peak: usize,
+}
+
+/// Merged outcome of a sharded aggregate run.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// The merged trunk window series (counts/bytes superposed exactly,
+    /// PIAT moments pooled — see the module docs).
+    pub windows: Vec<WindowStats>,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Wall-clock seconds for the whole fan-out, including merge.
+    pub wall_secs: f64,
+}
+
+impl ShardedRun {
+    /// Per-window arrival counts of the merged trunk view, as `f64` for
+    /// the estimators (same shape as `ObserverHandle::counts`).
+    pub fn counts(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.count as f64).collect()
+    }
+
+    /// Total trunk arrivals across all shards.
+    pub fn arrivals(&self) -> u64 {
+        self.shards.iter().map(|s| s.arrivals).sum()
+    }
+
+    /// Total events dispatched across all shard event loops.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Largest sampled pending-event population of any shard — the
+    /// per-worker memory high-water proxy.
+    pub fn pending_peak(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pending_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate simulation throughput: events across all shards per
+    /// wall-clock second of the fan-out.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events() as f64 / self.wall_secs
+    }
+}
+
+/// An aggregate scenario split over worker sub-simulations (see the
+/// module docs). Construct from an aggregate [`ScenarioBuilder`] with a
+/// trunk observer configured and a shard count set via
+/// [`ScenarioBuilder::with_shards`].
+#[derive(Debug, Clone)]
+pub struct ShardedAggregate {
+    builder: ScenarioBuilder,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ShardedAggregate {
+    /// Validate and plan the split. Fails unless the builder is an
+    /// aggregate with a windowed trunk observer (the mergeable view),
+    /// no pre-set flow range, and `1 ≤ shards ≤ flows`.
+    pub fn new(builder: ScenarioBuilder) -> Result<Self, ScenarioError> {
+        let Some(spec) = builder.aggregate_spec() else {
+            return Err(ScenarioError::InvalidSharding(
+                "only the aggregate family shards",
+            ));
+        };
+        if spec.observer_window.is_none() {
+            return Err(ScenarioError::InvalidSharding(
+                "sharded runs merge window series; configure with_trunk_observer",
+            ));
+        }
+        if spec.flow_range.is_some() {
+            return Err(ScenarioError::InvalidSharding(
+                "builder is already restricted to a flow range",
+            ));
+        }
+        let shards = builder.shards();
+        if shards == 0 || shards > spec.flows {
+            return Err(ScenarioError::InvalidSharding(
+                "shard count must be between 1 and the flow count",
+            ));
+        }
+        // Even split; the first `flows % shards` shards absorb the
+        // remainder, so shard sizes differ by at most one and most
+        // shards share one shape (→ reset-reuse on a worker).
+        let base = spec.flows / shards;
+        let rem = spec.flows % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let count = base + usize::from(s < rem);
+            ranges.push((start, count));
+            start += count;
+        }
+        Ok(Self { builder, ranges })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The global flow range of shard `s`.
+    pub fn flow_range(&self, s: usize) -> (usize, usize) {
+        self.ranges[s]
+    }
+
+    /// The master seed shard `s` runs under. Shard 0 uses the builder's
+    /// own seed — a one-shard run reproduces the unsharded scenario
+    /// bit-for-bit — and later shards derive independent seeds from
+    /// `(builder seed, shard index)`.
+    pub fn shard_seed(&self, s: usize) -> u64 {
+        if s == 0 {
+            self.builder.seed()
+        } else {
+            splitmix64_mix(
+                self.builder
+                    .seed()
+                    .wrapping_add((s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        }
+    }
+
+    /// The builder materializing shard `s`'s sub-simulation.
+    pub fn shard_builder(&self, s: usize) -> ScenarioBuilder {
+        let (start, count) = self.ranges[s];
+        self.builder
+            .clone()
+            .with_flow_range(start, count)
+            .with_seed(self.shard_seed(s))
+    }
+
+    fn shard_shape(&self, s: usize) -> ShardShape {
+        let (start, count) = self.ranges[s];
+        let spec = self.builder.aggregate_spec().expect("validated aggregate");
+        let position_dependent = !matches!(spec.phases, PhaseSpec::Synchronized);
+        ShardShape {
+            flows: count,
+            has_target: start == 0,
+            phase_key: if position_dependent {
+                start as u64 + 1
+            } else {
+                0
+            },
+            cohort_align: match spec.cohort_size {
+                // Offset of the range's first member within its global
+                // cohort: determines the partial/full cohort partition.
+                Some(k) => ((start.max(1) - 1) % k) as u64 + 1,
+                None => 0,
+            },
+        }
+    }
+
+    /// Run every shard for `secs` of simulated time on the default
+    /// worker pool and merge the trunk views.
+    pub fn run_for_secs(&self, secs: f64) -> Result<ShardedRun, ScenarioError> {
+        self.run_for_secs_with_threads(secs, default_threads())
+    }
+
+    /// [`ShardedAggregate::run_for_secs`] with an explicit worker count.
+    /// Results are independent of `threads` (each shard is a closed,
+    /// deterministic sub-simulation; the merge runs in shard order).
+    pub fn run_for_secs_with_threads(
+        &self,
+        secs: f64,
+        threads: usize,
+    ) -> Result<ShardedRun, ScenarioError> {
+        let start = Instant::now();
+        let shard_ids: Vec<usize> = (0..self.shards()).collect();
+        let reports = parallel_map_init_with_threads(
+            shard_ids,
+            threads,
+            || None::<(ShardShape, BuiltScenario)>,
+            |slot, s| self.run_shard(slot, s, secs),
+        );
+        let mut shards = Vec::with_capacity(reports.len());
+        for report in reports {
+            shards.push(report?);
+        }
+        let mut windows = Vec::new();
+        for report in &shards {
+            merge_window_series(&mut windows, &report.windows);
+        }
+        Ok(ShardedRun {
+            windows,
+            shards,
+            wall_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// One worker step: build (or reset-reuse) shard `s`'s sub-sim, run
+    /// it, extract the trunk view.
+    fn run_shard(
+        &self,
+        slot: &mut Option<(ShardShape, BuiltScenario)>,
+        s: usize,
+        secs: f64,
+    ) -> Result<ShardReport, ScenarioError> {
+        let shape = self.shard_shape(s);
+        let scenario = match slot {
+            // Same shape as the worker's previous shard: the scenario-
+            // reset fast path (bit-identical to a fresh build — see
+            // tests/reset_determinism.rs).
+            Some((cached, scenario)) if *cached == shape => {
+                scenario.reset(self.shard_seed(s));
+                scenario
+            }
+            _ => {
+                let built = self.shard_builder(s).build()?;
+                &mut slot.insert((shape, built)).1
+            }
+        };
+        // Run in slices, sampling the pending-event population for the
+        // memory high-water report.
+        const SLICES: usize = 8;
+        let mut pending_peak = 0;
+        for _ in 0..SLICES {
+            scenario.run_for_secs(secs / SLICES as f64);
+            pending_peak = pending_peak.max(scenario.sim.pending_events());
+        }
+        let observer = scenario
+            .aggregate
+            .as_ref()
+            .expect("aggregate family")
+            .trunk_observer
+            .clone()
+            .expect("observer validated at construction");
+        Ok(ShardReport {
+            shard: s,
+            flow_range: self.ranges[s],
+            windows: observer.window_series(),
+            arrivals: observer.arrivals(),
+            events: scenario.sim.events_processed(),
+            pending_peak,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_builder(seed: u64, flows: usize, shards: usize) -> ScenarioBuilder {
+        ScenarioBuilder::aggregate(seed, flows)
+            .with_payload_rate(10.0)
+            .with_trunk_observer(0.1)
+            .with_cohorts(4)
+            .with_shards(shards)
+    }
+
+    #[test]
+    fn one_shard_run_is_bit_identical_to_the_single_sim() {
+        let builder = small_builder(31, 12, 1);
+        let sharded = ShardedAggregate::new(builder.clone()).unwrap();
+        let run = sharded.run_for_secs(2.0).unwrap();
+
+        let mut single = builder.build().unwrap();
+        single.run_for_secs(2.0);
+        let obs = single
+            .aggregate
+            .as_ref()
+            .unwrap()
+            .trunk_observer
+            .clone()
+            .unwrap();
+        // Full series equality — counts, bytes, and PIAT moments bit for
+        // bit (merging a single shard into an empty series is exact).
+        assert_eq!(run.windows, obs.window_series());
+        assert_eq!(run.arrivals(), obs.arrivals());
+    }
+
+    #[test]
+    fn merged_counts_match_the_unsharded_single_sim_bit_identically() {
+        // Counts and bytes superpose: splitting the population over
+        // shards must not move a single arrival across a window, even
+        // though per-flow jitter draws differ between the runs (µs-scale
+        // jitter vs ms-scale window margins).
+        let t = 2.05; // end mid-window
+        let single_builder = small_builder(32, 13, 1);
+        let mut single = single_builder.build().unwrap();
+        single.run_for_secs(t);
+        let obs = single
+            .aggregate
+            .as_ref()
+            .unwrap()
+            .trunk_observer
+            .clone()
+            .unwrap();
+
+        for shards in [2usize, 3, 5] {
+            let sharded = ShardedAggregate::new(small_builder(32, 13, shards)).unwrap();
+            let run = sharded.run_for_secs(t).unwrap();
+            assert_eq!(run.shards.len(), shards);
+            assert_eq!(run.counts(), obs.counts(), "{shards} shards");
+            let single_bytes: Vec<u64> =
+                obs.with_windows(|ws| ws.iter().map(|w| w.bytes).collect());
+            let merged_bytes: Vec<u64> = run.windows.iter().map(|w| w.bytes).collect();
+            assert_eq!(merged_bytes, single_bytes, "{shards} shards");
+            assert_eq!(run.arrivals(), obs.arrivals(), "{shards} shards");
+            // The pooled PIAT population is the union of the shards'.
+            let pooled: u64 = run.windows.iter().map(|w| w.piats.count()).sum();
+            let per_shard: u64 = run
+                .shards
+                .iter()
+                .flat_map(|s| s.windows.iter().map(|w| w.piats.count()))
+                .sum();
+            assert_eq!(pooled, per_shard);
+        }
+    }
+
+    #[test]
+    fn position_dependent_phase_layouts_survive_any_split() {
+        // Regression guards: (a) stratified phases are keyed to global
+        // flow/member indices, so cohort grouping at shard boundaries
+        // must not change the aggregate phase multiset; (b) the worker
+        // reset-reuse fast path must not replay another shard's phase
+        // layout (shape keys account for position-dependent layouts).
+        // Both bugs showed up as merged counts diverging from the
+        // unsharded single sim — in per-flow mode (a 3-shard run reused
+        // shard 1's stratified topology for shard 2) and in cohort mode
+        // (shard-local chunking restarted stratification at each range).
+        for phases in [PhaseSpec::Stratified, PhaseSpec::Uniform { seed: 9 }] {
+            for cohorts in [None, Some(4)] {
+                let mut builder = ScenarioBuilder::aggregate(42, 13)
+                    .with_payload_rate(10.0)
+                    .with_trunk_observer(0.1)
+                    .with_phases(phases);
+                if let Some(k) = cohorts {
+                    builder = builder.with_cohorts(k);
+                }
+                let mut single = builder.clone().build().unwrap();
+                single.run_for_secs(1.55);
+                let obs = single
+                    .aggregate
+                    .as_ref()
+                    .unwrap()
+                    .trunk_observer
+                    .clone()
+                    .unwrap();
+                for shards in [2usize, 3] {
+                    let run = ShardedAggregate::new(builder.clone().with_shards(shards))
+                        .unwrap()
+                        .run_for_secs_with_threads(1.55, 1)
+                        .unwrap();
+                    assert_eq!(
+                        run.counts(),
+                        obs.counts(),
+                        "{phases:?} cohorts={cohorts:?} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuse_respects_cohort_grid_alignment() {
+        // flows = 10, cohorts of 4, 3 shards → ranges (0,4), (4,3),
+        // (7,3). On the global member grid, shard 1 partitions into
+        // cohorts of sizes [1, 2] and shard 2 into [2, 1]: same flow
+        // count, different alignment, different per-node jitter draw
+        // sequences. The worker that just ran shard 1 must therefore
+        // rebuild shard 2 instead of reset-reusing — regression guard
+        // for the shape key omitting the cohort alignment (same counts,
+        // bitwise-different PIAT moments, thread-schedule dependent).
+        let sharded = ShardedAggregate::new(
+            ScenarioBuilder::aggregate(55, 10)
+                .with_payload_rate(10.0)
+                .with_trunk_observer(0.1)
+                .with_cohorts(4)
+                .with_shards(3),
+        )
+        .unwrap();
+        // threads = 1 forces one worker to run every shard in order —
+        // the maximal-reuse schedule.
+        let run = sharded.run_for_secs_with_threads(1.55, 1).unwrap();
+        for s in 0..3 {
+            let mut fresh = sharded.shard_builder(s).build().unwrap();
+            fresh.run_for_secs(1.55);
+            let obs = fresh
+                .aggregate
+                .as_ref()
+                .unwrap()
+                .trunk_observer
+                .clone()
+                .unwrap();
+            assert_eq!(
+                run.shards[s].windows,
+                obs.window_series(),
+                "shard {s} must match a fresh build bit-for-bit, moments included"
+            );
+        }
+    }
+
+    #[test]
+    fn cohort_grouping_is_keyed_to_the_global_cohort_grid() {
+        // A shard starting mid-cohort builds a leading partial cohort
+        // aligned to the global grid, not a full local chunk: flows
+        // 1..14 on a 4-grid are cohorts {1-4},{5-8},{9-12},{13}, so the
+        // range [6, 7) → flows 6..13 splits as {6-8},{9-12}.
+        let builder = ScenarioBuilder::aggregate(7, 14)
+            .with_payload_rate(10.0)
+            .with_trunk_observer(0.1)
+            .with_cohorts(4)
+            .with_flow_range(6, 7);
+        let s = builder.build().unwrap();
+        let sizes: Vec<u32> = s
+            .aggregate
+            .as_ref()
+            .unwrap()
+            .cohorts
+            .iter()
+            .map(|c| c.flows())
+            .collect();
+        assert_eq!(sizes, vec![3, 4]);
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_across_invocations_and_threads() {
+        let sharded = ShardedAggregate::new(small_builder(33, 10, 3)).unwrap();
+        let a = sharded.run_for_secs_with_threads(1.5, 1).unwrap();
+        let b = sharded.run_for_secs_with_threads(1.5, 4).unwrap();
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.events(), b.events());
+        for (ra, rb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(ra.windows, rb.windows, "shard {}", ra.shard);
+            assert_eq!(ra.flow_range, rb.flow_range);
+        }
+    }
+
+    #[test]
+    fn per_flow_mode_shards_too() {
+        // Without cohorts: every flow a real gateway pair, split over
+        // ranges — the small-N cross-check configuration.
+        let builder = ScenarioBuilder::aggregate(34, 6)
+            .with_payload_rate(10.0)
+            .with_trunk_observer(0.1)
+            .with_shards(2);
+        let mut single = builder.clone().build().unwrap();
+        single.run_for_secs(1.55);
+        let obs = single
+            .aggregate
+            .as_ref()
+            .unwrap()
+            .trunk_observer
+            .clone()
+            .unwrap();
+        let run = ShardedAggregate::new(builder)
+            .unwrap()
+            .run_for_secs(1.55)
+            .unwrap();
+        assert_eq!(run.counts(), obs.counts());
+        // Only shard 0 carries the target; the other shard still
+        // terminates its flows in receiver gateways.
+        assert_eq!(run.shards[0].flow_range, (0, 3));
+        assert_eq!(run.shards[1].flow_range, (3, 3));
+    }
+
+    #[test]
+    fn observer_only_shard_has_zeroed_target_scaffold() {
+        let builder = small_builder(35, 8, 2);
+        let sharded = ShardedAggregate::new(builder).unwrap();
+        let mut shard1 = sharded.shard_builder(1).build().unwrap();
+        shard1.run_for_secs(1.0);
+        assert_eq!(shard1.gateway.ticks(), 0, "no target gateway wired");
+        assert_eq!(shard1.receiver.payload_delivered(), 0);
+        assert_eq!(shard1.sender_tap.count(), 0);
+        let agg = shard1.aggregate.as_ref().unwrap();
+        assert!(agg.gateways.is_empty());
+        let obs = agg.trunk_observer.clone().unwrap();
+        assert!(obs.arrivals() > 0, "cohort traffic still observed");
+    }
+
+    #[test]
+    fn misconfigurations_fail_loudly() {
+        // Not the aggregate family.
+        let lab = ScenarioBuilder::lab(1);
+        assert!(matches!(
+            ShardedAggregate::new(lab),
+            Err(ScenarioError::InvalidSharding(_))
+        ));
+        // No mergeable observer view.
+        let no_obs = ScenarioBuilder::aggregate(1, 8).with_shards(2);
+        assert!(matches!(
+            ShardedAggregate::new(no_obs),
+            Err(ScenarioError::InvalidSharding(_))
+        ));
+        // More shards than flows.
+        let too_many = ScenarioBuilder::aggregate(1, 2)
+            .with_trunk_observer(0.1)
+            .with_shards(3);
+        assert!(matches!(
+            ShardedAggregate::new(too_many),
+            Err(ScenarioError::InvalidSharding(_))
+        ));
+        // Pre-restricted range.
+        let ranged = ScenarioBuilder::aggregate(1, 8)
+            .with_trunk_observer(0.1)
+            .with_flow_range(0, 4)
+            .with_shards(2);
+        assert!(matches!(
+            ShardedAggregate::new(ranged),
+            Err(ScenarioError::InvalidSharding(_))
+        ));
+    }
+}

@@ -44,6 +44,18 @@ fn families(seed: u64) -> Vec<(&'static str, ScenarioBuilder)> {
                 .with_trunk_observer(0.05)
                 .with_switching_target([10.0, 40.0], 0.4),
         ),
+        (
+            // Cohort mode: non-target flows as FlowCohort superposition
+            // nodes (desynchronized phases), exercising the cohort's
+            // reset hook — the shard workers' reset-reuse fast path
+            // rests on it.
+            "aggregate-cohorts",
+            ScenarioBuilder::aggregate(seed, 9)
+                .with_payload_rate(10.0)
+                .with_trunk_observer(0.05)
+                .with_cohorts(3)
+                .with_phases(linkpad_workloads::aggregate::PhaseSpec::Uniform { seed: 7 }),
+        ),
     ]
 }
 

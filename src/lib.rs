@@ -80,13 +80,17 @@ pub mod prelude {
     pub use linkpad_core::gateway::TimerDiscipline;
     pub use linkpad_core::jitter::GatewayJitterModel;
     pub use linkpad_core::schedule::PaddingSchedule;
+    pub use linkpad_sim::cohort::{CohortJitter, FlowCohort};
+    pub use linkpad_sim::observer::{ObserverHandle, WindowStats, WindowedObserver};
     pub use linkpad_sim::parallel::{parallel_map, parallel_map_init};
     pub use linkpad_sim::time::{SimDuration, SimTime};
     pub use linkpad_stats::rng::MasterSeed;
     pub use linkpad_testbed::live::{run_live, LiveConfig};
+    pub use linkpad_workloads::aggregate::PhaseSpec;
     pub use linkpad_workloads::cross::DiurnalProfile;
     pub use linkpad_workloads::scenario::{
         piats_for, AggregateHandles, BuiltScenario, ScenarioBuilder, TapPosition,
     };
+    pub use linkpad_workloads::shard::{ShardedAggregate, ShardedRun};
     pub use linkpad_workloads::spec::{HopSpec, PayloadSpec, ScheduleSpec};
 }
