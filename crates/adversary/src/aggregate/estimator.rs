@@ -113,6 +113,77 @@ pub fn estimate_flow_count(counts: &[f64], window_over_tau: f64) -> Result<FlowC
     })
 }
 
+/// A flow-count estimate computed from a *partially observed* window
+/// series, with bookkeeping of how much of the series was usable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapAwareEstimate {
+    /// The estimate over the usable (coverage-rescaled) windows.
+    pub estimate: FlowCountEstimate,
+    /// Windows that passed the coverage threshold and fed the estimate.
+    pub used: usize,
+    /// Windows skipped for insufficient coverage.
+    pub skipped: usize,
+    /// Mean coverage of the *used* windows (1.0 when all were fully
+    /// observed).
+    pub mean_coverage: f64,
+}
+
+/// Gap-aware flow-count estimation: [`estimate_flow_count`] for an
+/// observer that was not always watching.
+///
+/// `coverages[i]` is the fraction of window `i` the observer actually
+/// observed (from `WindowStats::coverage` in the simulator, or any
+/// other validity mask). Windows with coverage below `min_coverage`
+/// are **skipped** — their counts are mostly fabricated zeros — and
+/// each surviving window's count is **rescaled** by `1/coverage`,
+/// which makes the rate law exact in expectation for a stationary
+/// arrival process (arrivals lost to a partial gap are proportional to
+/// the unobserved fraction). The variance-law cross-check inherits
+/// extra variance from the rescaling (`1/c²` amplification plus
+/// thinning noise), so under partial coverage treat
+/// [`FlowCountEstimate::n_hat_var`] as qualitative only; the rate law
+/// is the gap-robust estimator.
+///
+/// A naive consumer that feeds the raw gapped counts straight into
+/// [`estimate_flow_count`] reads low by roughly the mean coverage
+/// factor — the collapse `fig_fault_robustness` quantifies.
+pub fn estimate_flow_count_gap_aware(
+    counts: &[f64],
+    coverages: &[f64],
+    window_over_tau: f64,
+    min_coverage: f64,
+) -> Result<GapAwareEstimate> {
+    if counts.len() != coverages.len() {
+        return Err(StatsError::InsufficientData {
+            what: "coverage mask (must match counts length)",
+            needed: counts.len(),
+            got: coverages.len(),
+        });
+    }
+    if !(min_coverage.is_finite() && min_coverage > 0.0 && min_coverage <= 1.0) {
+        return Err(StatsError::InvalidProbability {
+            what: "minimum coverage threshold",
+            value: min_coverage,
+        });
+    }
+    let mut rescaled = Vec::with_capacity(counts.len());
+    let mut coverage_sum = 0.0;
+    for (&c, &cov) in counts.iter().zip(coverages) {
+        if cov.is_finite() && cov >= min_coverage {
+            rescaled.push(c / cov);
+            coverage_sum += cov;
+        }
+    }
+    let used = rescaled.len();
+    let estimate = estimate_flow_count(&rescaled, window_over_tau)?;
+    Ok(GapAwareEstimate {
+        estimate,
+        used,
+        skipped: counts.len() - used,
+        mean_coverage: coverage_sum / used as f64,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +290,68 @@ mod tests {
         let est = estimate_flow_count(&[0.0, 0.0, 0.0], 20.0).unwrap();
         assert_eq!(est.rounded(), 0);
         assert_eq!(est.n_hat, 0.0);
+    }
+
+    /// Apply a coverage mask to synthetic counts: a window with
+    /// coverage `c` sees `c` of its arrivals (deterministic thinning —
+    /// the expectation of the observer's actual behavior).
+    fn gapped(counts: &[f64], coverages: &[f64]) -> Vec<f64> {
+        counts.iter().zip(coverages).map(|(&x, &c)| x * c).collect()
+    }
+
+    #[test]
+    fn gap_aware_estimate_recovers_n_where_naive_collapses() {
+        let n = 500usize;
+        let counts = synthetic_counts(n, 20.0, 40, 99);
+        // 25% of windows fully blind, half of the rest at 60% coverage.
+        let coverages: Vec<f64> = (0..counts.len())
+            .map(|i| match i % 4 {
+                0 => 0.0,
+                1 => 0.6,
+                _ => 1.0,
+            })
+            .collect();
+        let observed = gapped(&counts, &coverages);
+
+        let naive = estimate_flow_count(&observed, 20.0).unwrap();
+        assert!(
+            naive.relative_error(n) > 0.2,
+            "naive must collapse: err {}",
+            naive.relative_error(n)
+        );
+
+        let aware = estimate_flow_count_gap_aware(&observed, &coverages, 20.0, 0.5).unwrap();
+        assert!(
+            aware.estimate.relative_error(n) < 0.01,
+            "gap-aware err {}",
+            aware.estimate.relative_error(n)
+        );
+        assert_eq!(aware.used + aware.skipped, counts.len());
+        assert_eq!(aware.skipped, 10, "the 10 fully-blind windows");
+        assert!((aware.mean_coverage - 0.866).abs() < 0.01);
+    }
+
+    #[test]
+    fn gap_aware_with_full_coverage_matches_plain_estimate() {
+        let counts = synthetic_counts(100, 20.0, 25, 3);
+        let plain = estimate_flow_count(&counts, 20.0).unwrap();
+        let aware =
+            estimate_flow_count_gap_aware(&counts, &vec![1.0; counts.len()], 20.0, 0.5).unwrap();
+        assert_eq!(aware.estimate, plain, "full coverage is a no-op");
+        assert_eq!(aware.skipped, 0);
+        assert_eq!(aware.mean_coverage, 1.0);
+    }
+
+    #[test]
+    fn gap_aware_validates_input() {
+        let counts = [10.0, 10.0, 10.0];
+        // Mask length mismatch.
+        assert!(estimate_flow_count_gap_aware(&counts, &[1.0, 1.0], 20.0, 0.5).is_err());
+        // Threshold outside (0, 1].
+        assert!(estimate_flow_count_gap_aware(&counts, &[1.0; 3], 20.0, 0.0).is_err());
+        assert!(estimate_flow_count_gap_aware(&counts, &[1.0; 3], 20.0, 1.5).is_err());
+        assert!(estimate_flow_count_gap_aware(&counts, &[1.0; 3], 20.0, f64::NAN).is_err());
+        // Everything skipped → the inner estimator's data error.
+        assert!(estimate_flow_count_gap_aware(&counts, &[0.1; 3], 20.0, 0.5).is_err());
     }
 }

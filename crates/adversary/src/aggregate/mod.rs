@@ -29,5 +29,7 @@
 pub mod estimator;
 pub mod windows;
 
-pub use estimator::{estimate_flow_count, FlowCountEstimate};
-pub use windows::{best_phase, pearson, square_signature};
+pub use estimator::{
+    estimate_flow_count, estimate_flow_count_gap_aware, FlowCountEstimate, GapAwareEstimate,
+};
+pub use windows::{best_phase, mask_low_coverage, pearson, square_signature};

@@ -58,6 +58,28 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64> {
     Ok(num / (va * vb).sqrt())
 }
 
+/// Mask a window series by its coverage: entries whose coverage is
+/// below `min_coverage` become `NaN` — the "missing" marker every
+/// correlation helper in this module already skips pairwise. This is
+/// the gap-aware hook for rate detection: feed
+/// `mask_low_coverage(&piat_variances, &coverages, 0.5)` to
+/// [`pearson`]/[`best_phase`] and gapped windows drop out of the lock
+/// instead of feeding it fabricated statistics. Series shorter than
+/// the mask (or vice versa) are truncated to the common prefix.
+pub fn mask_low_coverage(series: &[f64], coverages: &[f64], min_coverage: f64) -> Vec<f64> {
+    series
+        .iter()
+        .zip(coverages)
+        .map(|(&x, &c)| {
+            if c.is_finite() && c >= min_coverage {
+                x
+            } else {
+                f64::NAN
+            }
+        })
+        .collect()
+}
+
 /// A ±1 square-wave signature of a two-rate switching schedule, sampled
 /// per window: −1 over the first half of each period (the low-rate
 /// dwell; switching sources start low), +1 over the second half.
@@ -170,5 +192,33 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_signature_panics() {
         let _ = square_signature(0.0, 0.0, 4);
+    }
+
+    #[test]
+    fn coverage_mask_drops_gapped_windows_from_the_lock() {
+        // A clean square wave with a quarter of its windows gapped:
+        // masking keeps the lock perfect; leaving the gapped windows in
+        // (as zeros — what a blind observer records) degrades it.
+        let truth = square_signature(12.0, 3.0, 120);
+        let coverages: Vec<f64> = (0..120)
+            .map(|i| if i % 4 == 0 { 0.2 } else { 1.0 })
+            .collect();
+        let observed: Vec<f64> = truth
+            .iter()
+            .zip(&coverages)
+            .map(|(&x, &c)| if c < 0.5 { 0.0 } else { x })
+            .collect();
+        let masked = mask_low_coverage(&observed, &coverages, 0.5);
+        assert_eq!(masked.iter().filter(|x| x.is_nan()).count(), 30);
+        let (_, r_masked) = best_phase(&masked, 12.0, 24).unwrap();
+        assert!(
+            (r_masked.abs() - 1.0).abs() < 1e-9,
+            "masked lock {r_masked}"
+        );
+        let (_, r_raw) = best_phase(&observed, 12.0, 24).unwrap();
+        assert!(
+            r_raw.abs() < 0.95,
+            "raw gapped lock should degrade: {r_raw}"
+        );
     }
 }

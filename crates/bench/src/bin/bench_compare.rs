@@ -11,7 +11,9 @@
 //! 1 = at least one metric regressed beyond the threshold,
 //! 2 = usage/parse error.
 
-use linkpad_bench::compare::{compare_reports, latest_two_baselines, Json};
+use linkpad_bench::compare::{
+    compare_reports, latest_two_baselines, measure_drift, section_changes, Json,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -63,6 +65,29 @@ fn main() -> ExitCode {
         new_path.display(),
         threshold * 100.0
     );
+    // Sections appearing or disappearing between consecutive baselines
+    // is expected growth, not a regression — note it and move on.
+    let (added, removed) = section_changes(&prev, &new);
+    if !added.is_empty() {
+        println!(
+            "  note: new sections (no baseline to gate): {}",
+            added.join(", ")
+        );
+    }
+    if !removed.is_empty() {
+        println!("  note: retired sections: {}", removed.join(", "));
+    }
+    // Machine-speed drift between the two recordings, measured from the
+    // heap yardstick (untouched code): divide it out so the gate scores
+    // the code change, not the container change.
+    let drift = measure_drift(&prev, &new);
+    if (drift.global() - 1.0).abs() > 0.02 {
+        println!(
+            "  note: machine-speed drift ×{:.3} between recordings (heap yardstick); \
+             gating drift-corrected changes",
+            drift.global()
+        );
+    }
     let comparisons = compare_reports(&prev, &new);
     if comparisons.is_empty() {
         println!("  no shared directional metrics — nothing to gate");
@@ -70,20 +95,25 @@ fn main() -> ExitCode {
     }
     let mut regressed = false;
     for c in &comparisons {
-        let verdict = if c.regressed_beyond(threshold) {
+        let corrected = c.drift_corrected_change(drift.factor_for(&c.metric));
+        let gate = c.gate_threshold(threshold);
+        let verdict = if corrected < -gate {
             regressed = true;
             "REGRESSED"
-        } else if c.change < 0.0 {
+        } else if corrected < 0.0 && c.noise_allowance > 1.0 {
+            "ok (within widened small-scale gate)"
+        } else if corrected < 0.0 {
             "ok (within threshold)"
         } else {
             "ok"
         };
         println!(
-            "  {:<60} {:>14.4} → {:>14.4}  {:+6.1}%  {verdict}",
+            "  {:<60} {:>14.4} → {:>14.4}  {:+6.1}% raw  {:+6.1}% corrected  {verdict}",
             c.metric,
             c.prev,
             c.new,
-            c.change * 100.0
+            c.change * 100.0,
+            corrected * 100.0
         );
     }
     if regressed {

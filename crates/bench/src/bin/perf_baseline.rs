@@ -4,24 +4,25 @@
 //! scenario (streaming trunk observer, the O(windows) aggregate
 //! observation path), the sharded million-flow cohort aggregate
 //! (flow cohorts + per-shard sub-sims, merged trunk windows),
-//! scenario-reset setup cost and a representative sweep wall-clock, and
-//! writes `BENCH_4.json` at the workspace root so later PRs have a
-//! recorded trajectory (`bench_compare` diffs consecutive baselines in
-//! CI).
+//! the trunk fault-hook overhead (fault-free configured plan vs armed
+//! lossless gate), scenario-reset setup cost and a representative sweep
+//! wall-clock, and writes `BENCH_5.json` at the workspace root so later
+//! PRs have a recorded trajectory (`bench_compare` diffs consecutive
+//! baselines in CI).
 //!
 //! Run from anywhere in the workspace:
 //! `cargo run --release -p linkpad-bench --bin perf_baseline`
 
 use linkpad_bench::perf::{
     aggregate_observer_events_per_sec, aggregate_scenario_events_per_sec,
-    aggregate_trunk_events_per_sec, heap_reference_aggregate_events_per_sec,
+    aggregate_trunk_events_per_sec, fault_hook_overhead, heap_reference_aggregate_events_per_sec,
     heap_reference_events_per_sec, reset_vs_rebuild, sharded_aggregate_measurement,
     sim_events_per_sec, sweep_wall_clock_secs,
 };
 use std::io::Write;
 
 /// Sequence number of the baseline this binary writes.
-const BASELINE: u32 = 4;
+const BASELINE: u32 = 5;
 
 fn main() {
     // Sized so the run takes a few seconds in release mode; override with
@@ -177,6 +178,47 @@ fn main() {
         million.merged_windows,
     );
 
+    // Fault-hook overhead: the same 10⁴-flow scenario with (a) a
+    // configured-but-empty fault plan (no gate inserted — must be free)
+    // and (b) an armed lossless gate (the worst-case hook path). The
+    // fault-free reading backs the "<5% on fault-free aggregate_trunk"
+    // contract; the armed reading is honest context for faulted runs.
+    eprintln!("measuring trunk fault-hook overhead ({flows} gateway pairs)...");
+    let hook = {
+        // Per-config best-of-5, overheads from best/best. Machine noise
+        // on this container is non-stationary *within* a round, so a
+        // "paired" round doesn't actually share one noise environment —
+        // a slow patch under just one config fabricates an overhead no
+        // code path has. Each config's best across rounds converges to
+        // the binary's true capability; their ratio is the honest hook
+        // cost.
+        let mut best = fault_hook_overhead(flows, 1.0);
+        for _ in 0..4 {
+            let m = fault_hook_overhead(flows, 1.0);
+            best.plain_events_per_sec = best.plain_events_per_sec.max(m.plain_events_per_sec);
+            best.faultfree_plan_events_per_sec = best
+                .faultfree_plan_events_per_sec
+                .max(m.faultfree_plan_events_per_sec);
+            best.gated_zero_loss_events_per_sec = best
+                .gated_zero_loss_events_per_sec
+                .max(m.gated_zero_loss_events_per_sec);
+        }
+        best
+    };
+    let (hook_faultfree_pct, hook_armed_pct) =
+        (hook.faultfree_overhead_pct(), hook.armed_overhead_pct());
+    eprintln!(
+        "  plain {:.0} ev/s; fault-free plan {:.0} ev/s ({hook_faultfree_pct:+.1}%); \
+         armed lossless gate {:.0} ev/s ({hook_armed_pct:+.1}%)",
+        hook.plain_events_per_sec,
+        hook.faultfree_plan_events_per_sec,
+        hook.gated_zero_loss_events_per_sec,
+    );
+    assert!(
+        hook_faultfree_pct < 5.0,
+        "fault-free plan must not cost >5% on aggregate_trunk: {hook_faultfree_pct:.1}%"
+    );
+
     eprintln!("measuring scenario reset vs rebuild (lab sweep unit)...");
     // Same per-metric best-of protocol as every other recorded number:
     // these are sub-µs per-replication costs over 200 reps, the noisiest
@@ -212,7 +254,7 @@ fn main() {
     eprintln!("  sweep: {sweep:.3} s");
 
     let json = format!(
-        "{{\n  \"schema\": \"linkpad-bench-baseline-v5\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"million_flows\": {{\n    \"flows\": {MF_FLOWS},\n    \"cohort_size\": {MF_COHORT},\n    \"shards\": {MF_SHARDS},\n    \"simulated_seconds\": {MF_SIM_SECS},\n    \"arrivals\": {},\n    \"merged_windows\": {},\n    \"peak_pending\": {},\n    \"events_per_sec\": {:.0},\n    \"per_shard_events_per_sec\": {:.0},\n    \"wall_clock_secs\": {:.3}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
+        "{{\n  \"schema\": \"linkpad-bench-baseline-v6\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"million_flows\": {{\n    \"flows\": {MF_FLOWS},\n    \"cohort_size\": {MF_COHORT},\n    \"shards\": {MF_SHARDS},\n    \"simulated_seconds\": {MF_SIM_SECS},\n    \"arrivals\": {},\n    \"merged_windows\": {},\n    \"peak_pending\": {},\n    \"events_per_sec\": {:.0},\n    \"per_shard_events_per_sec\": {:.0},\n    \"wall_clock_secs\": {:.3}\n  }},\n  \"fault_robustness\": {{\n    \"flows\": {flows},\n    \"plain_events_per_sec\": {:.0},\n    \"faultfree_plan_events_per_sec\": {:.0},\n    \"gated_zero_loss_events_per_sec\": {:.0},\n    \"faultfree_hook_overhead_pct\": {hook_faultfree_pct:.2},\n    \"armed_hook_overhead_pct\": {hook_armed_pct:.2}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
         shape_entries.join(",\n"),
         trunk_engine.pending,
         trunk_engine.events_per_sec,
@@ -229,6 +271,9 @@ fn main() {
         million.events_per_sec,
         million.per_shard_events_per_sec,
         million.wall_clock_secs,
+        hook.plain_events_per_sec,
+        hook.faultfree_plan_events_per_sec,
+        hook.gated_zero_loss_events_per_sec,
         reset.build_us,
         reset.reset_us,
         reset.setup_speedup(),

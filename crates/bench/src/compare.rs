@@ -26,6 +26,15 @@
 //!   reference** — its absolutes *and* the `speedup_vs_heap` ratios,
 //!   whose denominator is the yardstick (see `higher_is_better`).
 //!
+//! The yardstick earns its keep a second way: because its code never
+//! changes, the ratio of its recorded throughput across two baselines
+//! measures how much the *container* sped up or slowed down between the
+//! two recordings. `bench_compare` divides that machine-speed drift out
+//! of every goodness ratio before gating (see [`measure_drift`]), so a
+//! baseline recorded on a slower host doesn't fail wholesale and one
+//! recorded on a faster host doesn't mask a real regression. Raw and
+//! drift-corrected changes are both printed.
+//!
 //! The workspace has no JSON dependency (offline builds), so this module
 //! carries a minimal recursive-descent parser covering the subset the
 //! baseline files use: objects, arrays, strings, numbers, booleans and
@@ -323,13 +332,133 @@ pub struct Comparison {
     /// direction convention makes `-0.12` a 12 % regression for every
     /// metric kind).
     pub change: f64,
+    /// Multiplier on the gate threshold for metrics whose measurement
+    /// floor is wider than the default threshold. Sub-half-second
+    /// wall-clock absolutes get `3.0`: two otherwise-identical builds
+    /// of this workspace differ by up to ~10 % on a ~40 ms
+    /// micro-measurement purely from binary code layout (function
+    /// alignment shifting as unrelated code is added), so a 10 % gate
+    /// there fires on phantom regressions. Throughputs, per-op
+    /// averages, within-binary ratios, and second-scale wall clocks
+    /// average that effect away and keep `1.0`.
+    pub noise_allowance: f64,
 }
 
 impl Comparison {
     /// Whether this metric regressed by more than `threshold`
-    /// (fractional, e.g. `0.10`).
+    /// (fractional, e.g. `0.10`), after widening by the metric's
+    /// [`noise_allowance`](Comparison::noise_allowance).
     pub fn regressed_beyond(&self, threshold: f64) -> bool {
-        self.change < -threshold
+        self.change < -self.gate_threshold(threshold)
+    }
+
+    /// The effective gate threshold for this metric: the base threshold
+    /// widened by the metric's noise allowance.
+    pub fn gate_threshold(&self, base: f64) -> f64 {
+        base * self.noise_allowance
+    }
+
+    /// The change with a machine-speed drift factor divided out (see
+    /// [`measure_drift`]). `change + 1` is the goodness ratio for both
+    /// metric directions — throughputs scale with machine speed and
+    /// wall-clock times scale inversely, so dividing the goodness ratio
+    /// by the drift factor cancels the container's speed change either
+    /// way and leaves the code-attributable change.
+    pub fn drift_corrected_change(&self, drift_factor: f64) -> f64 {
+        (self.change + 1.0) / drift_factor - 1.0
+    }
+}
+
+/// Machine-speed drift between two baseline recordings, measured from
+/// the heap-reference yardstick.
+///
+/// The yardstick's code never changes, so any movement of its recorded
+/// throughput between two baselines is the *container* speeding up or
+/// slowing down (different host, frequency scaling, noisy neighbours),
+/// not the product. Gating raw absolutes across such a speed change
+/// either fails every metric on a slower container or hides real
+/// regressions on a faster one; `bench_compare` therefore divides each
+/// goodness ratio by the measured drift before applying the threshold
+/// (see [`Comparison::drift_corrected_change`]).
+///
+/// Sections that record their own yardstick leaf get a per-section
+/// factor (the adjacent measurement is the tightest control — cache
+/// behaviour at `pending=4096` drifts differently than at 262 k);
+/// everything else uses the geometric mean across all shared yardstick
+/// leaves. With no shared yardstick the model is the identity and raw
+/// and corrected changes coincide.
+pub struct DriftModel {
+    global: f64,
+    sections: Vec<(String, f64)>,
+}
+
+impl DriftModel {
+    /// The drift factor applied to a flattened metric path: its own
+    /// section's yardstick geomean when that section records one, the
+    /// global geomean otherwise.
+    pub fn factor_for(&self, path: &str) -> f64 {
+        let c = container(path);
+        self.sections
+            .iter()
+            .find(|(k, _)| k == c)
+            .map_or(self.global, |(_, f)| *f)
+    }
+
+    /// The global drift factor (geomean over every shared yardstick
+    /// leaf); `1.0` when the two reports share no yardstick.
+    pub fn global(&self) -> f64 {
+        self.global
+    }
+}
+
+/// The container prefix of a flattened path (everything before the
+/// leaf), e.g. `event_loop[pending=4096]` for
+/// `event_loop[pending=4096].engine_events_per_sec`.
+fn container(path: &str) -> &str {
+    match path.rfind('.') {
+        Some(i) => &path[..i],
+        None => "",
+    }
+}
+
+/// Build the [`DriftModel`] for a pair of baseline reports from their
+/// shared `heap_reference*` leaves.
+pub fn measure_drift(prev: &Json, new: &Json) -> DriftModel {
+    let mut prev_flat = Vec::new();
+    let mut new_flat = Vec::new();
+    flatten(prev, "", &mut prev_flat);
+    flatten(new, "", &mut new_flat);
+    // container → ln(new/prev) per shared yardstick leaf
+    let mut per: Vec<(String, Vec<f64>)> = Vec::new();
+    for (path, new_val) in &new_flat {
+        let leaf = path.rsplit('.').next().unwrap_or(path);
+        if !leaf.starts_with("heap_reference") {
+            continue;
+        }
+        let Some((_, prev_val)) = prev_flat.iter().find(|(p, _)| p == path) else {
+            continue;
+        };
+        if *prev_val <= 0.0 || *new_val <= 0.0 {
+            continue;
+        }
+        let ln_ratio = (new_val / prev_val).ln();
+        let c = container(path).to_string();
+        match per.iter_mut().find(|(k, _)| *k == c) {
+            Some((_, v)) => v.push(ln_ratio),
+            None => per.push((c, vec![ln_ratio])),
+        }
+    }
+    let geomean = |v: &[f64]| (v.iter().sum::<f64>() / v.len() as f64).exp();
+    let all: Vec<f64> = per.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+    DriftModel {
+        global: if all.is_empty() { 1.0 } else { geomean(&all) },
+        sections: per
+            .into_iter()
+            .map(|(k, v)| {
+                let f = geomean(&v);
+                (k, f)
+            })
+            .collect(),
     }
 }
 
@@ -357,14 +486,49 @@ pub fn compare_reports(prev: &Json, new: &Json) -> Vec<Comparison> {
             } else {
                 1.0 / ratio - 1.0
             };
+            // Tiny wall-clock absolutes sit below the binary-layout
+            // measurement floor; widen their gate (see field docs).
+            let leaf = path.rsplit('.').next().unwrap_or(path);
+            let tiny_wall = !better_up && leaf.ends_with("_secs") && *prev_val < 0.5;
             Some(Comparison {
                 metric: path.clone(),
                 prev: *prev_val,
                 new: *new_val,
                 change,
+                noise_allowance: if tiny_wall { 3.0 } else { 1.0 },
             })
         })
         .collect()
+}
+
+/// Top-level sections present in only one of two baseline reports,
+/// as `(added, removed)` relative to `prev` → `new`, in source order.
+///
+/// Baselines grow sections as the workspace grows (and occasionally
+/// retire them); that is expected drift between consecutive
+/// `BENCH_N.json` files, so `bench_compare` *reports* it as a note
+/// instead of failing — only shared directional metrics can regress
+/// (see [`compare_reports`]).
+pub fn section_changes(prev: &Json, new: &Json) -> (Vec<String>, Vec<String>) {
+    fn keys(j: &Json) -> Vec<&str> {
+        match j {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+    let prev_keys = keys(prev);
+    let new_keys = keys(new);
+    let added = new_keys
+        .iter()
+        .filter(|k| !prev_keys.contains(k))
+        .map(|k| k.to_string())
+        .collect();
+    let removed = prev_keys
+        .iter()
+        .filter(|k| !new_keys.contains(k))
+        .map(|k| k.to_string())
+        .collect();
+    (added, removed)
 }
 
 /// Find the two highest-numbered `BENCH_N.json` files in `dir`,
@@ -448,11 +612,12 @@ mod tests {
     #[test]
     fn regressions_are_flagged_in_both_directions() {
         let prev = Json::parse(PREV).unwrap();
-        // Throughput down 20% on the big shape; wall clock up 20%.
+        // Throughput down 20% on the big shape; the tiny wall clock up
+        // 50% — past even its widened small-scale gate.
         let new = Json::parse(
             &PREV
                 .replace("9900000", "7920000")
-                .replace("0.033", "0.0396"),
+                .replace("0.033", "0.0495"),
         )
         .unwrap();
         let cmp = compare_reports(&prev, &new);
@@ -474,6 +639,31 @@ mod tests {
             .find(|c| c.metric.contains("wall_clock"))
             .unwrap();
         assert!(wall.change > 0.19 && !wall.regressed_beyond(0.10));
+    }
+
+    #[test]
+    fn tiny_wall_clocks_get_layout_noise_allowance() {
+        // A ~40 ms sweep and a ~40 s scale run, both 20% slower. The
+        // tiny one sits below the binary-layout measurement floor
+        // (identical-code rebuilds move it ~10%), so only the
+        // second-scale absolute trips the default 10% gate.
+        let report = r#"{
+          "million_flows": { "wall_clock_secs": 40.0 },
+          "scenario_reset": { "sweep_reset_wall_secs": 0.040 }
+        }"#;
+        let prev = Json::parse(report).unwrap();
+        let new = Json::parse(&report.replace("40.0", "48.0").replace("0.040", "0.048")).unwrap();
+        let cmp = compare_reports(&prev, &new);
+        let big = cmp.iter().find(|c| c.metric.contains("million")).unwrap();
+        let tiny = cmp.iter().find(|c| c.metric.contains("sweep")).unwrap();
+        assert_eq!((big.noise_allowance, tiny.noise_allowance), (1.0, 3.0));
+        assert!(big.regressed_beyond(0.10), "{big:?}");
+        assert!(!tiny.regressed_beyond(0.10), "{tiny:?}");
+        // The allowance widens the gate, it does not remove it.
+        let worse = Json::parse(&report.replace("0.040", "0.064")).unwrap();
+        let cmp = compare_reports(&prev, &worse);
+        let tiny = cmp.iter().find(|c| c.metric.contains("sweep")).unwrap();
+        assert!(tiny.regressed_beyond(0.10), "{tiny:?}");
     }
 
     #[test]
@@ -625,6 +815,100 @@ mod tests {
             let c = cmp.iter().find(|c| c.metric == name).unwrap();
             assert!(c.regressed_beyond(0.10), "{c:?}");
         }
+    }
+
+    #[test]
+    fn section_drift_is_reported_not_gated() {
+        let prev = Json::parse(
+            r#"{ "schema": "v4", "event_loop": [], "sweep": { "secs": 1.0 }, "retired": { "x": 1 } }"#,
+        )
+        .unwrap();
+        let new = Json::parse(
+            r#"{ "schema": "v5", "event_loop": [], "sweep": { "secs": 1.0 }, "fault_robustness": { "y": 2 } }"#,
+        )
+        .unwrap();
+        let (added, removed) = section_changes(&prev, &new);
+        assert_eq!(added, vec!["fault_robustness".to_string()]);
+        assert_eq!(removed, vec!["retired".to_string()]);
+        // Identical reports drift nowhere; non-objects have no sections.
+        assert_eq!(section_changes(&new, &new), (vec![], vec![]));
+        assert_eq!(section_changes(&Json::Null, &new).0.len(), 4);
+    }
+
+    #[test]
+    fn drift_model_cancels_machine_speed_not_code_changes() {
+        const PREV_R: &str = r#"{
+          "event_loop": [
+            { "pending": 4096, "engine_events_per_sec": 20000000, "heap_reference_events_per_sec": 10000000 }
+          ],
+          "aggregate_trunk": { "flows": 10000, "engine_events_per_sec": 16000000, "heap_reference_events_per_sec": 4000000 },
+          "sweep_wall_clock_secs": 0.040
+        }"#;
+        // The whole container runs 20% slower: yardstick and engine both
+        // ×0.8, wall clock ×1.25. Raw changes all read −20%; the drift
+        // model must cancel them to ~0.
+        const SLOWER: &str = r#"{
+          "event_loop": [
+            { "pending": 4096, "engine_events_per_sec": 16000000, "heap_reference_events_per_sec": 8000000 }
+          ],
+          "aggregate_trunk": { "flows": 10000, "engine_events_per_sec": 12800000, "heap_reference_events_per_sec": 3200000 },
+          "sweep_wall_clock_secs": 0.050
+        }"#;
+        let prev = Json::parse(PREV_R).unwrap();
+        let new = Json::parse(SLOWER).unwrap();
+        let drift = measure_drift(&prev, &new);
+        assert!((drift.global() - 0.8).abs() < 1e-9, "{}", drift.global());
+        for c in compare_reports(&prev, &new) {
+            let corrected = c.drift_corrected_change(drift.factor_for(&c.metric));
+            assert!(c.change < -0.10, "raw change reads regressed: {c:?}");
+            assert!(
+                corrected.abs() < 1e-9,
+                "drift-corrected must cancel: {c:?} → {corrected}"
+            );
+        }
+        // A real code regression on the same slower container survives
+        // the correction: engine ×0.8 machine × a further 0.85 code.
+        let worse = Json::parse(&SLOWER.replace("12800000", "10880000")).unwrap();
+        let drift = measure_drift(&prev, &worse);
+        let cmp = compare_reports(&prev, &worse);
+        let trunk = cmp
+            .iter()
+            .find(|c| c.metric == "aggregate_trunk.engine_events_per_sec")
+            .unwrap();
+        let corrected = trunk.drift_corrected_change(drift.factor_for(&trunk.metric));
+        assert!(
+            (corrected - (-0.15)).abs() < 1e-9,
+            "code's own 15% must remain: {corrected}"
+        );
+    }
+
+    #[test]
+    fn drift_factors_are_per_section_with_global_fallback() {
+        const PREV_R: &str = r#"{
+          "a": { "engine_events_per_sec": 100, "heap_reference_events_per_sec": 100 },
+          "b": { "engine_events_per_sec": 100, "heap_reference_events_per_sec": 100 },
+          "c_wall_clock_secs": 1.0
+        }"#;
+        // Section a's yardstick halves, section b's is unchanged.
+        const NEW_R: &str = r#"{
+          "a": { "engine_events_per_sec": 50, "heap_reference_events_per_sec": 50 },
+          "b": { "engine_events_per_sec": 100, "heap_reference_events_per_sec": 100 },
+          "c_wall_clock_secs": 1.0
+        }"#;
+        let prev = Json::parse(PREV_R).unwrap();
+        let new = Json::parse(NEW_R).unwrap();
+        let drift = measure_drift(&prev, &new);
+        assert!((drift.factor_for("a.engine_events_per_sec") - 0.5).abs() < 1e-9);
+        assert!((drift.factor_for("b.engine_events_per_sec") - 1.0).abs() < 1e-9);
+        // No yardstick of its own → the global geomean √(0.5·1.0).
+        let global = (0.5f64).sqrt();
+        assert!((drift.factor_for("c_wall_clock_secs") - global).abs() < 1e-9);
+        assert!((drift.global() - global).abs() < 1e-9);
+        // Reports with no shared yardstick leave everything untouched.
+        let bare = Json::parse(r#"{ "c_wall_clock_secs": 1.0 }"#).unwrap();
+        let identity = measure_drift(&bare, &bare);
+        assert!((identity.global() - 1.0).abs() < 1e-12);
+        assert!((identity.factor_for("c_wall_clock_secs") - 1.0).abs() < 1e-12);
     }
 
     #[test]

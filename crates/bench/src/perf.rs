@@ -436,6 +436,12 @@ pub fn heap_reference_aggregate_events_per_sec(events: u64, flows: usize) -> Tru
 /// recorded alongside it so the baseline shows both numbers.
 pub fn aggregate_scenario_events_per_sec(flows: usize, sim_secs: f64) -> TrunkMeasurement {
     let b = ScenarioBuilder::aggregate(1, flows).with_trunk(10e9, 0.1);
+    scenario_throughput(b, sim_secs)
+}
+
+/// Warm a built aggregate scenario past the trunk horizon, then time
+/// `sim_secs` of steady-state simulation.
+fn scenario_throughput(b: ScenarioBuilder, sim_secs: f64) -> TrunkMeasurement {
     let mut s = b.build().expect("aggregate scenario builds");
     // Warm past the 100 ms trunk so the in-flight population is steady.
     s.run_for_secs(0.25);
@@ -447,6 +453,57 @@ pub fn aggregate_scenario_events_per_sec(flows: usize, sim_secs: f64) -> TrunkMe
     TrunkMeasurement {
         events_per_sec: (s.sim.events_processed() - before) as f64 / elapsed,
         pending,
+    }
+}
+
+// ---- Fault-hook overhead ----------------------------------------------
+
+/// Paired measurement of what the trunk fault hook costs the real
+/// aggregate scenario, in three configurations run back to back (so
+/// the ratios share one noise environment).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultHookMeasurement {
+    /// No `FaultPlan` configured at all — the pre-fault-subsystem path.
+    pub plain_events_per_sec: f64,
+    /// A `FaultPlan` configured but with no trunk axis: the build-time
+    /// hook decides **not** to insert a gate, so this must match
+    /// `plain` to measurement noise — the "loss hook is free when
+    /// fault-free" contract.
+    pub faultfree_plan_events_per_sec: f64,
+    /// An **armed but lossless** gate (Bernoulli p = 0) on the trunk:
+    /// every trunk packet takes the full hook path (RNG draw + outage
+    /// check + one extra dispatch). The honest worst-case hook cost.
+    pub gated_zero_loss_events_per_sec: f64,
+}
+
+impl FaultHookMeasurement {
+    /// Throughput cost of the *fault-free* configured plan vs no plan,
+    /// percent (positive = slower). Zero by construction up to noise.
+    pub fn faultfree_overhead_pct(&self) -> f64 {
+        (self.plain_events_per_sec / self.faultfree_plan_events_per_sec - 1.0) * 100.0
+    }
+
+    /// Throughput cost of the armed lossless gate vs no plan, percent.
+    pub fn armed_overhead_pct(&self) -> f64 {
+        (self.plain_events_per_sec / self.gated_zero_loss_events_per_sec - 1.0) * 100.0
+    }
+}
+
+/// Measure the fault hook's throughput cost on the `flows`-pair
+/// aggregate scenario (`sim_secs` of steady state per configuration).
+pub fn fault_hook_overhead(flows: usize, sim_secs: f64) -> FaultHookMeasurement {
+    use linkpad_sim::fault::{FaultPlan, LossModel};
+    let base = || ScenarioBuilder::aggregate(1, flows).with_trunk(10e9, 0.1);
+    let plain = scenario_throughput(base(), sim_secs);
+    let faultfree = scenario_throughput(base().with_faults(FaultPlan::new(1)), sim_secs);
+    let gated = scenario_throughput(
+        base().with_faults(FaultPlan::new(1).with_trunk_loss(LossModel::Bernoulli { p: 0.0 })),
+        sim_secs,
+    );
+    FaultHookMeasurement {
+        plain_events_per_sec: plain.events_per_sec,
+        faultfree_plan_events_per_sec: faultfree.events_per_sec,
+        gated_zero_loss_events_per_sec: gated.events_per_sec,
     }
 }
 
@@ -728,6 +785,18 @@ mod tests {
         assert!(m.arrivals >= 3000, "arrivals {}", m.arrivals);
         assert!(m.merged_windows >= 9, "windows {}", m.merged_windows);
         assert!(m.peak_pending > 0);
+    }
+
+    #[test]
+    fn fault_hook_measurement_runs_all_three_configurations() {
+        // Tiny shape: correctness only, not timing — all three paths
+        // must build and produce positive throughput.
+        let m = fault_hook_overhead(16, 0.2);
+        assert!(m.plain_events_per_sec > 0.0);
+        assert!(m.faultfree_plan_events_per_sec > 0.0);
+        assert!(m.gated_zero_loss_events_per_sec > 0.0);
+        assert!(m.faultfree_overhead_pct().is_finite());
+        assert!(m.armed_overhead_pct().is_finite());
     }
 
     #[test]

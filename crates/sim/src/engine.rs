@@ -111,8 +111,18 @@ impl SimBuilder {
             next_packet_id: 0,
             started: false,
             events_processed: 0,
+            watchdog: None,
+            watchdog_tripped: false,
         })
     }
+}
+
+/// Run budget enforced inside the event loop (see [`Sim::set_watchdog`]).
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    max_events: Option<u64>,
+    max_wall: Option<std::time::Duration>,
+    deadline: Option<std::time::Instant>,
 }
 
 /// Statistics from a run segment.
@@ -136,6 +146,8 @@ pub struct Sim {
     next_packet_id: u64,
     started: bool,
     events_processed: u64,
+    watchdog: Option<Watchdog>,
+    watchdog_tripped: bool,
 }
 
 impl Sim {
@@ -186,11 +198,59 @@ impl Sim {
         self.next_packet_id = 0;
         self.started = false;
         self.events_processed = 0;
+        // Re-arm the watchdog: the tripped flag is runtime state, the
+        // budget is configuration (the wall-clock deadline restarts).
+        self.watchdog_tripped = false;
+        if let Some(wd) = &mut self.watchdog {
+            wd.deadline = wd.max_wall.map(|d| std::time::Instant::now() + d);
+        }
+    }
+
+    /// Arm a run budget: the event loop ends a run early — leaving a
+    /// partial but internally consistent state — once `max_events`
+    /// total events have been dispatched or `max_wall` wall-clock time
+    /// has elapsed (measured from arming; checked every 1024 events to
+    /// keep `Instant::now` off the per-event path). A tripped run sets
+    /// [`Sim::watchdog_tripped`] and subsequent runs are no-ops until
+    /// the budget is re-armed or the sim is [`Sim::reset`]. This is the
+    /// harness's defense against runaway shard sims hanging a CI job:
+    /// the caller gets back everything simulated up to the trip point
+    /// and can mark the tail windows invalid instead of blocking
+    /// forever.
+    pub fn set_watchdog(&mut self, max_events: Option<u64>, max_wall: Option<std::time::Duration>) {
+        self.watchdog = Some(Watchdog {
+            max_events,
+            max_wall,
+            deadline: max_wall.map(|d| std::time::Instant::now() + d),
+        });
+        self.watchdog_tripped = false;
+    }
+
+    /// Remove any armed watchdog budget and clear the tripped flag.
+    pub fn clear_watchdog(&mut self) {
+        self.watchdog = None;
+        self.watchdog_tripped = false;
+    }
+
+    /// Did a watchdog budget end a run early? (Sticky until the next
+    /// [`Sim::reset`], [`Sim::set_watchdog`] or [`Sim::clear_watchdog`].)
+    pub fn watchdog_tripped(&self) -> bool {
+        self.watchdog_tripped
     }
 
     /// Run until the clock reaches `until` (events at exactly `until` are
-    /// processed) or the event store drains, whichever comes first.
+    /// processed) or the event store drains, whichever comes first. An
+    /// armed watchdog budget ([`Sim::set_watchdog`]) may end the run
+    /// early.
     pub fn run_until(&mut self, until: SimTime) -> RunStats {
+        // Unarmed sims — every benchmark and the overwhelmingly common
+        // case — take one predictable branch here and then the exact
+        // pre-watchdog function body. Everything watchdog-related lives
+        // in the outlined guarded variant so its control flow and code
+        // size never perturb this loop's codegen.
+        if self.watchdog.is_some() || self.watchdog_tripped {
+            return self.run_until_guarded(until);
+        }
         self.ensure_started();
         let mut events = 0u64;
         while let Some(entry) = self.queue.pop_at_or_before(until) {
@@ -200,6 +260,50 @@ impl Sim {
         // Advance the clock to the bound even if the store drained early,
         // so consecutive run_until calls observe monotone time.
         if self.now < until && until != SimTime::MAX {
+            self.now = until;
+        }
+        self.events_processed += events;
+        RunStats {
+            events,
+            ended_at_nanos: self.now.as_nanos(),
+        }
+    }
+
+    /// [`Sim::run_until`] with an armed (or already tripped) watchdog:
+    /// dispatch until the bound, the store draining, or the budget
+    /// tripping. A tripped watchdog leaves the clock at the last event —
+    /// the simulated-up-to point callers truncate partial results at —
+    /// and makes subsequent runs no-ops until re-armed or reset.
+    #[cold]
+    #[inline(never)]
+    fn run_until_guarded(&mut self, until: SimTime) -> RunStats {
+        if self.watchdog_tripped {
+            return RunStats {
+                events: 0,
+                ended_at_nanos: self.now.as_nanos(),
+            };
+        }
+        let wd = self
+            .watchdog
+            .expect("guarded run requires an armed watchdog");
+        self.ensure_started();
+        let mut events = 0u64;
+        let mut checks = 0u64;
+        while let Some(entry) = self.queue.pop_at_or_before(until) {
+            self.now = entry.time;
+            events += self.dispatch(entry);
+            checks += 1;
+            let events_over = wd
+                .max_events
+                .is_some_and(|m| self.events_processed + events >= m);
+            let wall_over =
+                checks & 1023 == 0 && wd.deadline.is_some_and(|d| std::time::Instant::now() >= d);
+            if events_over || wall_over {
+                self.watchdog_tripped = true;
+                break;
+            }
+        }
+        if self.now < until && until != SimTime::MAX && !self.watchdog_tripped {
             self.now = until;
         }
         self.events_processed += events;
@@ -605,6 +709,86 @@ mod tests {
         assert!(sim.step());
         assert!(!sim.step(), "event store must drain");
         assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn watchdog_event_budget_ends_the_run_early_and_is_sticky() {
+        let build = || {
+            let mut b = SimBuilder::new(MasterSeed::new(8));
+            let (log, rec) = logger();
+            let dst = b.add_node(rec);
+            b.add_node(Box::new(Ticker {
+                dst,
+                period: 1000,
+                count: 100,
+                emitted: 0,
+            }));
+            (log, b.build().unwrap())
+        };
+        let (log, mut sim) = build();
+        sim.set_watchdog(Some(20), None);
+        let stats = sim.run_until(SimTime::from_nanos(1_000_000));
+        assert!(sim.watchdog_tripped());
+        assert!(stats.events >= 20 && stats.events < 200, "{}", stats.events);
+        // The clock stays at the last event, not the bound.
+        assert!(sim.now() < SimTime::from_nanos(1_000_000));
+        let partial = log.borrow().len();
+        assert!(partial > 0 && partial < 100, "partial but non-empty");
+        // Sticky: further runs make no progress until re-armed.
+        let again = sim.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(again.events, 0);
+        assert_eq!(log.borrow().len(), partial);
+        // The partial prefix is bit-identical to an unbudgeted run's.
+        let (full_log, mut full) = build();
+        full.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(log.borrow()[..], full_log.borrow()[..partial]);
+        // Re-arming (or reset) clears the trip and the run completes.
+        sim.clear_watchdog();
+        sim.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(log.borrow().len(), 100);
+    }
+
+    #[test]
+    fn watchdog_reset_rearms_and_replays_identically() {
+        let mut b = SimBuilder::new(MasterSeed::new(9));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 500,
+            count: 50,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.set_watchdog(Some(10), None);
+        sim.run_until(SimTime::from_nanos(100_000));
+        assert!(sim.watchdog_tripped());
+        sim.reset(MasterSeed::new(9));
+        assert!(!sim.watchdog_tripped(), "reset re-arms the watchdog");
+        log.borrow_mut().clear();
+        sim.run_until(SimTime::from_nanos(100_000));
+        assert!(sim.watchdog_tripped(), "budget applies again after reset");
+        assert!(!log.borrow().is_empty());
+    }
+
+    #[test]
+    fn zero_wall_budget_trips_without_hanging() {
+        let mut b = SimBuilder::new(MasterSeed::new(10));
+        let (log, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 10,
+            count: 100_000,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.set_watchdog(None, Some(std::time::Duration::ZERO));
+        sim.run_until(SimTime::MAX);
+        assert!(sim.watchdog_tripped());
+        // The wall check runs every 1024 events, so at most a couple of
+        // thousand events slip through before the trip.
+        assert!(log.borrow().len() < 100_000);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   fixed-width window statistics (count, byte rate, PIAT moments) in
 //!   `O(windows)` memory, for trunks where storing every timestamp is
 //!   untenable.
+//! * **Fault injection** ([`fault::LossyGate`], [`fault::FaultPlan`])
+//!   drops packets deterministically — i.i.d. or bursty loss laws plus
+//!   scheduled outages — so countermeasure/adversary trade-offs can be
+//!   measured under imperfect links and partial observation.
 //! * **Flow cohorts** ([`cohort::FlowCohort`]) superpose K CIT-padded
 //!   flows' combined arrival process in one node — a per-cohort phase
 //!   vector and a single pending timer instead of K gateways — which is
@@ -47,6 +51,7 @@
 pub mod cohort;
 pub mod engine;
 pub mod equeue;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod observer;
@@ -62,11 +67,12 @@ pub mod trace;
 pub use cohort::{CohortHandle, CohortJitter, FlowCohort, COHORT_FLOW};
 pub use engine::{Context, RunStats, Sim, SimBuilder};
 pub use equeue::EventQueue;
+pub use fault::{FaultGateHandle, FaultPlan, LossModel, LossyGate, OutageSchedule};
 pub use link::Link;
 pub use node::{Node, NodeId};
 pub use observer::{ObserverHandle, WindowStats, WindowedObserver};
 pub use packet::{FlowId, Packet, PacketKind};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_init_catching, ItemPanic};
 pub use router::Router;
 pub use sink::{Sink, SinkHandle};
 pub use source::DistSource;

@@ -27,6 +27,7 @@
 //! legitimately available to the adversary.
 
 use crate::engine::Context;
+use crate::fault::OutageSchedule;
 use crate::node::{Node, NodeId};
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
@@ -45,6 +46,13 @@ pub struct WindowStats {
     /// inter-arrival spanning a window boundary is attributed to the
     /// window of its *later* arrival). Seconds.
     pub piats: RunningMoments,
+    /// Fraction of the window the observer was actually watching, in
+    /// `[0, 1]`. `1.0` for a fault-free observer; measurement gaps
+    /// ([`WindowedObserver::with_gaps`]) stamp the up-time fraction of
+    /// each window, and a fully-blind window has coverage `0.0` with
+    /// zero counts. This is the validity mask gap-aware estimators key
+    /// on: skip (or rescale by) windows below a coverage threshold.
+    pub coverage: f64,
 }
 
 impl WindowStats {
@@ -54,6 +62,7 @@ impl WindowStats {
             count: 0,
             bytes: 0,
             piats: RunningMoments::new(),
+            coverage: 1.0,
         }
     }
 
@@ -71,10 +80,18 @@ impl WindowStats {
     /// statistics in `O(windows)`; see DESIGN.md, cohort superposition).
     /// Merging with [`WindowStats::empty`] on either side is an exact
     /// identity, bit for bit.
+    ///
+    /// Coverage merges as the **minimum**: merged shard counts are
+    /// only as valid as the least-covered component (in practice every
+    /// shard of one run shares one gap schedule, so the minimum is
+    /// that common coverage — gaps propagate unchanged across the
+    /// shard reduction). The empty window's coverage of `1.0`
+    /// preserves the merge identity.
     pub fn merge(&mut self, other: &WindowStats) {
         self.count += other.count;
         self.bytes += other.bytes;
         self.piats.merge(&other.piats);
+        self.coverage = self.coverage.min(other.coverage);
     }
 }
 
@@ -101,22 +118,72 @@ struct ObserverState {
     windows: Vec<WindowStats>,
     last_arrival: Option<SimTime>,
     arrivals: u64,
+    /// Measurement-gap schedule (configuration, survives `clear`).
+    gaps: Option<OutageSchedule>,
 }
 
 impl ObserverState {
     /// Drop everything observed, keeping the window buffer's capacity
-    /// (shared by [`ObserverHandle::clear`] and the node's reset hook).
+    /// and the gap schedule — configuration, not observation — (shared
+    /// by [`ObserverHandle::clear`] and the node's reset hook).
     fn clear(&mut self) {
         self.windows.clear();
         self.last_arrival = None;
         self.arrivals = 0;
     }
 
+    /// Grow the series to `len` windows, stamping each new window's
+    /// coverage from the gap schedule (`1.0` without one — the resize
+    /// default is [`WindowStats::empty`]).
+    #[cold]
+    fn materialize(&mut self, len: usize, window_nanos: u64) {
+        let old = self.windows.len();
+        self.windows.resize(len, WindowStats::empty());
+        if let Some(gaps) = self.gaps {
+            for (i, w) in self.windows.iter_mut().enumerate().skip(old) {
+                let a = SimTime::from_nanos(i as u64 * window_nanos);
+                let b = SimTime::from_nanos((i as u64 + 1) * window_nanos);
+                w.coverage = gaps.coverage(a, b);
+            }
+        }
+    }
+
     #[inline]
     fn record(&mut self, now: SimTime, size_bytes: u32, window_nanos: u64) {
+        if self.gaps.is_some() {
+            self.record_gapped(now, size_bytes, window_nanos);
+        } else {
+            self.record_watched(now, size_bytes, window_nanos);
+        }
+    }
+
+    /// The gapped fold: drop arrivals the observer is blind to, then
+    /// delegate to the watched fold. Outlined so the gap-free
+    /// per-arrival path ([`ObserverState::record_watched`]) keeps the
+    /// exact pre-fault-injection body.
+    #[cold]
+    #[inline(never)]
+    fn record_gapped(&mut self, now: SimTime, size_bytes: u32, window_nanos: u64) {
+        if self
+            .gaps
+            .expect("gapped fold requires a schedule")
+            .is_down(now)
+        {
+            // Blind: the arrival is never seen. The PIAT chain
+            // restarts after the gap — an inter-arrival spanning
+            // unobserved arrivals would be a fabricated sample.
+            self.last_arrival = None;
+            return;
+        }
+        self.record_watched(now, size_bytes, window_nanos);
+    }
+
+    /// Fold one watched arrival into its window.
+    #[inline]
+    fn record_watched(&mut self, now: SimTime, size_bytes: u32, window_nanos: u64) {
         let idx = (now.as_nanos() / window_nanos) as usize;
         if self.windows.len() <= idx {
-            self.windows.resize(idx + 1, WindowStats::empty());
+            self.materialize(idx + 1, window_nanos);
         }
         let w = &mut self.windows[idx];
         w.count += 1;
@@ -206,6 +273,24 @@ impl ObserverHandle {
         })
     }
 
+    /// Per-window coverage fractions (`1.0` everywhere for a gap-free
+    /// observer) — the validity mask for gap-aware estimation.
+    pub fn coverages(&self) -> Vec<f64> {
+        self.with_windows(|ws| ws.iter().map(|w| w.coverage).collect())
+    }
+
+    /// Mean coverage over the observed span (`1.0` when no windows
+    /// exist yet).
+    pub fn mean_coverage(&self) -> f64 {
+        self.with_windows(|ws| {
+            if ws.is_empty() {
+                1.0
+            } else {
+                ws.iter().map(|w| w.coverage).sum::<f64>() / ws.len() as f64
+            }
+        })
+    }
+
     /// Pre-reserve window capacity for an expected observation span.
     pub fn reserve(&self, windows: usize) {
         self.state.borrow_mut().windows.reserve(windows);
@@ -245,6 +330,7 @@ impl WindowedObserver {
             windows: Vec::new(),
             last_arrival: None,
             arrivals: 0,
+            gaps: None,
         }));
         (
             ObserverHandle {
@@ -263,6 +349,18 @@ impl WindowedObserver {
     /// Builder-style label.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Give the observer a measurement-gap schedule: while the
+    /// schedule is down the observer is blind — arrivals are neither
+    /// counted nor timestamped (they still pass through to `next`),
+    /// the PIAT chain restarts after each gap, and every materialized
+    /// window carries its up-time fraction in
+    /// [`WindowStats::coverage`]. The schedule is configuration and
+    /// survives [`ObserverHandle::clear`] and resets.
+    pub fn with_gaps(self, gaps: OutageSchedule) -> Self {
+        self.state.borrow_mut().gaps = Some(gaps);
         self
     }
 }
@@ -487,5 +585,136 @@ mod tests {
             140,
             "all arrivals of both series survive the merge"
         );
+    }
+
+    fn run_clocked_gapped(
+        period_ms: f64,
+        total: u32,
+        window_ms: f64,
+        gaps: OutageSchedule,
+    ) -> (ObserverHandle, u32) {
+        let mut b = SimBuilder::new(MasterSeed::new(1));
+        let (sink_handle, sink) = Sink::new();
+        let sink_id = b.add_node(Box::new(sink));
+        let (obs, node) =
+            WindowedObserver::new(SimDuration::from_millis_f64(window_ms), Some(sink_id));
+        let obs_id = b.add_node(Box::new(node.with_gaps(gaps)));
+        b.add_node(Box::new(Clock {
+            dst: obs_id,
+            period: SimDuration::from_millis_f64(period_ms),
+            remaining: total,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::MAX);
+        (obs, sink_handle.count() as u32)
+    }
+
+    #[test]
+    fn gaps_blind_the_observer_but_not_the_wire() {
+        // 10 ms period, 100 ms windows; down for the first 100 ms of
+        // every 400 ms → every fourth window is fully blind.
+        let gaps = OutageSchedule::new(
+            SimDuration::from_millis_f64(400.0),
+            SimDuration::from_millis_f64(100.0),
+        );
+        let (obs, forwarded) = run_clocked_gapped(10.0, 100, 100.0, gaps);
+        assert_eq!(forwarded, 100, "blind arrivals still pass through");
+        let counts = obs.counts();
+        let cov = obs.coverages();
+        assert_eq!(counts.len(), cov.len());
+        // Window 0 covers [0,100) ms — fully down: zero coverage, zero
+        // count. Window 1 is fully up.
+        assert_eq!(cov[0], 0.0);
+        assert_eq!(counts[0], 0.0);
+        assert_eq!(cov[1], 1.0);
+        assert_eq!(counts[1], 10.0);
+        assert_eq!(cov[4], 0.0, "every fourth window blind: {cov:?}");
+        assert_eq!(counts[4], 0.0);
+        // Observed arrivals = total minus the blinded ones.
+        let seen: f64 = counts.iter().sum();
+        assert_eq!(obs.arrivals(), seen as u64);
+        assert!(seen < 100.0);
+        assert!((obs.mean_coverage() - cov.iter().sum::<f64>() / cov.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piat_chain_restarts_after_a_gap() {
+        // First arrival after each gap must start a fresh chain: no
+        // recorded inter-arrival may span the 100 ms blind span (all
+        // true PIATs are 10 ms).
+        let gaps = OutageSchedule::new(
+            SimDuration::from_millis_f64(400.0),
+            SimDuration::from_millis_f64(100.0),
+        );
+        let (obs, _) = run_clocked_gapped(10.0, 200, 100.0, gaps);
+        obs.with_windows(|ws| {
+            for (i, w) in ws.iter().enumerate() {
+                if let Some(mean) = w.piats.mean() {
+                    assert!(
+                        (mean - 0.010).abs() < 1e-9,
+                        "window {i}: PIAT mean {mean} spans a gap"
+                    );
+                }
+            }
+        });
+        // And the first up-window after a gap has one fewer PIAT than
+        // arrivals (chain restart), like the very first window.
+        obs.with_windows(|ws| {
+            assert_eq!(ws[1].count, 10);
+            assert_eq!(ws[1].piats.count(), 9, "chain restarted after gap");
+        });
+    }
+
+    #[test]
+    fn partial_gap_coverage_is_fractional() {
+        // Down the first 30 ms of every 200 ms with 100 ms windows:
+        // even windows have coverage 0.7, odd windows 1.0.
+        let gaps = OutageSchedule::new(
+            SimDuration::from_millis_f64(200.0),
+            SimDuration::from_millis_f64(30.0),
+        );
+        let (obs, _) = run_clocked_gapped(10.0, 100, 100.0, gaps);
+        let cov = obs.coverages();
+        assert!((cov[0] - 0.7).abs() < 1e-9, "{cov:?}");
+        assert_eq!(cov[1], 1.0);
+        assert!((cov[2] - 0.7).abs() < 1e-9);
+        // Counts in partially-covered windows are the up-time arrivals
+        // only (arrivals at 30..100 ms step 10 → 7 of 10 survive).
+        assert_eq!(obs.counts()[0], 7.0);
+    }
+
+    #[test]
+    fn gap_schedule_survives_clear() {
+        let gaps = OutageSchedule::new(
+            SimDuration::from_millis_f64(400.0),
+            SimDuration::from_millis_f64(100.0),
+        );
+        let (obs, _) = run_clocked_gapped(10.0, 50, 100.0, gaps);
+        let before = obs.coverages();
+        obs.clear();
+        assert_eq!(obs.windows(), 0);
+        // A cleared observer re-records with the same mask (the node's
+        // reset path relies on this).
+        let (obs2, _) = run_clocked_gapped(10.0, 50, 100.0, gaps);
+        assert_eq!(obs2.coverages(), before);
+    }
+
+    #[test]
+    fn merged_series_carries_the_minimum_coverage() {
+        let mut a = WindowStats::empty();
+        a.coverage = 0.6;
+        let mut b = WindowStats::empty();
+        b.count = 3;
+        b.coverage = 0.9;
+        a.merge(&b);
+        assert_eq!(a.coverage, 0.6);
+        assert_eq!(a.count, 3);
+        // Ragged series merge: the tail's own coverage passes through.
+        let mut series = vec![a];
+        let mut tail = WindowStats::empty();
+        tail.coverage = 0.25;
+        merge_window_series(&mut series, &[b, tail]);
+        assert_eq!(series[0].coverage, 0.6);
+        assert_eq!(series[1].coverage, 0.25);
     }
 }

@@ -18,7 +18,9 @@
 //! Results are returned **in input order** regardless of which worker ran
 //! which range, preserving the workspace-wide reproducibility guarantee.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -125,6 +127,155 @@ where
                             .take()
                             .expect("item claimed exactly once");
                         let out = f(state, item);
+                        *results[i].lock().expect("result mutex poisoned") = Some(out);
+                    }
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for cell in results {
+        out.push(
+            cell.into_inner()
+                .expect("result mutex poisoned")
+                .expect("every item produced a result"),
+        );
+    }
+    out
+}
+
+/// One item's worker panicked: the structured per-item error
+/// [`parallel_map_init_catching`] surfaces instead of poisoning the
+/// whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Input-order index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the overwhelmingly
+    /// common case: `panic!`/`assert!`/`expect` messages).
+    pub message: String,
+}
+
+impl fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-tolerant [`parallel_map_init`]: a panic in `f` is caught
+/// ([`catch_unwind`]) and surfaced as that item's [`ItemPanic`] —
+/// carrying the input-order index and panic message — while every
+/// sibling item still runs to completion and returns `Ok`.
+///
+/// A caught panic may have left the worker's state half-mutated, so the
+/// state is **dropped** and rebuilt by `init()` before the worker's
+/// next item — a panic can never leak corruption into a later item's
+/// result. Panics in `init` itself are *not* caught (a harness that
+/// cannot construct worker state is broken, not faulted) and propagate
+/// as before.
+///
+/// This is the sharded-execution safety net: one failed shard becomes
+/// a typed per-shard error the caller can retry deterministically,
+/// instead of tearing down the scope and every sibling's work with it.
+pub fn parallel_map_init_catching<T, U, S, I, F>(
+    items: Vec<T>,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<Result<U, ItemPanic>>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        let mut state: Option<S> = None;
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| {
+                let st = state.get_or_insert_with(&init);
+                match catch_unwind(AssertUnwindSafe(|| f(st, item))) {
+                    Ok(out) => Ok(out),
+                    Err(payload) => {
+                        state = None;
+                        Err(ItemPanic {
+                            index,
+                            message: panic_message(payload),
+                        })
+                    }
+                }
+            })
+            .collect();
+    }
+
+    // Same cell/claim structure as `parallel_map_init_with_threads`;
+    // locks are never held across `f`, so a caught panic cannot poison
+    // a work or result mutex.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<Result<U, ItemPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work = &work;
+            let results = &results;
+            let next = &next;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state: Option<S> = None;
+                loop {
+                    let claimed = next.load(Ordering::Relaxed);
+                    if claimed >= n {
+                        break;
+                    }
+                    let chunk = ((n - claimed) / (threads * OVERSUBSCRIBE)).max(1);
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        let item = work[i]
+                            .lock()
+                            .expect("work mutex never poisoned before take")
+                            .take()
+                            .expect("item claimed exactly once");
+                        let st = state.get_or_insert_with(init);
+                        let out = match catch_unwind(AssertUnwindSafe(|| f(st, item))) {
+                            Ok(out) => Ok(out),
+                            Err(payload) => {
+                                // The state may be half-mutated; rebuild
+                                // before the next item.
+                                state = None;
+                                Err(ItemPanic {
+                                    index: i,
+                                    message: panic_message(payload),
+                                })
+                            }
+                        };
                         *results[i].lock().expect("result mutex poisoned") = Some(out);
                     }
                 }
@@ -290,6 +441,85 @@ mod tests {
             assert_eq!(out, (0..n).map(|x| x * 7).collect::<Vec<usize>>(), "n={n}");
             assert_eq!(CALLS.load(Ordering::SeqCst), n, "n={n}");
         }
+    }
+
+    #[test]
+    fn catching_map_isolates_a_panicking_item() {
+        // One poisoned item must not take down its siblings, and the
+        // error must carry the input-order index and the panic message.
+        for threads in [1usize, 4] {
+            let items: Vec<u64> = (0..64).collect();
+            let out = parallel_map_init_catching(
+                items,
+                threads,
+                || 0u64,
+                |_, x| {
+                    if x == 13 {
+                        panic!("injected fault on item 13");
+                    }
+                    x * 2
+                },
+            );
+            assert_eq!(out.len(), 64);
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let err = r.as_ref().expect_err("item 13 must fail");
+                    assert_eq!(err.index, 13);
+                    assert!(
+                        err.message.contains("injected fault"),
+                        "message: {}",
+                        err.message
+                    );
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 2), "sibling {i} (threads={threads})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catching_map_rebuilds_state_after_a_panic() {
+        // A panic may leave worker state half-mutated; the next item on
+        // that worker must see freshly initialized state, never the
+        // corrupted one. Single worker makes the schedule deterministic:
+        // item 0 corrupts the accumulator then panics; item 1 must not
+        // observe the corruption.
+        let out = parallel_map_init_catching(
+            vec![0u32, 1, 2],
+            1,
+            || 100u32,
+            |acc, x| {
+                if x == 0 {
+                    *acc = 999; // half-done mutation...
+                    panic!("die after corrupting state");
+                }
+                *acc += x;
+                *acc
+            },
+        );
+        assert!(out[0].is_err());
+        assert_eq!(out[1], Ok(101), "state rebuilt, not 999 + 1");
+        assert_eq!(out[2], Ok(103), "same worker state continues");
+    }
+
+    #[test]
+    fn catching_map_matches_plain_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..300).collect();
+        let caught = parallel_map_init_catching(items.clone(), 6, || (), |(), x| x * 7);
+        let plain = parallel_map_with_threads(items, 6, |x| x * 7);
+        assert_eq!(
+            caught.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            plain
+        );
+    }
+
+    #[test]
+    fn item_panic_displays_index_and_message() {
+        let e = ItemPanic {
+            index: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "item 3 panicked: boom");
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::switching::SwitchingSource;
 use linkpad_core::gateway::{ReceiverGateway, SenderGateway};
 use linkpad_sim::cohort::{CohortHandle, CohortJitter, FlowCohort, COHORT_FLOW};
 use linkpad_sim::engine::{Context, SimBuilder};
+use linkpad_sim::fault::{FaultPlan, LossyGate};
 use linkpad_sim::node::{Node, NodeId};
 use linkpad_sim::observer::WindowedObserver;
 use linkpad_sim::packet::{FlowId, Packet, PacketKind};
@@ -152,6 +153,11 @@ pub struct AggregateSpec {
     /// containing flow 0; other ranges build observer-only shards whose
     /// target handles read zero.
     pub flow_range: Option<(usize, usize)>,
+    /// Fault injection: trunk loss/outages (a [`LossyGate`] in front of
+    /// the trunk) and observer measurement gaps. `None` — and plans
+    /// with no trunk axes set — add no gate node, so the fault-free
+    /// path costs nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl AggregateSpec {
@@ -170,6 +176,7 @@ impl AggregateSpec {
             cohort_size: None,
             phases: PhaseSpec::Synchronized,
             flow_range: None,
+            faults: None,
         }
     }
 }
@@ -351,6 +358,9 @@ pub(crate) fn build_aggregate(
             return Err(ScenarioError::CohortRequiresCit);
         }
     }
+    if let Some(plan) = spec.faults {
+        plan.validate().map_err(ScenarioError::InvalidFaultPlan)?;
+    }
     // Validate the payload law up front: a cohort-only shard builds no
     // payload source, but a misconfigured rate must still fail loudly.
     drop(builder.payload().interval_law()?);
@@ -411,8 +421,13 @@ pub(crate) fn build_aggregate(
     let demux_id = b.add_node(Box::new(demux));
     let (trunk_tap, trunk_observer, instrument_id) = match spec.observer_window {
         Some(window) => {
-            let (obs, node) =
+            let (obs, mut node) =
                 WindowedObserver::new(SimDuration::from_secs_f64(window), Some(demux_id));
+            // Measurement gaps: the observer goes blind on the gap
+            // schedule's down intervals and stamps per-window coverage.
+            if let Some(gaps) = spec.faults.and_then(|p| p.observer_gaps) {
+                node = node.with_gaps(gaps);
+            }
             let id = b.add_node(Box::new(node.with_label("observer@trunk")));
             (None, Some(obs), id)
         }
@@ -434,13 +449,27 @@ pub(crate) fn build_aggregate(
         .with_label("trunk"),
     ));
 
+    // Trunk faults: a lossy gate at the trunk's ingress, so every flow's
+    // traffic — target, per-flow gateways, cohorts — crosses it before
+    // serialization. Fault-free plans add no node at all: the sender
+    // side targets the trunk directly and the hot path is untouched.
+    let (fault_gate, trunk_ingress) = match spec.faults.filter(|p| p.affects_trunk()) {
+        Some(plan) => {
+            let (handle, gate) =
+                LossyGate::new(trunk_id, plan.trunk_loss, plan.trunk_outage, plan.seed);
+            let gate_id = b.add_node(Box::new(gate.with_label("fault-gate@trunk")));
+            (Some(handle), gate_id)
+        }
+        None => (None, trunk_id),
+    };
+
     // Sender side: the target flow through its egress tap, everything
     // else straight into the trunk.
     let mut gateways = Vec::new();
     let mut cohorts: Vec<CohortHandle> = Vec::new();
     let mut target_rate_log = None;
     let (sender_tap, gateway) = if has_target {
-        let (sender_tap, stap) = Tap::on_padded_flow(Some(trunk_id));
+        let (sender_tap, stap) = Tap::on_padded_flow(Some(trunk_ingress));
         let stap_id = b.add_node(Box::new(stap.with_label("tap@gw1")));
         let phase = spec.phases.phase_secs(0, 0, spec.flows, tau);
         let (gw, gw1) = SenderGateway::new(
@@ -486,7 +515,7 @@ pub(crate) fn build_aggregate(
     } else {
         let (sender_tap, _stap) = Tap::on_padded_flow(None);
         let (gw, _gw1) = SenderGateway::new(
-            trunk_id,
+            trunk_ingress,
             builder.schedule().to_schedule(tau)?,
             d.jitter,
             d.packet_size,
@@ -501,7 +530,7 @@ pub(crate) fn build_aggregate(
                 let flow = FlowId(f as u32);
                 let phase = spec.phases.phase_secs(f, f, spec.flows, tau);
                 let (gw, gw1) = SenderGateway::new(
-                    trunk_id,
+                    trunk_ingress,
                     builder.schedule().to_schedule(tau)?,
                     d.jitter,
                     d.packet_size,
@@ -548,7 +577,7 @@ pub(crate) fn build_aggregate(
                 |group: &mut Vec<SimDuration>, group_id: &mut Option<usize>, b: &mut SimBuilder| {
                     let Some(g) = group_id.take() else { return };
                     let (h, cohort) = FlowCohort::new(
-                        trunk_id,
+                        trunk_ingress,
                         SimDuration::from_secs_f64(tau),
                         group,
                         d.packet_size,
@@ -591,6 +620,7 @@ pub(crate) fn build_aggregate(
             gateways,
             receivers,
             cohorts,
+            fault_gate,
         }),
         tau,
     })
@@ -763,6 +793,71 @@ mod tests {
                 "receiver {i} starved"
             );
         }
+    }
+
+    #[test]
+    fn fault_gate_drops_trunk_traffic_at_the_configured_rate() {
+        use linkpad_sim::fault::LossModel;
+        let plan = FaultPlan::new(7).with_trunk_loss(LossModel::Bernoulli { p: 0.2 });
+        let b = ScenarioBuilder::aggregate(20, 4)
+            .with_payload_rate(10.0)
+            .with_faults(plan);
+        let mut s = b.build().unwrap();
+        s.run_for_secs(10.0);
+        let agg = s.aggregate.as_ref().unwrap();
+        let gate = agg.fault_gate.clone().unwrap();
+        assert!(gate.offered() > 3500, "offered {}", gate.offered());
+        let frac = gate.drop_fraction();
+        assert!((frac - 0.2).abs() < 0.03, "drop fraction {frac}");
+        // The trunk instrument sits behind the gate: it sees survivors
+        // only (minus the few packets in flight over the 5 ms trunk).
+        let trunk = agg.trunk_tap.as_ref().unwrap().count() as u64;
+        assert!(
+            gate.passed() - trunk <= 8,
+            "tap {trunk} vs passed {}",
+            gate.passed()
+        );
+    }
+
+    #[test]
+    fn observer_gap_plan_stamps_coverage_without_a_gate() {
+        use linkpad_sim::fault::OutageSchedule;
+        let gaps = OutageSchedule::new(
+            SimDuration::from_secs_f64(1.0),
+            SimDuration::from_secs_f64(0.25),
+        );
+        let b = ScenarioBuilder::aggregate(21, 4)
+            .with_payload_rate(10.0)
+            .with_trunk_observer(0.25)
+            .with_faults(FaultPlan::new(3).with_observer_gaps(gaps));
+        let mut s = b.build().unwrap();
+        s.run_for_secs(4.0);
+        let agg = s.aggregate.as_ref().unwrap();
+        assert!(agg.fault_gate.is_none(), "gap-only plan wires no gate");
+        let obs = agg.trunk_observer.clone().unwrap();
+        let covs = obs.coverages();
+        // 0.25 s windows, down the first 0.25 s of every 1 s: every
+        // fourth window is fully blind, the rest fully covered.
+        assert!(covs.len() >= 12, "windows {}", covs.len());
+        for (i, &c) in covs.iter().enumerate() {
+            let want = if i % 4 == 0 { 0.0 } else { 1.0 };
+            assert_eq!(c, want, "window {i}");
+        }
+        // Blind windows record nothing.
+        let counts = obs.counts();
+        assert_eq!(counts[4], 0.0);
+        assert!(counts[5] > 0.0);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_typed_build_error() {
+        use linkpad_sim::fault::LossModel;
+        let bad = ScenarioBuilder::aggregate(1, 2)
+            .with_faults(FaultPlan::new(0).with_trunk_loss(LossModel::Bernoulli { p: 2.0 }));
+        assert!(matches!(
+            bad.build(),
+            Err(ScenarioError::InvalidFaultPlan(_))
+        ));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use linkpad_core::gateway::{
     GatewayHandle, ReceiverGateway, ReceiverHandle, SenderGateway, TimerDiscipline,
 };
 use linkpad_sim::engine::{BuildError, Sim, SimBuilder};
+use linkpad_sim::fault::{FaultGateHandle, FaultPlan};
 use linkpad_sim::observer::ObserverHandle;
 use linkpad_sim::packet::{FlowId, PacketKind};
 use linkpad_sim::router::Router;
@@ -80,6 +81,19 @@ pub enum ScenarioError {
     /// builder the sharding layer cannot split (see
     /// [`crate::shard::ShardedAggregate::new`]).
     InvalidSharding(&'static str),
+    /// A fault plan failed validation (see
+    /// [`linkpad_sim::fault::FaultPlan::validate`]).
+    InvalidFaultPlan(&'static str),
+    /// A shard worker failed — it panicked on its first attempt *and*
+    /// on the one fresh-rebuild retry the harness grants it (see
+    /// [`crate::shard::ShardedAggregate`]). The cause carries the last
+    /// panic payload.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Human-readable cause (the worker's panic message).
+        cause: String,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -116,6 +130,12 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidSharding(why) => {
                 write!(f, "sharded aggregate misconfigured: {why}")
+            }
+            ScenarioError::InvalidFaultPlan(why) => {
+                write!(f, "fault plan misconfigured: {why}")
+            }
+            ScenarioError::ShardFailed { shard, cause } => {
+                write!(f, "shard {shard} failed after retry: {cause}")
             }
         }
     }
@@ -285,6 +305,22 @@ impl ScenarioBuilder {
     pub fn with_phases(mut self, phases: PhaseSpec) -> Self {
         if let Some(spec) = &mut self.aggregate {
             spec.phases = phases;
+        }
+        self
+    }
+
+    /// Inject faults into the aggregate: trunk packet loss and/or
+    /// scheduled outages (a [`linkpad_sim::fault::LossyGate`] is wired
+    /// in front of the trunk) and observer measurement gaps (the trunk
+    /// observer records nothing while its gap schedule is down and
+    /// stamps per-window coverage fractions). The drop pattern is fully
+    /// determined by `(plan.seed, run seed, topology)` — see the
+    /// determinism contract in [`linkpad_sim::fault`]. A plan with no
+    /// axes set wires nothing (the fault-free path adds zero nodes).
+    /// No effect outside the aggregate family.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if let Some(spec) = &mut self.aggregate {
+            spec.faults = Some(plan);
         }
         self
     }
@@ -540,6 +576,10 @@ pub struct AggregateHandles {
     /// Per-cohort instrumentation (empty unless
     /// [`ScenarioBuilder::with_cohorts`] was used).
     pub cohorts: Vec<linkpad_sim::cohort::CohortHandle>,
+    /// Drop counters of the trunk fault gate. `None` unless
+    /// [`ScenarioBuilder::with_faults`] configured trunk loss or
+    /// outages (observer-gap-only plans add no gate).
+    pub fault_gate: Option<FaultGateHandle>,
 }
 
 /// A runnable scenario with its instrumentation handles.

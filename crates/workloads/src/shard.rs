@@ -9,11 +9,27 @@
 //! so the population can be **partitioned**: [`ShardedAggregate`] splits
 //! the global flow range over `shards` sub-simulations, runs each on a
 //! worker (dynamic work-stealing via
-//! [`parallel_map_init`](linkpad_sim::parallel::parallel_map_init), with
-//! per-worker topology reuse through [`BuiltScenario::reset`] when
+//! [`parallel_map_init_catching`](linkpad_sim::parallel::parallel_map_init_catching),
+//! with per-worker topology reuse through [`BuiltScenario::reset`] when
 //! consecutive shards share a shape), and merges the per-shard trunk
 //! window series into one trunk view with
 //! [`merge_window_series`](linkpad_sim::observer::merge_window_series).
+//!
+//! **Harness fault tolerance.** A panicking shard worker no longer
+//! tears the whole fan-out down: the panic is caught in the worker
+//! (sibling shards keep running), and the failed shard is retried
+//! exactly once, sequentially, with a fresh rebuild. Because every
+//! shard is a closed deterministic sub-simulation, the retried result
+//! is bit-identical to what the first attempt would have produced —
+//! a run that needed a retry merges the same window series as one that
+//! didn't. A shard that fails twice surfaces as the typed
+//! [`ScenarioError::ShardFailed`] carrying the shard index and panic
+//! message. Orthogonally, [`ShardedAggregate::with_watchdog`] bounds
+//! each shard's event count and wall-clock budget: a tripped shard
+//! ends early with its fully-simulated windows intact (the partial
+//! last window is discarded) and the merged series is truncated to
+//! the prefix every shard completed, so a timeout yields a shorter but
+//! valid result instead of none.
 //!
 //! **What the merge means.** Per-window arrival counts and byte totals
 //! **superpose exactly**: the merged series is bit-identical to what a
@@ -35,12 +51,29 @@
 //! exactly); shards 1.. are observer-only populations under seeds
 //! derived from the builder seed and the shard index.
 
-use crate::aggregate::PhaseSpec;
+use crate::aggregate::{AggregateSpec, PhaseSpec};
 use crate::scenario::{BuiltScenario, ScenarioBuilder, ScenarioError};
 use linkpad_sim::observer::{merge_window_series, WindowStats};
-use linkpad_sim::parallel::{default_threads, parallel_map_init_with_threads};
+use linkpad_sim::parallel::{default_threads, parallel_map_init_catching};
+use linkpad_sim::time::SimDuration;
 use linkpad_stats::rng::splitmix64_mix;
-use std::time::Instant;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Render a caught panic payload (the retry path's own `catch_unwind`;
+/// first attempts go through `ItemPanic`, which does the same).
+fn panic_cause(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Shape fingerprint of a shard's topology: shards with equal shapes are
 /// identical up to their RNG seed, so a worker that just ran one can
@@ -84,6 +117,10 @@ pub struct ShardReport {
     /// Largest pending-event population sampled during the run (at the
     /// run-slice granularity — a lower bound on the true peak).
     pub pending_peak: usize,
+    /// Did the shard's watchdog budget end the run early? When set,
+    /// `windows` holds only the fully-simulated prefix (the partial
+    /// window in progress at the trip is discarded).
+    pub interrupted: bool,
 }
 
 /// Merged outcome of a sharded aggregate run.
@@ -130,6 +167,12 @@ impl ShardedRun {
     pub fn events_per_sec(&self) -> f64 {
         self.events() as f64 / self.wall_secs
     }
+
+    /// Did any shard's watchdog end its run early? The merged series is
+    /// then truncated to the prefix every shard fully simulated.
+    pub fn interrupted(&self) -> bool {
+        self.shards.iter().any(|s| s.interrupted)
+    }
 }
 
 /// An aggregate scenario split over worker sub-simulations (see the
@@ -140,6 +183,11 @@ impl ShardedRun {
 pub struct ShardedAggregate {
     builder: ScenarioBuilder,
     ranges: Vec<(usize, usize)>,
+    /// Per-shard run budget: (max events, max wall clock).
+    watchdog: Option<(Option<u64>, Option<Duration>)>,
+    /// Test hook: attempts at this shard panic while the shared budget
+    /// is positive (each firing decrements it).
+    panic_budget: Option<(usize, Arc<AtomicUsize>)>,
 }
 
 impl ShardedAggregate {
@@ -180,7 +228,39 @@ impl ShardedAggregate {
             ranges.push((start, count));
             start += count;
         }
-        Ok(Self { builder, ranges })
+        Ok(Self {
+            builder,
+            ranges,
+            watchdog: None,
+            panic_budget: None,
+        })
+    }
+
+    /// Bound every shard's run: end its event loop early once it has
+    /// dispatched `max_events` events or run for `max_wall` of wall
+    /// clock (see [`linkpad_sim::engine::Sim::set_watchdog`]). A
+    /// tripped shard reports `interrupted` and keeps only its
+    /// fully-simulated windows; the merged series truncates to the
+    /// prefix every shard completed.
+    pub fn with_watchdog(mut self, max_events: Option<u64>, max_wall: Option<Duration>) -> Self {
+        self.watchdog = Some((max_events, max_wall));
+        self
+    }
+
+    /// Test hook: make the **first** attempt at shard `shard` panic
+    /// inside its worker. Used by the fault-tolerance tests and the
+    /// `fig_fault_robustness` harness gate to prove that a crashed
+    /// worker is retried and the merged result is bit-identical to an
+    /// undisturbed run.
+    pub fn inject_panic_once(&mut self, shard: usize) {
+        self.inject_panics(shard, 1);
+    }
+
+    /// Test hook: make the first `times` attempts at shard `shard`
+    /// panic. `times >= 2` also defeats the single retry, exercising
+    /// the [`ScenarioError::ShardFailed`] surface.
+    pub fn inject_panics(&mut self, shard: usize, times: usize) {
+        self.panic_budget = Some((shard, Arc::new(AtomicUsize::new(times))));
     }
 
     /// Number of shards.
@@ -218,11 +298,22 @@ impl ShardedAggregate {
             .with_seed(self.shard_seed(s))
     }
 
-    fn shard_shape(&self, s: usize) -> ShardShape {
+    /// The aggregate spec, re-checked on the run path: `new` validated
+    /// it, but the run paths propagate a typed error instead of
+    /// panicking if the invariant is ever violated.
+    fn spec(&self) -> Result<AggregateSpec, ScenarioError> {
+        self.builder
+            .aggregate_spec()
+            .ok_or(ScenarioError::InvalidSharding(
+                "only the aggregate family shards",
+            ))
+    }
+
+    fn shard_shape(&self, s: usize) -> Result<ShardShape, ScenarioError> {
         let (start, count) = self.ranges[s];
-        let spec = self.builder.aggregate_spec().expect("validated aggregate");
+        let spec = self.spec()?;
         let position_dependent = !matches!(spec.phases, PhaseSpec::Synchronized);
-        ShardShape {
+        Ok(ShardShape {
             flows: count,
             has_target: start == 0,
             phase_key: if position_dependent {
@@ -236,7 +327,7 @@ impl ShardedAggregate {
                 Some(k) => ((start.max(1) - 1) % k) as u64 + 1,
                 None => 0,
             },
-        }
+        })
     }
 
     /// Run every shard for `secs` of simulated time on the default
@@ -248,6 +339,11 @@ impl ShardedAggregate {
     /// [`ShardedAggregate::run_for_secs`] with an explicit worker count.
     /// Results are independent of `threads` (each shard is a closed,
     /// deterministic sub-simulation; the merge runs in shard order).
+    ///
+    /// A shard whose worker panics is retried once, sequentially, with
+    /// a fresh rebuild — bit-identical to the result the first attempt
+    /// would have produced (see the module docs). A shard that panics
+    /// twice fails the run with [`ScenarioError::ShardFailed`].
     pub fn run_for_secs_with_threads(
         &self,
         secs: f64,
@@ -255,19 +351,43 @@ impl ShardedAggregate {
     ) -> Result<ShardedRun, ScenarioError> {
         let start = Instant::now();
         let shard_ids: Vec<usize> = (0..self.shards()).collect();
-        let reports = parallel_map_init_with_threads(
+        let attempts = parallel_map_init_catching(
             shard_ids,
             threads,
             || None::<(ShardShape, BuiltScenario)>,
             |slot, s| self.run_shard(slot, s, secs),
         );
-        let mut shards = Vec::with_capacity(reports.len());
-        for report in reports {
-            shards.push(report?);
+        let mut shards = Vec::with_capacity(attempts.len());
+        for (s, attempt) in attempts.into_iter().enumerate() {
+            let report = match attempt {
+                Ok(report) => report?,
+                // Worker panic: one fresh-rebuild retry. The shard is a
+                // closed deterministic sub-sim, so a clean retry
+                // reproduces the lost result exactly.
+                Err(_panic) => {
+                    match catch_unwind(AssertUnwindSafe(|| self.run_shard(&mut None, s, secs))) {
+                        Ok(report) => report?,
+                        Err(payload) => {
+                            return Err(ScenarioError::ShardFailed {
+                                shard: s,
+                                cause: panic_cause(payload),
+                            });
+                        }
+                    }
+                }
+            };
+            shards.push(report);
         }
         let mut windows = Vec::new();
         for report in &shards {
             merge_window_series(&mut windows, &report.windows);
+        }
+        // A watchdog-interrupted shard contributes a shorter series;
+        // truncate the merge to the prefix every shard fully simulated
+        // so partial results never mix complete and incomplete windows.
+        if shards.iter().any(|r| r.interrupted) {
+            let complete = shards.iter().map(|r| r.windows.len()).min().unwrap_or(0);
+            windows.truncate(complete);
         }
         Ok(ShardedRun {
             windows,
@@ -284,7 +404,16 @@ impl ShardedAggregate {
         s: usize,
         secs: f64,
     ) -> Result<ShardReport, ScenarioError> {
-        let shape = self.shard_shape(s);
+        if let Some((target, remaining)) = &self.panic_budget {
+            let armed = *target == s
+                && remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok();
+            if armed {
+                panic!("injected shard fault (test hook)");
+            }
+        }
+        let shape = self.shard_shape(s)?;
         let scenario = match slot {
             // Same shape as the worker's previous shard: the scenario-
             // reset fast path (bit-identical to a fresh build — see
@@ -298,8 +427,14 @@ impl ShardedAggregate {
                 &mut slot.insert((shape, built)).1
             }
         };
+        match self.watchdog {
+            Some((max_events, max_wall)) => scenario.sim.set_watchdog(max_events, max_wall),
+            // A reused slot may carry a previous configuration.
+            None => scenario.sim.clear_watchdog(),
+        }
         // Run in slices, sampling the pending-event population for the
-        // memory high-water report.
+        // memory high-water report. A tripped watchdog makes the
+        // remaining slices no-ops.
         const SLICES: usize = 8;
         let mut pending_peak = 0;
         for _ in 0..SLICES {
@@ -309,17 +444,34 @@ impl ShardedAggregate {
         let observer = scenario
             .aggregate
             .as_ref()
-            .expect("aggregate family")
+            .ok_or(ScenarioError::InvalidSharding(
+                "shard built without aggregate handles",
+            ))?
             .trunk_observer
             .clone()
-            .expect("observer validated at construction");
+            .ok_or(ScenarioError::InvalidSharding(
+                "sharded runs merge window series; configure with_trunk_observer",
+            ))?;
+        let interrupted = scenario.sim.watchdog_tripped();
+        let mut windows = observer.window_series();
+        if interrupted {
+            // Keep only windows the clock fully crossed: the window
+            // containing the trip instant is incomplete (its counts
+            // stop mid-window) and would read as a traffic dip.
+            let window = SimDuration::from_secs_f64(self.spec()?.observer_window.unwrap_or(0.0));
+            if window.as_nanos() > 0 {
+                let complete = (scenario.sim.now().as_nanos() / window.as_nanos()) as usize;
+                windows.truncate(complete);
+            }
+        }
         Ok(ShardReport {
             shard: s,
             flow_range: self.ranges[s],
-            windows: observer.window_series(),
+            windows,
             arrivals: observer.arrivals(),
             events: scenario.sim.events_processed(),
             pending_peak,
+            interrupted,
         })
     }
 }
@@ -556,6 +708,63 @@ mod tests {
         assert!(agg.gateways.is_empty());
         let obs = agg.trunk_observer.clone().unwrap();
         assert!(obs.arrivals() > 0, "cohort traffic still observed");
+    }
+
+    #[test]
+    fn a_panicked_shard_is_retried_and_the_merge_is_bit_identical() {
+        let clean = ShardedAggregate::new(small_builder(61, 12, 3)).unwrap();
+        let baseline = clean.run_for_secs_with_threads(1.5, 2).unwrap();
+        let mut faulty = ShardedAggregate::new(small_builder(61, 12, 3)).unwrap();
+        faulty.inject_panic_once(1);
+        let run = faulty.run_for_secs_with_threads(1.5, 2).unwrap();
+        // The retry rebuilt shard 1 from scratch; every series — per
+        // shard and merged — matches the undisturbed run bit for bit.
+        assert_eq!(run.windows, baseline.windows);
+        assert_eq!(run.shards[1].windows, baseline.shards[1].windows);
+        assert_eq!(run.arrivals(), baseline.arrivals());
+        assert!(!run.interrupted());
+    }
+
+    #[test]
+    fn a_twice_panicking_shard_fails_with_the_typed_error() {
+        let mut faulty = ShardedAggregate::new(small_builder(62, 8, 2)).unwrap();
+        faulty.inject_panics(1, 2);
+        match faulty.run_for_secs_with_threads(1.0, 2) {
+            Err(ScenarioError::ShardFailed { shard, cause }) => {
+                assert_eq!(shard, 1);
+                assert!(cause.contains("injected shard fault"), "cause: {cause}");
+            }
+            Ok(_) => panic!("expected ShardFailed, got a successful run"),
+            Err(other) => panic!("expected ShardFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_yields_a_truncated_but_valid_series() {
+        let builder = small_builder(63, 12, 3);
+        let full = ShardedAggregate::new(builder.clone())
+            .unwrap()
+            .run_for_secs_with_threads(2.0, 1)
+            .unwrap();
+        assert!(!full.interrupted());
+        // An event budget a quarter of one shard's full run trips every
+        // shard early.
+        let budget = full.events() / full.shards.len() as u64 / 4;
+        let bounded = ShardedAggregate::new(builder)
+            .unwrap()
+            .with_watchdog(Some(budget), None);
+        let run = bounded.run_for_secs_with_threads(2.0, 1).unwrap();
+        assert!(run.interrupted());
+        assert!(run.shards.iter().all(|r| r.interrupted));
+        assert!(
+            !run.windows.is_empty() && run.windows.len() < full.windows.len(),
+            "partial series: {} of {} windows",
+            run.windows.len(),
+            full.windows.len()
+        );
+        // The surviving prefix is bit-identical to the unbounded run:
+        // truncation removed incomplete windows, never corrupted one.
+        assert_eq!(run.windows[..], full.windows[..run.windows.len()]);
     }
 
     #[test]

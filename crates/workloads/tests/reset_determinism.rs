@@ -10,8 +10,34 @@
 //! (`f64::to_bits`) — any drifted RNG stream, stale node state, or
 //! leftover event-store entry shows up as a bit difference.
 
+use linkpad_sim::fault::{FaultPlan, LossModel, OutageSchedule};
+use linkpad_sim::time::SimDuration;
 use linkpad_workloads::scenario::{BuiltScenario, ScenarioBuilder, TapPosition};
 use proptest::prelude::*;
+
+/// The faulted-aggregate configuration: bursty Gilbert–Elliott trunk
+/// loss, scheduled trunk outages and observer gaps, all at modest
+/// levels so PIAT collection still completes.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new(5)
+        .with_trunk_loss(LossModel::GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.3,
+            loss_good: 0.01,
+            loss_bad: 0.3,
+        })
+        .with_trunk_outage(
+            OutageSchedule::new(
+                SimDuration::from_secs_f64(1.0),
+                SimDuration::from_secs_f64(0.08),
+            )
+            .with_phase(SimDuration::from_secs_f64(0.3)),
+        )
+        .with_observer_gaps(OutageSchedule::new(
+            SimDuration::from_secs_f64(0.7),
+            SimDuration::from_secs_f64(0.21),
+        ))
+}
 
 /// Collect a PIAT trace as raw bits (exact comparison, no epsilons).
 fn trace_bits(s: &mut BuiltScenario, at: TapPosition, count: usize) -> Vec<u64> {
@@ -55,6 +81,17 @@ fn families(seed: u64) -> Vec<(&'static str, ScenarioBuilder)> {
                 .with_trunk_observer(0.05)
                 .with_cohorts(3)
                 .with_phases(linkpad_workloads::aggregate::PhaseSpec::Uniform { seed: 7 }),
+        ),
+        (
+            // Fault injection: the lossy trunk gate's RNG and
+            // Gilbert–Elliott chain state, the outage schedule and the
+            // observer's gap handling must all replay under reset —
+            // the faulted sweep's fast path rests on it.
+            "aggregate-faulted",
+            ScenarioBuilder::aggregate(seed, 5)
+                .with_payload_rate(10.0)
+                .with_trunk_observer(0.05)
+                .with_faults(fault_plan()),
         ),
     ]
 }
@@ -166,6 +203,7 @@ fn observer_series_bits(s: &mut BuiltScenario, secs: f64) -> Vec<u64> {
     bits.extend(obs.byte_rates().iter().map(|x| x.to_bits()));
     bits.extend(obs.piat_means().iter().map(|x| x.to_bits()));
     bits.extend(obs.piat_variances().iter().map(|x| x.to_bits()));
+    bits.extend(obs.coverages().iter().map(|x| x.to_bits()));
     bits
 }
 
@@ -206,4 +244,60 @@ fn observer_window_series_is_bit_identical_across_reset() {
             .entries()
     };
     assert_eq!(log(&fresh), log(&reused));
+}
+
+#[test]
+fn faulted_drop_pattern_and_gap_mask_replay_across_reset() {
+    // Same seed ⇒ bit-identical drop pattern (per-cause gate counters)
+    // and gap mask (per-window coverage fractions); a reset scenario
+    // replays both exactly as a fresh build would.
+    let builder = ScenarioBuilder::aggregate(29, 6)
+        .with_payload_rate(10.0)
+        .with_trunk_observer(0.05)
+        .with_faults(fault_plan());
+
+    let gate_of = |s: &BuiltScenario| {
+        s.aggregate
+            .as_ref()
+            .expect("aggregate handles")
+            .fault_gate
+            .clone()
+            .expect("trunk faults configured")
+    };
+    let mut fresh = builder.build().expect("fresh build");
+    let want = observer_series_bits(&mut fresh, 2.0);
+    let g = gate_of(&fresh);
+    let want_drops = (g.dropped_loss(), g.dropped_outage(), g.passed());
+    assert!(g.dropped_loss() > 0, "loss model fired");
+    assert!(g.dropped_outage() > 0, "outage fired");
+
+    // Dirty a different-seed build mid-outage-cycle, then reset.
+    let mut reused = builder.clone().with_seed(101).build().expect("build");
+    reused.run_for_secs(0.9);
+    assert!(gate_of(&reused).offered() > 0);
+    reused.reset(29);
+    let g = gate_of(&reused);
+    assert_eq!(
+        (g.dropped_loss(), g.dropped_outage(), g.passed()),
+        (0, 0, 0),
+        "reset clears the gate counters"
+    );
+    let got = observer_series_bits(&mut reused, 2.0);
+    assert_eq!(got, want, "faulted series (incl. gap mask) diverged");
+    assert_eq!(
+        (g.dropped_loss(), g.dropped_outage(), g.passed()),
+        want_drops,
+        "drop pattern diverged from fresh build"
+    );
+
+    // A different fault seed under the same run seed re-randomizes the
+    // realization without touching the traffic processes.
+    let mut other_plan = builder
+        .clone()
+        .with_faults(fault_plan().with_trunk_loss(LossModel::Bernoulli { p: 0.1 }));
+    other_plan = other_plan.with_seed(29);
+    let mut other = other_plan.build().expect("build");
+    let _ = observer_series_bits(&mut other, 2.0);
+    let go = gate_of(&other);
+    assert_ne!(go.dropped_loss(), want_drops.0, "loss law change must show");
 }
