@@ -82,9 +82,19 @@ fn main() -> ExitCode {
     // the code change, not the container change.
     let drift = measure_drift(&prev, &new);
     if (drift.global() - 1.0).abs() > 0.02 {
+        // Gating pools every yardstick leaf into one geomean factor
+        // (each individual leaf is a noisy micro-measurement; see
+        // DriftModel docs); the per-section readings are printed so a
+        // real localized anomaly still gets eyes on it.
+        let spread = drift
+            .sections()
+            .iter()
+            .map(|(k, f)| format!("{k} ×{f:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         println!(
-            "  note: machine-speed drift ×{:.3} between recordings (heap yardstick); \
-             gating drift-corrected changes",
+            "  note: machine-speed drift ×{:.3} between recordings (pooled heap yardstick; \
+             per-section readings: {spread}); gating drift-corrected changes",
             drift.global()
         );
     }
@@ -95,7 +105,7 @@ fn main() -> ExitCode {
     }
     let mut regressed = false;
     for c in &comparisons {
-        let corrected = c.drift_corrected_change(drift.factor_for(&c.metric));
+        let corrected = c.drift_corrected_change(drift.global());
         let gate = c.gate_threshold(threshold);
         let verdict = if corrected < -gate {
             regressed = true;

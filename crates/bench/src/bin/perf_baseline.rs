@@ -6,7 +6,7 @@
 //! (flow cohorts + per-shard sub-sims, merged trunk windows),
 //! the trunk fault-hook overhead (fault-free configured plan vs armed
 //! lossless gate), scenario-reset setup cost and a representative sweep
-//! wall-clock, and writes `BENCH_5.json` at the workspace root so later
+//! wall-clock, and writes `BENCH_6.json` at the workspace root so later
 //! PRs have a recorded trajectory (`bench_compare` diffs consecutive
 //! baselines in CI).
 //!
@@ -22,7 +22,7 @@ use linkpad_bench::perf::{
 use std::io::Write;
 
 /// Sequence number of the baseline this binary writes.
-const BASELINE: u32 = 5;
+const BASELINE: u32 = 6;
 
 fn main() {
     // Sized so the run takes a few seconds in release mode; override with

@@ -1,0 +1,151 @@
+//! The checked-in exception file. Every entry carries a justification —
+//! an allowlist line without one is a parse error, so "just silence it"
+//! is not expressible.
+//!
+//! Format (pipe-separated, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! RULE_ID | path fragment | line fragment | justification
+//! ```
+//!
+//! An entry allows a violation when all three match:
+//! * `RULE_ID` equals the violation's rule;
+//! * `path fragment` is a substring of the violation's workspace-relative
+//!   path (so `crates/bench/` covers a whole crate);
+//! * `line fragment` is a substring of the violation's trimmed source
+//!   line, or `*` for any line.
+//!
+//! Matching on line *text* rather than line *numbers* keeps entries
+//! stable across unrelated edits. Entries that match nothing are
+//! themselves reported (`ALLOW_STALE`) so the file can only shrink when
+//! the code it excuses goes away.
+
+use crate::rules::Violation;
+
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_frag: String,
+    pub line_frag: String,
+    pub justification: String,
+    /// 1-based line in the allowlist file (for ALLOW_STALE reports).
+    pub source_line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist text. Errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "allowlist line {}: expected `RULE | path | line-fragment | justification`",
+                    i + 1
+                ));
+            }
+            if parts[3].is_empty() {
+                return Err(format!(
+                    "allowlist line {}: empty justification — every exception must say why",
+                    i + 1
+                ));
+            }
+            entries.push(AllowEntry {
+                rule: parts[0].to_string(),
+                path_frag: parts[1].to_string(),
+                line_frag: parts[2].to_string(),
+                justification: parts[3].to_string(),
+                source_line: i + 1,
+            });
+        }
+        let used = vec![false; entries.len()];
+        Ok(Allowlist { entries, used })
+    }
+
+    /// Does any entry cover `v`? Marks the matching entry as used.
+    pub fn allows(&mut self, v: &Violation) -> bool {
+        for (e, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if e.rule == v.rule
+                && v.file.contains(&e.path_frag)
+                && (e.line_frag == "*" || v.line_text.contains(&e.line_frag))
+            {
+                *used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that matched nothing in this run.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line_text: &str) -> Violation {
+        Violation {
+            file: file.into(),
+            line: 1,
+            rule,
+            message: String::new(),
+            line_text: line_text.into(),
+        }
+    }
+
+    #[test]
+    fn matches_on_rule_path_and_line_fragment() {
+        let mut al = Allowlist::parse(
+            "DET_WALLCLOCK | crates/bench/ | * | benches time things\n\
+             RP_PANIC | equeue.rs | slab fits u32 | capacity invariant\n",
+        )
+        .unwrap();
+        assert!(al.allows(&v(
+            "DET_WALLCLOCK",
+            "crates/bench/src/perf.rs",
+            "Instant::now()"
+        )));
+        assert!(al.allows(&v(
+            "RP_PANIC",
+            "crates/sim/src/equeue.rs",
+            "x.expect(\"slab fits u32 indices\")"
+        )));
+        assert!(!al.allows(&v("RP_PANIC", "crates/sim/src/engine.rs", "x.unwrap()")));
+        assert!(!al.allows(&v(
+            "DET_ENTROPY",
+            "crates/bench/src/perf.rs",
+            "thread_rng()"
+        )));
+        assert!(al.unused().is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let al = Allowlist::parse("NODE_RESET | nowhere.rs | * | obsolete\n").unwrap();
+        assert_eq!(al.unused().len(), 1);
+    }
+
+    #[test]
+    fn missing_justification_is_a_parse_error() {
+        assert!(Allowlist::parse("RP_PANIC | a.rs | * |\n").is_err());
+        assert!(Allowlist::parse("RP_PANIC | a.rs | *\n").is_err());
+    }
+}

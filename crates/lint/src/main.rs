@@ -1,0 +1,83 @@
+//! CLI for `linkpad-lint`. Two modes, no `--fix`:
+//!
+//! * `check` — walk the workspace, apply the allowlist, print every
+//!   violation as `file:line · RULE_ID · message`, exit 1 if any. This
+//!   is the CI gate.
+//! * `inventory [--write]` — print the generated unsafe inventory, or
+//!   rewrite `crates/lint/UNSAFE_INVENTORY.md` in place.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/configuration error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = None;
+    let mut root_arg = None;
+    let mut write = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "inventory" if mode.is_none() => mode = Some(a.clone()),
+            "--root" => match it.next() {
+                Some(r) => root_arg = Some(r.clone()),
+                None => return usage("--root needs a path"),
+            },
+            "--write" => write = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(mode) = mode else {
+        return usage("expected a mode");
+    };
+    let root = linkpad_lint::find_root(root_arg.as_deref());
+
+    match mode.as_str() {
+        "check" => match linkpad_lint::check_workspace(&root) {
+            Ok(report) => {
+                for v in &report.violations {
+                    println!("{}:{} · {} · {}", v.file, v.line, v.rule, v.message);
+                }
+                println!(
+                    "linkpad-lint: {} violation(s), {} allowlisted, {} files scanned",
+                    report.violations.len(),
+                    report.allowed,
+                    report.files
+                );
+                if report.violations.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => config_error(&e),
+        },
+        "inventory" => match linkpad_lint::render_inventory(&root) {
+            Ok(text) => {
+                if write {
+                    let path = root.join(linkpad_lint::INVENTORY_PATH);
+                    if let Err(e) = std::fs::write(&path, &text) {
+                        return config_error(&format!("{}: {e}", path.display()));
+                    }
+                    println!("wrote {}", linkpad_lint::INVENTORY_PATH);
+                } else {
+                    print!("{text}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => config_error(&e),
+        },
+        _ => unreachable!("mode is validated above"),
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("linkpad-lint: {why}");
+    eprintln!("usage: linkpad-lint <check|inventory> [--root DIR] [--write]");
+    ExitCode::from(2)
+}
+
+fn config_error(why: &str) -> ExitCode {
+    eprintln!("linkpad-lint: {why}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,668 @@
+//! The lint rules. Each rule walks the token stream from
+//! [`crate::tokenizer`] plus a little derived structure (brace matching,
+//! `#[cfg(test)]` regions) and reports [`Violation`]s.
+//!
+//! Rule catalog (see DESIGN.md §Static analysis for the invariants each
+//! one freezes):
+//!
+//! | id             | family        | what it bans / requires            |
+//! |----------------|---------------|------------------------------------|
+//! | `DET_UNORDERED`| determinism   | `HashMap`/`HashSet`/`RandomState`  |
+//! | `DET_WALLCLOCK`| determinism   | `Instant`/`SystemTime`             |
+//! | `DET_ENTROPY`  | determinism   | `thread_rng`/`OsRng`/`from_entropy`/`getrandom` |
+//! | `NODE_RESET`   | node-reset    | `impl Node for T` without `fn reset` |
+//! | `UNSAFE_SAFETY`| unsafe-audit  | `unsafe` without a `// SAFETY:` comment |
+//! | `RP_PANIC`     | run-path-panic| `.unwrap()`/`.expect(`/`panic!`/`unreachable!` in run-path files |
+//! | `COLD_ATTR`    | cold-path     | cold-listed fns missing `#[cold]`  |
+//!
+//! All rules skip `#[cfg(test)]` / `#[test]` items (`UNSAFE_SAFETY` is
+//! the exception: unsafe code in tests is audited too).
+
+use crate::tokenizer::{tokenize, Tok, Token, Tokenized};
+
+/// One reported finding, formatted by the CLI as
+/// `file:line · RULE_ID · message`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+    /// Trimmed source line text — the allowlist matches substrings of
+    /// this, so entries survive line-number drift.
+    pub line_text: String,
+}
+
+/// Per-file rule scoping, decided by the walker (or a test) from the
+/// file's path.
+#[derive(Debug, Default)]
+pub struct FileContext<'a> {
+    /// Workspace-relative path, used in reports and allowlist matching.
+    pub rel_path: &'a str,
+    /// Apply the `DET_*` determinism rules.
+    pub determinism: bool,
+    /// Apply `RP_PANIC` (designated run-path modules only).
+    pub run_path: bool,
+    /// Apply `NODE_RESET`.
+    pub node_reset: bool,
+    /// Function names in this file that must carry `#[cold]`.
+    pub cold_fns: &'a [String],
+}
+
+/// One `unsafe` site for the generated inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    /// `"unsafe block"`, `"unsafe fn"`, `"unsafe impl"`, …
+    pub kind: String,
+    /// Whether a `// SAFETY:` comment immediately precedes it.
+    pub documented: bool,
+}
+
+/// Token-stream structure shared by the rules: bracket matching and
+/// `#[cfg(test)]`-item spans.
+struct Analysis<'a> {
+    toks: &'a [Token],
+    tz: &'a Tokenized,
+    lines: Vec<&'a str>,
+    /// open-index → close-index for `{}`, `[]`, `()` jointly.
+    match_fwd: Vec<usize>,
+    /// close-index → open-index.
+    match_back: Vec<usize>,
+    /// Sorted, possibly overlapping token-index spans of test-gated items.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl<'a> Analysis<'a> {
+    fn new(src: &'a str, tz: &'a Tokenized) -> Self {
+        let toks = &tz.tokens[..];
+        let n = toks.len();
+        let mut match_fwd = vec![usize::MAX; n];
+        let mut match_back = vec![usize::MAX; n];
+        let mut stack: Vec<(char, usize)> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            match t.tok {
+                Tok::Punct(c @ ('{' | '[' | '(')) => stack.push((c, i)),
+                Tok::Punct(c @ ('}' | ']' | ')')) => {
+                    let want = match c {
+                        '}' => '{',
+                        ']' => '[',
+                        _ => '(',
+                    };
+                    // Pop to the nearest matching opener; tolerate
+                    // imbalance (linter, not parser).
+                    while let Some((open_c, open_i)) = stack.pop() {
+                        if open_c == want {
+                            match_fwd[open_i] = i;
+                            match_back[i] = open_i;
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut a = Analysis {
+            toks,
+            tz,
+            lines: src.lines().collect(),
+            match_fwd,
+            match_back,
+            test_spans: Vec::new(),
+        };
+        a.find_test_spans();
+        a
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize) -> Option<char> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn line_text(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Record the token span of every item gated behind `#[test]` or a
+    /// `#[cfg(…)]` attr that enables `test` (but not `#[cfg(not(test))]`
+    /// and not `#[cfg_attr(test, …)]`, which don't gate compilation on
+    /// test builds the same way).
+    fn find_test_spans(&mut self) {
+        let n = self.toks.len();
+        let mut i = 0;
+        while i + 1 < n {
+            if self.punct(i) == Some('#') && self.punct(i + 1) == Some('[') {
+                let close = self.match_fwd[i + 1];
+                if close == usize::MAX {
+                    i += 1;
+                    continue;
+                }
+                let idents: Vec<&str> = (i + 2..close).filter_map(|k| self.ident(k)).collect();
+                let is_test = idents.as_slice() == ["test"]
+                    || (idents.first() == Some(&"cfg")
+                        && idents.contains(&"test")
+                        && !idents.contains(&"not"));
+                if is_test {
+                    if let Some(end) = self.item_end_after_attrs(close + 1) {
+                        self.test_spans.push((i, end));
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i = close + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Given the token index just past an attribute, skip any further
+    /// attributes and return the index of the item's final token (its
+    /// closing `}` or terminating `;`).
+    fn item_end_after_attrs(&self, mut k: usize) -> Option<usize> {
+        let n = self.toks.len();
+        // Skip stacked attributes: #[…] #[…] item
+        while k + 1 < n && self.punct(k) == Some('#') && self.punct(k + 1) == Some('[') {
+            let close = self.match_fwd[k + 1];
+            if close == usize::MAX {
+                return None;
+            }
+            k = close + 1;
+        }
+        // The item runs to its first body `{ … }` or, for brace-less
+        // items (`use …;`, `type …;`), to the terminating `;`.
+        while k < n {
+            match self.punct(k) {
+                Some(';') => return Some(k),
+                Some('{') => {
+                    let close = self.match_fwd[k];
+                    return if close == usize::MAX {
+                        None
+                    } else {
+                        Some(close)
+                    };
+                }
+                Some('(') | Some('[') => {
+                    // Balanced group in a signature (params, attr-ish);
+                    // skip it whole so a `;` or `{` inside doesn't fool us.
+                    let close = self.match_fwd[k];
+                    if close == usize::MAX {
+                        return None;
+                    }
+                    k = close + 1;
+                }
+                _ => k += 1,
+            }
+        }
+        None
+    }
+
+    fn in_test(&self, tok_idx: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(a, b)| a <= tok_idx && tok_idx <= b)
+    }
+
+    /// Does a `// SAFETY:` (or `/* SAFETY: */`) comment immediately
+    /// precede the token at `tok_idx`? Accepted positions: a comment on
+    /// the same line, or a run of comment-only lines directly above.
+    fn has_preceding_safety_comment(&self, tok_idx: usize) -> bool {
+        let line = self.toks[tok_idx].line;
+        if let Some(Some(c)) = self.tz.comment_on_line.get(line) {
+            if c.contains("SAFETY:") {
+                return true;
+            }
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.tz.is_comment_only_line(l) {
+            if self.tz.comment_on_line[l]
+                .as_deref()
+                .is_some_and(|c| c.contains("SAFETY:"))
+            {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// Run every applicable rule over one file.
+pub fn lint_file(src: &str, ctx: &FileContext<'_>) -> Vec<Violation> {
+    let tz = tokenize(src);
+    let a = Analysis::new(src, &tz);
+    let mut out = Vec::new();
+
+    if ctx.determinism {
+        determinism_rules(&a, ctx, &mut out);
+    }
+    if ctx.node_reset {
+        node_reset_rule(&a, ctx, &mut out);
+    }
+    unsafe_safety_rule(&a, ctx, &mut out);
+    if ctx.run_path {
+        run_path_panic_rule(&a, ctx, &mut out);
+    }
+    cold_attr_rule(&a, ctx, &mut out);
+
+    out.sort_by(|x, y| (x.line, x.rule).cmp(&(y.line, y.rule)));
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    a: &Analysis,
+    ctx: &FileContext,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    out.push(Violation {
+        file: ctx.rel_path.to_string(),
+        line,
+        rule,
+        message,
+        line_text: a.line_text(line),
+    });
+}
+
+/// `DET_*`: identifiers whose mere presence breaks the bit-identical
+/// reset/shard determinism contract. Bans the *type or function name*
+/// wherever it appears (including `use` lines) — an imported hazard is
+/// a hazard.
+fn determinism_rules(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+    for (i, t) in a.toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let (rule, why): (&'static str, &str) = match name.as_str() {
+            "HashMap" | "HashSet" => (
+                "DET_UNORDERED",
+                "unseeded iteration order; use BTreeMap/BTreeSet/Vec",
+            ),
+            "RandomState" => ("DET_UNORDERED", "per-process random hash seed"),
+            "Instant" | "SystemTime" => (
+                "DET_WALLCLOCK",
+                "wall-clock read in sim logic; derive time from SimTime",
+            ),
+            "thread_rng" | "OsRng" | "from_entropy" | "getrandom" => (
+                "DET_ENTROPY",
+                "OS entropy; derive all randomness from the master seed",
+            ),
+            _ => continue,
+        };
+        if a.in_test(i) {
+            continue;
+        }
+        push(out, a, ctx, t.line, rule, format!("`{name}`: {why}"));
+    }
+}
+
+/// `NODE_RESET`: every non-test `impl Node for T` block must override
+/// `fn reset`, so no node type silently inherits the no-op default and
+/// breaks `reset(seed) ≡ rebuild`.
+fn node_reset_rule(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+    let n = a.toks.len();
+    for i in 0..n {
+        if a.ident(i) != Some("impl") || a.in_test(i) {
+            continue;
+        }
+        // Find the impl body `{`; the header is everything before it.
+        let mut body_open = None;
+        for k in i + 1..n {
+            if a.punct(k) == Some('{') {
+                body_open = Some(k);
+                break;
+            }
+            if a.punct(k) == Some(';') || a.ident(k) == Some("impl") {
+                break; // `impl Trait for T;`-style or a mis-scan; bail.
+            }
+        }
+        let Some(open) = body_open else { continue };
+        let close = a.match_fwd[open];
+        if close == usize::MAX {
+            continue;
+        }
+        // Header must read `… Node for T …`.
+        let mut ty = None;
+        for k in i + 1..open {
+            if a.ident(k) == Some("Node") && a.ident(k + 1) == Some("for") {
+                ty = a.ident(k + 2);
+                break;
+            }
+        }
+        let Some(ty) = ty else { continue };
+        let has_reset =
+            (open..close).any(|k| a.ident(k) == Some("fn") && a.ident(k + 1) == Some("reset"));
+        if !has_reset {
+            push(
+                out,
+                a,
+                ctx,
+                a.toks[i].line,
+                "NODE_RESET",
+                format!(
+                    "`impl Node for {ty}` has no `fn reset` override; \
+                     the no-op default breaks reset(seed) ≡ rebuild"
+                ),
+            );
+        }
+    }
+}
+
+/// `UNSAFE_SAFETY`: every `unsafe` keyword needs an immediately
+/// preceding `// SAFETY:` comment. Applied everywhere, tests included —
+/// unsafe code in a test harness still needs its obligation written
+/// down.
+fn unsafe_safety_rule(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+    for (i, kind) in unsafe_sites(a) {
+        if !a.has_preceding_safety_comment(i) {
+            push(
+                out,
+                a,
+                ctx,
+                a.toks[i].line,
+                "UNSAFE_SAFETY",
+                format!("{kind} without an immediately preceding `// SAFETY:` comment"),
+            );
+        }
+    }
+}
+
+/// All `unsafe` keyword sites with a human-readable kind. `forbid`/
+/// `allow` attribute mentions (`unsafe_code`) tokenize as the ident
+/// `unsafe_code`, not `unsafe`, so they never appear here.
+fn unsafe_sites(a: &Analysis) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
+    for i in 0..a.toks.len() {
+        if a.ident(i) != Some("unsafe") {
+            continue;
+        }
+        let kind = match (a.ident(i + 1), a.punct(i + 1)) {
+            (Some("fn"), _) => "unsafe fn",
+            (Some("impl"), _) => "unsafe impl",
+            (Some("trait"), _) => "unsafe trait",
+            (Some("extern"), _) => "unsafe extern",
+            (_, Some('{')) => "unsafe block",
+            _ => "unsafe",
+        };
+        sites.push((i, kind.to_string()));
+    }
+    sites
+}
+
+/// The generated unsafe inventory for one file.
+pub fn unsafe_inventory(src: &str, rel_path: &str) -> Vec<UnsafeSite> {
+    let tz = tokenize(src);
+    let a = Analysis::new(src, &tz);
+    unsafe_sites(&a)
+        .into_iter()
+        .map(|(i, kind)| UnsafeSite {
+            file: rel_path.to_string(),
+            line: a.toks[i].line,
+            kind,
+            documented: a.has_preceding_safety_comment(i),
+        })
+        .collect()
+}
+
+/// `RP_PANIC`: no `.unwrap()` / `.expect(` / `panic!` / `unreachable!`
+/// outside `#[cfg(test)]` in the designated run-path modules. Typed
+/// errors (`ScenarioError`, `ShardError`) or allowlisted documented
+/// infallible patterns only.
+fn run_path_panic_rule(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+    for i in 0..a.toks.len() {
+        let Some(name) = a.ident(i) else { continue };
+        let hit = match name {
+            "unwrap" | "expect" => {
+                i > 0 && a.punct(i - 1) == Some('.') && a.punct(i + 1) == Some('(')
+            }
+            "panic" | "unreachable" => a.punct(i + 1) == Some('!'),
+            _ => false,
+        };
+        if !hit || a.in_test(i) {
+            continue;
+        }
+        let display = match name {
+            "unwrap" => ".unwrap()".to_string(),
+            "expect" => ".expect(..)".to_string(),
+            other => format!("{other}!"),
+        };
+        push(
+            out,
+            a,
+            ctx,
+            a.toks[i].line,
+            "RP_PANIC",
+            format!("{display} on a run path; return a typed error instead"),
+        );
+    }
+}
+
+/// `COLD_ATTR`: every function named in the cold list for this file must
+/// exist and carry `#[cold]` — freezing the PR-5 codegen discipline
+/// (watchdog/fault helpers outlined off `run_until`'s hot loop). A
+/// listed name that no longer exists is reported too, so the list can't
+/// rot.
+fn cold_attr_rule(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+    'names: for name in ctx.cold_fns {
+        for i in 0..a.toks.len() {
+            if a.ident(i) == Some("fn") && a.ident(i + 1) == Some(name.as_str()) {
+                if !fn_has_cold_attr(a, i) {
+                    push(
+                        out,
+                        a,
+                        ctx,
+                        a.toks[i].line,
+                        "COLD_ATTR",
+                        format!("cold-listed fn `{name}` is missing `#[cold]`"),
+                    );
+                }
+                continue 'names;
+            }
+        }
+        push(
+            out,
+            a,
+            ctx,
+            1,
+            "COLD_ATTR",
+            format!("cold-listed fn `{name}` not found in this file (stale cold_fns.list entry)"),
+        );
+    }
+}
+
+/// Walk backwards from the `fn` token at `fn_idx` over qualifiers
+/// (`pub(crate)`, `unsafe`, `const`, …) and attribute groups, looking
+/// for `#[cold]`.
+fn fn_has_cold_attr(a: &Analysis, fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        match &a.toks[k].tok {
+            Tok::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "pub"
+                        | "crate"
+                        | "in"
+                        | "self"
+                        | "super"
+                        | "unsafe"
+                        | "const"
+                        | "async"
+                        | "extern"
+                ) => {}
+            Tok::Punct('(') => {}
+            Tok::Punct(')') => {
+                // pub(crate) / pub(in path): jump to the opening paren.
+                let open = a.match_back[k];
+                if open == usize::MAX {
+                    return false;
+                }
+                k = open;
+            }
+            Tok::Punct(']') => {
+                let open = a.match_back[k];
+                if open == usize::MAX || open == 0 {
+                    return false;
+                }
+                // Outer attr `#[…]` (an inner `#![…]` would have `!`
+                // before the bracket — that one belongs to the module,
+                // not this fn, so stop there).
+                if a.punct(open - 1) != Some('#') {
+                    return false;
+                }
+                if (open + 1..k).any(|j| a.ident(j) == Some("cold")) {
+                    return true;
+                }
+                k = open - 1;
+            }
+            Tok::Lit => {} // extern "C"
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_all(path: &str) -> FileContext<'_> {
+        FileContext {
+            rel_path: path,
+            determinism: true,
+            run_path: true,
+            node_reset: true,
+            cold_fns: &[],
+        }
+    }
+
+    fn rules_fired(src: &str, ctx: &FileContext) -> Vec<&'static str> {
+        lint_file(src, ctx).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn cfg_test_scoping_suppresses_all_token_rules() {
+        let src = r#"
+            pub fn run() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() {
+                    let x: Option<u32> = None;
+                    x.unwrap();
+                    let _ = std::time::Instant::now();
+                    panic!("fine in tests");
+                }
+            }
+        "#;
+        assert!(rules_fired(src, &ctx_all("x.rs")).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = r#"
+            #[cfg(not(test))]
+            fn prod() { let _ = std::time::Instant::now(); }
+        "#;
+        assert_eq!(rules_fired(src, &ctx_all("x.rs")), vec!["DET_WALLCLOCK"]);
+    }
+
+    #[test]
+    fn cfg_test_single_fn_scopes_only_that_item() {
+        let src = r#"
+            #[cfg(test)]
+            fn helper() { let _ = std::time::Instant::now(); }
+            fn prod() { let _ = std::time::SystemTime::now(); }
+        "#;
+        let fired = rules_fired(src, &ctx_all("x.rs"));
+        assert_eq!(fired, vec!["DET_WALLCLOCK"]);
+        let v = &lint_file(src, &ctx_all("x.rs"))[0];
+        assert!(v.message.contains("SystemTime"), "{}", v.message);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_trip_rp_panic() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(rules_fired(src, &ctx_all("x.rs")).is_empty());
+    }
+
+    #[test]
+    fn cold_rule_flags_missing_attr_and_stale_entry() {
+        let cold = vec!["guarded".to_string(), "gone".to_string()];
+        let ctx = FileContext {
+            rel_path: "x.rs",
+            cold_fns: &cold,
+            ..Default::default()
+        };
+        let src = "fn guarded() {}";
+        let v = lint_file(src, &ctx);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "COLD_ATTR"));
+        assert!(v.iter().any(|v| v.message.contains("missing `#[cold]`")));
+        assert!(v.iter().any(|v| v.message.contains("stale")));
+    }
+
+    #[test]
+    fn cold_attr_found_through_qualifiers_and_other_attrs() {
+        let cold = vec!["guarded".to_string()];
+        let ctx = FileContext {
+            rel_path: "x.rs",
+            cold_fns: &cold,
+            ..Default::default()
+        };
+        let src = "#[cold]\n#[inline(never)]\npub(crate) fn guarded() {}";
+        assert!(lint_file(src, &ctx).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_same_line_or_above_satisfies_unsafe_audit() {
+        let above = "// SAFETY: the slab index is in bounds by construction.\nunsafe { go() }";
+        let ctx = ctx_all("x.rs");
+        assert!(rules_fired(above, &ctx).is_empty());
+        let inline = "unsafe { /* SAFETY: checked */ go() }";
+        assert!(rules_fired(inline, &ctx).is_empty());
+        let missing = "fn f() { unsafe { go() } }";
+        assert_eq!(rules_fired(missing, &ctx), vec!["UNSAFE_SAFETY"]);
+        // A trailing comment on the previous *code* line does not count.
+        let trailing = "let x = 1; // SAFETY: not really attached\nunsafe { go() }";
+        assert_eq!(rules_fired(trailing, &ctx), vec!["UNSAFE_SAFETY"]);
+    }
+
+    #[test]
+    fn node_impl_with_reset_passes_without_fails() {
+        let good = "impl Node for Tap { fn on_timer(&mut self) {} fn reset(&mut self) {} }";
+        assert!(rules_fired(good, &ctx_all("x.rs")).is_empty());
+        let bad = "impl Node for Tap { fn on_timer(&mut self) {} }";
+        assert_eq!(rules_fired(bad, &ctx_all("x.rs")), vec!["NODE_RESET"]);
+        // Other traits named similarly don't match.
+        let other = "impl NodeExt for Tap { }";
+        assert!(rules_fired(other, &ctx_all("x.rs")).is_empty());
+        // Generic impl headers still match.
+        let generic = "impl<R: Rng> Node for Gate<R> { fn reset(&mut self) {} }";
+        assert!(rules_fired(generic, &ctx_all("x.rs")).is_empty());
+    }
+
+    #[test]
+    fn inventory_reports_documentation_state() {
+        let src = "// SAFETY: fine\nunsafe fn a() {}\nfn b() { unsafe { c() } }";
+        let inv = unsafe_inventory(src, "x.rs");
+        assert_eq!(inv.len(), 2);
+        assert!(inv[0].documented && inv[0].kind == "unsafe fn");
+        assert!(!inv[1].documented && inv[1].kind == "unsafe block");
+    }
+}

@@ -1,0 +1,373 @@
+//! A lightweight Rust tokenizer — just enough lexical fidelity for the
+//! lint rules, with none of `syn`'s dependency weight (the workspace
+//! builds offline; see DESIGN.md §Offline builds).
+//!
+//! What it gets right, because the rules depend on it:
+//!
+//! * comments (line, block with nesting, doc) are captured per line and
+//!   never produce code tokens — `// call .unwrap() here` cannot trip a
+//!   panic rule;
+//! * string/char/byte literals — including raw strings with arbitrary
+//!   `#` fences — are opaque: `"HashMap"` in a message is not an
+//!   identifier;
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`), so
+//!   a lifetime never desynchronizes the string machinery;
+//! * every token carries its 1-based source line for reporting, and the
+//!   tokenizer records which lines hold any code at all (the
+//!   "immediately preceded by a comment" checks need this).
+//!
+//! What it deliberately ignores: operator gluing (`::` is two `:`
+//! tokens), numeric literal grammar subtleties, and shebangs. The rules
+//! match identifier/punct *sequences*, so none of that matters.
+
+/// One lexical token. Keywords are ordinary identifiers; multi-char
+/// operators arrive as consecutive single-char puncts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident(String),
+    /// Single punctuation/operator character.
+    Punct(char),
+    /// String, raw-string, byte-string, or char literal (content dropped).
+    Lit,
+    /// Numeric literal (content dropped).
+    Num,
+    /// Lifetime such as `'a` (name dropped).
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenized source plus the per-line side tables the rules consume.
+#[derive(Debug, Default)]
+pub struct Tokenized {
+    pub tokens: Vec<Token>,
+    /// Concatenated comment text per 1-based line (a block comment
+    /// spanning lines contributes to every line it covers).
+    pub comment_on_line: Vec<Option<String>>,
+    /// `true` for every 1-based line that holds at least one code token.
+    pub code_on_line: Vec<bool>,
+    /// Total number of lines.
+    pub line_count: usize,
+}
+
+impl Tokenized {
+    fn grow_to(&mut self, line: usize) {
+        if self.comment_on_line.len() <= line {
+            self.comment_on_line.resize(line + 1, None);
+            self.code_on_line.resize(line + 1, false);
+        }
+        self.line_count = self.line_count.max(line);
+    }
+
+    fn push_token(&mut self, tok: Tok, line: usize) {
+        self.grow_to(line);
+        self.code_on_line[line] = true;
+        self.tokens.push(Token { tok, line });
+    }
+
+    fn push_comment(&mut self, line: usize, text: &str) {
+        self.grow_to(line);
+        let slot = &mut self.comment_on_line[line];
+        match slot {
+            Some(existing) => {
+                existing.push(' ');
+                existing.push_str(text);
+            }
+            None => *slot = Some(text.to_string()),
+        }
+    }
+
+    /// Is `line` (1-based) a pure comment line — comment present, no code?
+    pub fn is_comment_only_line(&self, line: usize) -> bool {
+        line < self.comment_on_line.len()
+            && self.comment_on_line[line].is_some()
+            && !self.code_on_line[line]
+    }
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the most useful behavior for a linter (the compiler will
+/// reject the file anyway; we still report what we saw before the error).
+pub fn tokenize(src: &str) -> Tokenized {
+    let b = src.as_bytes();
+    let mut out = Tokenized::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    out.grow_to(1);
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                out.grow_to(line);
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.push_comment(line, src[start..i].trim_start_matches('/').trim());
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                let start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        let text = src[start..i].trim_matches(&['/', '*', ' '][..]);
+                        out.push_comment(line, text);
+                        line += 1;
+                        out.grow_to(line);
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 1;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let tail_start = src[..i].rfind('\n').map_or(start, |n| n + 1).max(start);
+                out.push_comment(line, src[tail_start..i].trim_matches(&['/', '*', ' '][..]));
+            }
+            b'"' => {
+                let tok_line = line;
+                i = consume_string(b, i, &mut line);
+                out.push_token(Tok::Lit, tok_line);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'\''`).
+                let tok_line = line;
+                let next = b.get(i + 1).copied();
+                let is_char = match next {
+                    Some(b'\\') => true,
+                    Some(n) if n != b'\'' => b.get(i + 2).copied() == Some(b'\''),
+                    _ => false,
+                };
+                if is_char {
+                    i += 1; // past opening quote
+                    if b.get(i).copied() == Some(b'\\') {
+                        i += 2; // escape + escaped char (enough for \', \\, \u{..} start)
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                    i += 1; // closing quote (or EOF-safe overshoot)
+                    out.push_token(Tok::Lit, tok_line);
+                } else {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.push_token(Tok::Lifetime, tok_line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                    && !(b[i] == b'.' && b.get(i + 1).copied() == Some(b'.'))
+                {
+                    i += 1;
+                }
+                out.push_token(Tok::Num, tok_line);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // String-literal prefixes: r"", r#""#, b"", br"", rb is
+                // not a thing but br# is. A prefix word immediately
+                // followed by `"` or `#…"` starts a literal, not an ident.
+                let next = b.get(i).copied();
+                let starts_raw =
+                    matches!(word, "r" | "br") && (next == Some(b'"') || next == Some(b'#'));
+                let starts_plain = word == "b" && next == Some(b'"');
+                if starts_raw {
+                    let tok_line = line;
+                    i = consume_raw_string(b, i, &mut line);
+                    out.push_token(Tok::Lit, tok_line);
+                } else if starts_plain {
+                    let tok_line = line;
+                    i = consume_string(b, i, &mut line);
+                    out.push_token(Tok::Lit, tok_line);
+                } else {
+                    out.push_token(Tok::Ident(word.to_string()), line);
+                }
+            }
+            _ => {
+                out.push_token(Tok::Punct(c as char), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume a plain (escaped) string starting at the `"` at `b[i]`.
+/// Returns the index past the closing quote.
+fn consume_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consume a raw string whose `#` fence starts at `b[i]` (just past the
+/// `r`/`br` prefix). Returns the index past the closing fence.
+fn consume_raw_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+    }
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(t: &Tokenized) -> Vec<&str> {
+        t.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let t = tokenize(r#"let x = "HashMap::new() .unwrap()"; call();"#);
+        assert!(!idents(&t).contains(&"HashMap"));
+        assert!(!idents(&t).contains(&"unwrap"));
+        assert!(idents(&t).contains(&"call"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_opaque() {
+        let src = "let x = r#\"quote \" inside, unsafe { } and HashMap\"#; after();";
+        let t = tokenize(src);
+        assert!(!idents(&t).contains(&"unsafe"));
+        assert!(!idents(&t).contains(&"HashMap"));
+        assert!(idents(&t).contains(&"after"));
+    }
+
+    #[test]
+    fn double_fence_raw_string_needs_both_hashes_to_close() {
+        let src = "let x = r##\"one \"# still inside\"##; done();";
+        let t = tokenize(src);
+        assert!(!idents(&t).contains(&"still"));
+        assert!(idents(&t).contains(&"done"));
+    }
+
+    #[test]
+    fn byte_strings_are_opaque() {
+        let t = tokenize("let x = b\"Instant::now()\"; let y = br\"thread_rng\"; after();");
+        assert!(!idents(&t).contains(&"Instant"));
+        assert!(!idents(&t).contains(&"thread_rng"));
+        assert!(idents(&t).contains(&"after"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment HashMap */ real();";
+        let t = tokenize(src);
+        assert!(!idents(&t).contains(&"HashMap"));
+        assert!(!idents(&t).contains(&"unwrap"));
+        assert_eq!(idents(&t), vec!["real"]);
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_lines() {
+        let src = "// SAFETY: fine\nunsafe { body() }\n";
+        let t = tokenize(src);
+        assert!(t.is_comment_only_line(1));
+        assert!(!t.is_comment_only_line(2));
+        assert!(t.comment_on_line[1].as_deref().unwrap().contains("SAFETY:"));
+        let unsafe_tok = t
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unsafe".into()))
+            .unwrap();
+        assert_eq!(unsafe_tok.line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let t = tokenize(src);
+        let lifetimes = t.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = t.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+        assert!(idents(&t).contains(&"str"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        let src = "let q = '\\''; let s = \"x\"; tail();";
+        let t = tokenize(src);
+        assert!(idents(&t).contains(&"tail"));
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let src = "let s = \"line1\nline2\";\nmarker();";
+        let t = tokenize(src);
+        let m = t
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("marker".into()))
+            .unwrap();
+        assert_eq!(m.line, 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! The lint's self-test: every rule family must fire on its known-bad
+//! fixture and stay silent on its known-good twin, and the real
+//! workspace must pass `check` with zero violations (the same gate CI
+//! runs, so `cargo test` alone catches a lint regression or a new
+//! workspace violation).
+
+use std::path::Path;
+
+use linkpad_lint::rules::{lint_file, FileContext};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lint a fixture as if it were deterministic run-path library source.
+fn lint_fixture(name: &str, cold: &[String]) -> Vec<(String, usize, String)> {
+    let src = fixture(name);
+    let ctx = FileContext {
+        rel_path: name,
+        determinism: true,
+        run_path: true,
+        node_reset: true,
+        cold_fns: cold,
+    };
+    lint_file(&src, &ctx)
+        .into_iter()
+        .map(|v| (v.rule.to_string(), v.line, v.message))
+        .collect()
+}
+
+fn rules_of(v: &[(String, usize, String)]) -> Vec<&str> {
+    v.iter().map(|(r, _, _)| r.as_str()).collect()
+}
+
+#[test]
+fn determinism_bad_trips_all_three_det_rules() {
+    let v = lint_fixture("determinism_bad.rs", &[]);
+    let rules = rules_of(&v);
+    assert!(rules.contains(&"DET_UNORDERED"), "{v:?}");
+    assert!(rules.contains(&"DET_WALLCLOCK"), "{v:?}");
+    assert!(rules.contains(&"DET_ENTROPY"), "{v:?}");
+    // The #[cfg(test)] module at the bottom must contribute nothing:
+    // every reported line precedes it.
+    let src = fixture("determinism_bad.rs");
+    let test_mod_line = src
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap()
+        + 1;
+    assert!(
+        v.iter().all(|(_, line, _)| *line < test_mod_line),
+        "a violation leaked out of the cfg(test) region: {v:?}"
+    );
+}
+
+#[test]
+fn determinism_good_is_clean() {
+    assert!(lint_fixture("determinism_good.rs", &[]).is_empty());
+}
+
+#[test]
+fn node_reset_bad_fires_once_with_type_name() {
+    let v = lint_fixture("node_reset_bad.rs", &[]);
+    assert_eq!(rules_of(&v), vec!["NODE_RESET"]);
+    assert!(v[0].2.contains("Forgetful"), "{v:?}");
+}
+
+#[test]
+fn node_reset_good_is_clean_including_test_probe() {
+    assert!(lint_fixture("node_reset_good.rs", &[]).is_empty());
+}
+
+#[test]
+fn unsafe_bad_fires_on_block_and_fn() {
+    let v = lint_fixture("unsafe_bad.rs", &[]);
+    assert_eq!(rules_of(&v), vec!["UNSAFE_SAFETY", "UNSAFE_SAFETY"]);
+    assert!(v[0].2.contains("unsafe block"), "{v:?}");
+    assert!(v[1].2.contains("unsafe fn"), "{v:?}");
+}
+
+#[test]
+fn unsafe_good_is_clean() {
+    assert!(lint_fixture("unsafe_good.rs", &[]).is_empty());
+}
+
+#[test]
+fn unsafe_inventory_reflects_fixture_sites() {
+    let inv = linkpad_lint::rules::unsafe_inventory(&fixture("unsafe_bad.rs"), "unsafe_bad.rs");
+    assert_eq!(inv.len(), 2);
+    assert!(inv.iter().all(|s| !s.documented));
+    let inv = linkpad_lint::rules::unsafe_inventory(&fixture("unsafe_good.rs"), "unsafe_good.rs");
+    assert_eq!(inv.len(), 3);
+    assert!(inv.iter().all(|s| s.documented));
+}
+
+#[test]
+fn rp_panic_bad_fires_on_all_four_forms() {
+    let v = lint_fixture("rp_panic_bad.rs", &[]);
+    assert_eq!(rules_of(&v), vec!["RP_PANIC"; 4]);
+    let text = v
+        .iter()
+        .map(|(_, _, m)| m.clone())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for form in [".unwrap()", ".expect(..)", "panic!", "unreachable!"] {
+        assert!(text.contains(form), "missing {form}: {text}");
+    }
+}
+
+#[test]
+fn rp_panic_good_is_clean() {
+    assert!(lint_fixture("rp_panic_good.rs", &[]).is_empty());
+}
+
+#[test]
+fn rp_panic_rule_only_applies_to_run_path_files() {
+    let src = fixture("rp_panic_bad.rs");
+    let ctx = FileContext {
+        rel_path: "not_a_run_path.rs",
+        determinism: true,
+        run_path: false,
+        node_reset: true,
+        cold_fns: &[],
+    };
+    assert!(lint_file(&src, &ctx).is_empty());
+}
+
+#[test]
+fn cold_bad_fires_and_cold_good_is_clean() {
+    let cold = vec!["run_until_guarded".to_string()];
+    let v = lint_fixture("cold_bad.rs", &cold);
+    assert_eq!(rules_of(&v), vec!["COLD_ATTR"]);
+    assert!(v[0].2.contains("missing `#[cold]`"), "{v:?}");
+    assert!(lint_fixture("cold_good.rs", &cold).is_empty());
+}
+
+#[test]
+fn workspace_check_is_green() {
+    let root = linkpad_lint::find_root(None);
+    let report = linkpad_lint::check_workspace(&root).expect("check must run");
+    assert!(
+        report.violations.is_empty(),
+        "workspace lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("{}:{} · {} · {}", v.file, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.allowed > 0, "allowlist should be exercised");
+    assert!(report.files > 50, "walk looks truncated: {}", report.files);
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture (with `run_until_guarded` cold-listed): the
+//! guarded helper lost its `#[cold]`, so its code size and control flow
+//! leak back into the hot loop's codegen.
+
+pub fn run_until(until: u64) -> u64 {
+    if until == 0 {
+        return run_until_guarded(until);
+    }
+    until
+}
+
+#[inline(never)]
+fn run_until_guarded(until: u64) -> u64 {
+    until + 1
+}

@@ -1,0 +1,16 @@
+//! Known-good fixture (with `run_until_guarded` cold-listed): the
+//! outlined helper keeps `#[cold]` behind other attributes and
+//! qualifiers — the rule must find it there.
+
+pub fn run_until(until: u64) -> u64 {
+    if until == 0 {
+        return run_until_guarded(until);
+    }
+    until
+}
+
+#[cold]
+#[inline(never)]
+pub(crate) fn run_until_guarded(until: u64) -> u64 {
+    until + 1
+}

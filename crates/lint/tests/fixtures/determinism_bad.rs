@@ -1,0 +1,33 @@
+//! Known-bad fixture: every determinism rule must fire on this file
+//! when it is linted as library source of a deterministic crate.
+use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::RandomState;
+use std::time::{Instant, SystemTime};
+
+pub fn order_leak(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> u32 {
+    // Iteration order depends on the per-process hash seed.
+    m.values().sum::<u32>() + s.iter().sum::<u32>()
+}
+
+pub fn wall_clock_in_sim_logic() -> bool {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_nanos() % 2 == 0
+}
+
+pub fn os_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _state = RandomState::new();
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    // Fine here: tests may time and hash freely.
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let _ = std::time::Instant::now();
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

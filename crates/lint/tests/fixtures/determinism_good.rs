@@ -1,0 +1,20 @@
+//! Known-good fixture: deterministic library source. Mentions of the
+//! banned names in comments and string literals must not fire — that is
+//! the tokenizer's job.
+use std::collections::BTreeMap;
+
+/// Not a violation: "HashMap" and "Instant::now()" only appear in this
+/// doc comment and in the string below.
+pub fn deterministic(m: &BTreeMap<u64, u64>, seed: u64) -> u64 {
+    let banned = "HashMap HashSet Instant::now() thread_rng SystemTime";
+    let raw = r#"RandomState "quoted" OsRng"#;
+    m.values().sum::<u64>() ^ seed ^ (banned.len() as u64) ^ (raw.len() as u64)
+}
+
+pub fn seeded_stream(seed: u64, stream: u64) -> u64 {
+    // SplitMix-style derivation: all randomness flows from the master
+    // seed, never from the OS.
+    let mut z = seed.wrapping_add(stream.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 31)
+}

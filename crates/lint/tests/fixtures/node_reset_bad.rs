@@ -1,0 +1,15 @@
+//! Known-bad fixture: an `impl Node for` block with no `fn reset`
+//! override silently inherits the no-op default and breaks
+//! `reset(seed) ≡ rebuild`.
+
+pub struct Forgetful {
+    pending: Vec<u64>,
+}
+
+impl Node for Forgetful {
+    fn on_timer(&mut self, _tag: u64) {
+        self.pending.push(1);
+    }
+    // No `fn reset`: `pending` survives a Sim::reset and the second
+    // replication diverges from a fresh build.
+}

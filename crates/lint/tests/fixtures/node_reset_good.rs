@@ -1,0 +1,26 @@
+//! Known-good fixture: the reset override clears all run state.
+
+pub struct Remembering {
+    pending: Vec<u64>,
+}
+
+impl Node for Remembering {
+    fn on_timer(&mut self, _tag: u64) {
+        self.pending.push(1);
+    }
+    fn reset(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestProbe;
+    // Fine here: test-local probe nodes never join a reset-reused
+    // topology.
+    impl Node for TestProbe {
+        fn on_timer(&mut self, _tag: u64) {}
+    }
+}

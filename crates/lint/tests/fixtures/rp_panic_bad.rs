@@ -1,0 +1,14 @@
+//! Known-bad fixture: run-path panics. All four banned forms appear
+//! outside `#[cfg(test)]` and must fire.
+
+pub fn run_step(x: Option<u64>, y: Result<u64, String>) -> u64 {
+    let a = x.unwrap();
+    let b = y.expect("shard report missing");
+    if a > b {
+        panic!("a exceeded b on the run path");
+    }
+    match a {
+        0 => b,
+        _ => unreachable!("non-zero a handled above"),
+    }
+}

@@ -1,0 +1,33 @@
+//! Known-good fixture: typed errors on the run path; `unwrap` confined
+//! to `#[cfg(test)]`; banned names in comments/strings are inert.
+
+pub enum ShardError {
+    MissingReport,
+    Imbalance,
+}
+
+/// Never calls .unwrap() outside tests — this doc-comment mention and
+/// the string below must not fire.
+pub fn run_step(x: Option<u64>, y: Result<u64, ShardError>) -> Result<u64, ShardError> {
+    let msg = "panic! unreachable! .unwrap() .expect(";
+    let a = x.ok_or(ShardError::MissingReport)?;
+    let b = y?;
+    if a > b {
+        return Err(ShardError::Imbalance);
+    }
+    Ok(a + b + msg.len() as u64)
+}
+
+pub fn infallible_pattern(v: &[u64]) -> u64 {
+    v.iter().copied().fold(0, u64::wrapping_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(run_step(Some(1), Ok(2)).map_err(|_| ()).unwrap(), 3);
+    }
+}

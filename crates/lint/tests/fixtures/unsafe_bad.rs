@@ -1,0 +1,9 @@
+//! Known-bad fixture: undocumented unsafe. Both sites must fire.
+
+pub fn slab_get(slots: &[u64], idx: u32) -> u64 {
+    unsafe { *slots.get_unchecked(idx as usize) }
+}
+
+pub unsafe fn transmute_key(k: u64) -> [u32; 2] {
+    std::mem::transmute(k)
+}

@@ -1,0 +1,19 @@
+//! Known-good fixture: every unsafe site carries an immediately
+//! preceding `// SAFETY:` comment.
+
+pub fn slab_get(slots: &[u64], idx: u32) -> u64 {
+    // SAFETY: callers hand us a key minted by alloc(), which only ever
+    // returns in-bounds slab indices; dealloc never shrinks the slab.
+    unsafe { *slots.get_unchecked(idx as usize) }
+}
+
+/// Documented unsafe fn.
+// SAFETY: the caller must guarantee `k` was produced by `pack_key`, so
+// the bit pattern is a valid pair of u32 words on every platform.
+pub unsafe fn transmute_key(k: u64) -> [u32; 2] {
+    std::mem::transmute(k)
+}
+
+pub fn inline_comment_form() {
+    unsafe { /* SAFETY: zero-length write is always in bounds. */ }
+}

@@ -283,9 +283,14 @@ impl Sim {
                 ended_at_nanos: self.now.as_nanos(),
             };
         }
-        let wd = self
-            .watchdog
-            .expect("guarded run requires an armed watchdog");
+        let Some(wd) = self.watchdog else {
+            // run_until only dispatches here with an armed or already
+            // tripped watchdog, and tripped returned above — but if
+            // that ever changes, degrade to the unarmed loop (watchdog
+            // is None, so run_until takes its plain branch) rather
+            // than panicking on a run path.
+            return self.run_until(until);
+        };
         self.ensure_started();
         let mut events = 0u64;
         let mut checks = 0u64;
