@@ -5,6 +5,9 @@
 //! * `bench_compare` — auto-discover the two highest-numbered
 //!   `BENCH_N.json` files at the workspace root.
 //! * `bench_compare <prev.json> <new.json>` — compare two explicit files.
+//! * `bench_compare --json <verdict.json> [...]` — additionally write
+//!   the full verdict (every matched metric, raw and drift-corrected
+//!   changes, pass/fail) as machine-readable JSON, for CI artifacts.
 //! * `BENCH_COMPARE_THRESHOLD=0.15` overrides the regression threshold.
 //!
 //! Exit code 0 = no regression (or only one baseline exists yet),
@@ -12,7 +15,7 @@
 //! 2 = usage/parse error.
 
 use linkpad_bench::compare::{
-    compare_reports, latest_two_baselines, measure_drift, section_changes, Json,
+    compare_reports, comparison_json, latest_two_baselines, measure_drift, section_changes, Json,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,7 +32,24 @@ fn main() -> ExitCode {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.10);
 
-    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    // Pull the `--json <path>` flag out before positional matching so
+    // the no-arg CI invocation keeps working unchanged.
+    let mut json_path: Option<PathBuf> = None;
+    let mut args: Vec<PathBuf> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--json" {
+            match raw.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bench_compare: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            args.push(PathBuf::from(a));
+        }
+    }
     let (prev_path, new_path) = match args.as_slice() {
         [] => {
             // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
@@ -46,7 +66,7 @@ fn main() -> ExitCode {
         }
         [prev, new] => (prev.clone(), new.clone()),
         _ => {
-            eprintln!("usage: bench_compare [<prev.json> <new.json>]");
+            eprintln!("usage: bench_compare [--json <verdict.json>] [<prev.json> <new.json>]");
             return ExitCode::from(2);
         }
     };
@@ -65,6 +85,16 @@ fn main() -> ExitCode {
         new_path.display(),
         threshold * 100.0
     );
+    if let Some(path) = &json_path {
+        // The verdict recomputes the same drift/comparison pipeline the
+        // table below prints, so the artifact cannot disagree with the
+        // exit code.
+        if let Err(e) = std::fs::write(path, comparison_json(&prev, &new, threshold)) {
+            eprintln!("bench_compare: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("  wrote machine-readable verdict to {}", path.display());
+    }
     // Sections appearing or disappearing between consecutive baselines
     // is expected growth, not a regression — note it and move on.
     let (added, removed) = section_changes(&prev, &new);

@@ -33,16 +33,28 @@
 //! shards). Run:
 //! `cargo run --release -p linkpad-bench --bin fig_fault_robustness`
 //!
+//! Observability flags (see DESIGN.md §Observability):
+//! * `--report <path>` — write the machine-readable run manifest of the
+//!   watchdog-bounded harness run: the one whose `interrupted: true`
+//!   flag and truncation record prove a partial result can never pose
+//!   as a complete one. Also enables engine profiling on that run.
+//! * `--events <path>` — write the harness lifecycle event log (fault
+//!   plan activations, the injected panic and its retry, the watchdog
+//!   truncation, observer gap windows) for every sharded run here, as
+//!   JSONL.
+//!
 //! [`FaultPlan`]: linkpad_sim::fault::FaultPlan
 
 use linkpad_adversary::aggregate::{estimate_flow_count, estimate_flow_count_gap_aware};
 use linkpad_bench::perf::provisioned_trunk_bps;
 use linkpad_bench::table::Table;
+use linkpad_obs::EventLog;
 use linkpad_sim::fault::{FaultPlan, LossModel, OutageSchedule};
 use linkpad_sim::observer::WindowStats;
 use linkpad_sim::time::SimDuration;
 use linkpad_workloads::scenario::ScenarioBuilder;
 use linkpad_workloads::shard::ShardedAggregate;
+use std::path::PathBuf;
 
 /// Flows in the estimation-accuracy table (the ISSUE gate's N).
 const FLOWS: usize = 10_000;
@@ -121,6 +133,29 @@ fn series_bits(windows: &[WindowStats]) -> Vec<u64> {
 }
 
 fn main() {
+    let mut report_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--report" | "--events" => match argv.next() {
+                Some(p) if arg == "--report" => report_path = Some(PathBuf::from(p)),
+                Some(p) => events_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("fig_fault_robustness: {arg} needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("fig_fault_robustness: unknown argument {other:?}");
+                eprintln!("usage: fig_fault_robustness [--report <path>] [--events <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let observing = report_path.is_some() || events_path.is_some();
+    let mut log = EventLog::new();
+
     let quick = matches!(
         std::env::var("LINKPAD_SCALE")
             .ok()
@@ -291,10 +326,13 @@ fn main() {
         &["harness_fault", "windows", "events", "outcome"],
     );
 
-    let clean = ShardedAggregate::new(h_builder())
-        .expect("sharded configuration valid")
-        .run_for_secs(h_secs)
-        .expect("clean sharded run");
+    let clean_agg = ShardedAggregate::new(h_builder()).expect("sharded configuration valid");
+    let clean = if observing {
+        clean_agg.run_for_secs_logged(h_secs, shards, &mut log)
+    } else {
+        clean_agg.run_for_secs(h_secs)
+    }
+    .expect("clean sharded run");
     assert!(
         clean.windows.iter().any(|w| w.coverage < 1.0),
         "observer gaps must survive the shard merge"
@@ -310,7 +348,12 @@ fn main() {
     // bit-identical to the undisturbed run.
     let mut crashed = ShardedAggregate::new(h_builder()).expect("sharded configuration valid");
     crashed.inject_panic_once(1);
-    let retried = crashed.run_for_secs(h_secs).expect("retried sharded run");
+    let retried = if observing {
+        crashed.run_for_secs_logged(h_secs, shards, &mut log)
+    } else {
+        crashed.run_for_secs(h_secs)
+    }
+    .expect("retried sharded run");
     assert_eq!(
         series_bits(&retried.windows),
         series_bits(&clean.windows),
@@ -328,12 +371,25 @@ fn main() {
     // each shard early and the merged series is a bit-identical
     // *prefix* of the unbounded run's.
     let budget = clean.events() / shards as u64 / 4;
-    let bounded = ShardedAggregate::new(h_builder())
+    let mut bounded_agg = ShardedAggregate::new(h_builder())
         .expect("sharded configuration valid")
-        .with_watchdog(Some(budget), None)
-        .run_for_secs(h_secs)
-        .expect("watchdog-bounded sharded run");
+        .with_watchdog(Some(budget), None);
+    if report_path.is_some() {
+        bounded_agg = bounded_agg.with_profiling();
+    }
+    let bounded = if observing {
+        bounded_agg.run_for_secs_logged(h_secs, shards, &mut log)
+    } else {
+        bounded_agg.run_for_secs(h_secs)
+    }
+    .expect("watchdog-bounded sharded run");
     assert!(bounded.interrupted(), "the budget must trip the watchdog");
+    eprintln!(
+        "*** TRUNCATED RUN (deliberate): the {budget}-event/shard watchdog stopped the \
+         bounded run — only {} complete windows survive; its manifest records \
+         interrupted + the truncation point ***",
+        bounded.windows.len()
+    );
     assert!(
         bounded.windows.len() < clean.windows.len(),
         "interrupted run keeps fewer windows ({} vs {})",
@@ -355,6 +411,16 @@ fn main() {
         ),
     ]);
 
+    if let Some(path) = &report_path {
+        let manifest = bounded_agg.manifest("fig_fault_robustness", &bounded);
+        assert!(manifest.interrupted, "the bounded manifest must say so");
+        manifest.write(path).expect("write run manifest");
+        println!("wrote run manifest (truncated run) to {}", path.display());
+    }
+    if let Some(path) = &events_path {
+        log.write_jsonl(path).expect("write harness event log");
+        println!("wrote harness event log to {}", path.display());
+    }
     harness_table.print();
     harness_table
         .save_csv("fig_fault_robustness_harness")

@@ -23,13 +23,24 @@
 //! Scale via `LINKPAD_SCALE` (`quick` for CI smoke: N = 10⁴ over 2
 //! shards; `paper` default: the full ladder over 4 shards).
 //! Run: `cargo run --release -p linkpad-bench --bin fig_million_flows`
+//!
+//! Observability flags (see DESIGN.md §Observability):
+//! * `--report <path>` — write the machine-readable run manifest of the
+//!   largest-N run (schema `linkpad-run-manifest-v1`: totals, per-shard
+//!   breakdown with engine profiles, merged metric snapshot, explicit
+//!   `interrupted`/truncation record). Also enables engine profiling.
+//! * `--events <path>` — write the harness lifecycle event log (run
+//!   start/finish, shard completion/retry, watchdog truncations,
+//!   observer gaps) for every sharded run in this binary, as JSONL.
 
 use linkpad_adversary::aggregate::estimate_flow_count;
 use linkpad_bench::perf::provisioned_trunk_bps;
 use linkpad_bench::table::Table;
+use linkpad_obs::EventLog;
 use linkpad_workloads::aggregate::PhaseSpec;
 use linkpad_workloads::scenario::ScenarioBuilder;
 use linkpad_workloads::shard::ShardedAggregate;
+use std::path::PathBuf;
 
 /// Flows per cohort node: 10⁶ flows ≈ 10³ nodes per run.
 const COHORT: usize = 1_024;
@@ -65,6 +76,29 @@ fn sharded_builder(seed: u64, flows: usize, shards: usize, window: f64) -> Scena
 }
 
 fn main() {
+    let mut report_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--report" | "--events" => match argv.next() {
+                Some(p) if arg == "--report" => report_path = Some(PathBuf::from(p)),
+                Some(p) => events_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("fig_million_flows: {arg} needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("fig_million_flows: unknown argument {other:?}");
+                eprintln!("usage: fig_million_flows [--report <path>] [--events <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let observing = report_path.is_some() || events_path.is_some();
+    let mut log = EventLog::new();
+
     let quick = matches!(
         std::env::var("LINKPAD_SCALE")
             .ok()
@@ -98,13 +132,31 @@ fn main() {
             "peak_rss_mb",
         ],
     );
+    let mut manifest = None;
     for &n in ns {
         let sim_secs = window * (SKIP + MEASURED + 1) as f64;
-        let sharded = ShardedAggregate::new(sharded_builder(977 + n as u64, n, shards, window))
+        let mut sharded = ShardedAggregate::new(sharded_builder(977 + n as u64, n, shards, window))
             .expect("sharded configuration valid");
-        let run = sharded
-            .run_for_secs(sim_secs)
-            .expect("sharded run completes");
+        if report_path.is_some() {
+            sharded = sharded.with_profiling();
+        }
+        let run = if observing {
+            sharded.run_for_secs_logged(sim_secs, shards, &mut log)
+        } else {
+            sharded.run_for_secs(sim_secs)
+        }
+        .expect("sharded run completes");
+        if run.interrupted() {
+            eprintln!(
+                "*** TRUNCATED RUN: the watchdog stopped N = {n} early — only {} complete \
+                 windows survive; every number below is partial (see the run manifest's \
+                 truncation record) ***",
+                run.windows.len()
+            );
+        }
+        // The manifest records the largest-N run — the headline scale
+        // point this figure exists for.
+        manifest = Some(sharded.manifest("fig_million_flows", &run));
         let counts = run.counts();
         assert!(
             counts.len() > SKIP + MEASURED,
@@ -167,9 +219,13 @@ fn main() {
         let sharded =
             ShardedAggregate::new(sharded_builder(1933, n, shards, w_frac).with_phases(phases))
                 .expect("sharded configuration valid");
-        let run = sharded
-            .run_for_secs(w_frac * (skip + measured + 1) as f64)
-            .expect("sharded run completes");
+        let secs = w_frac * (skip + measured + 1) as f64;
+        let run = if observing {
+            sharded.run_for_secs_logged(secs, shards, &mut log)
+        } else {
+            sharded.run_for_secs(secs)
+        }
+        .expect("sharded run completes");
         let counts = run.counts();
         let est = estimate_flow_count(&counts[skip..skip + measured], wot)
             .expect("estimator over steady-state windows");
@@ -198,6 +254,14 @@ fn main() {
                 "synchronized variance reading should approach N²: {nv:.0}"
             );
         }
+    }
+    if let (Some(path), Some(manifest)) = (&report_path, &manifest) {
+        manifest.write(path).expect("write run manifest");
+        println!("wrote run manifest to {}", path.display());
+    }
+    if let Some(path) = &events_path {
+        log.write_jsonl(path).expect("write harness event log");
+        println!("wrote harness event log to {}", path.display());
     }
     sync_table.print();
     sync_table.save_csv("fig_million_flows_phases").unwrap();

@@ -5,24 +5,27 @@
 //! observation path), the sharded million-flow cohort aggregate
 //! (flow cohorts + per-shard sub-sims, merged trunk windows),
 //! the trunk fault-hook overhead (fault-free configured plan vs armed
-//! lossless gate), scenario-reset setup cost and a representative sweep
-//! wall-clock, and writes `BENCH_6.json` at the workspace root so later
-//! PRs have a recorded trajectory (`bench_compare` diffs consecutive
-//! baselines in CI).
+//! lossless gate), the telemetry overhead (engine self-profiling plain
+//! vs disabled vs enabled, with the disabled state asserted free) plus
+//! an engine-profile context section, scenario-reset setup cost and a
+//! representative sweep wall-clock, and writes `BENCH_7.json` at the
+//! workspace root so later PRs have a recorded trajectory
+//! (`bench_compare` diffs consecutive baselines in CI).
 //!
 //! Run from anywhere in the workspace:
 //! `cargo run --release -p linkpad-bench --bin perf_baseline`
 
 use linkpad_bench::perf::{
     aggregate_observer_events_per_sec, aggregate_scenario_events_per_sec,
-    aggregate_trunk_events_per_sec, fault_hook_overhead, heap_reference_aggregate_events_per_sec,
-    heap_reference_events_per_sec, reset_vs_rebuild, sharded_aggregate_measurement,
-    sim_events_per_sec, sweep_wall_clock_secs,
+    aggregate_trunk_events_per_sec, aggregate_trunk_profile, fault_hook_overhead,
+    heap_reference_aggregate_events_per_sec, heap_reference_events_per_sec, reset_vs_rebuild,
+    sharded_aggregate_measurement, sim_events_per_sec, sweep_wall_clock_secs,
+    telemetry_overhead_aggregate, telemetry_overhead_event_loop,
 };
 use std::io::Write;
 
 /// Sequence number of the baseline this binary writes.
-const BASELINE: u32 = 6;
+const BASELINE: u32 = 7;
 
 fn main() {
     // Sized so the run takes a few seconds in release mode; override with
@@ -219,6 +222,79 @@ fn main() {
         "fault-free plan must not cost >5% on aggregate_trunk: {hook_faultfree_pct:.1}%"
     );
 
+    // Telemetry overhead: plain binary vs enabled-then-disabled
+    // profiling (must restore the exact fast path — the telemetry
+    // analogue of the fault-free plan contract above) vs enabled, on
+    // both recorded workload regimes. Per-config best-of-5 for the same
+    // non-stationary-noise reason as the hook block. The disabled
+    // readings back the "<1% telemetry-disabled" contract on
+    // `event_loop` and `aggregate_trunk`.
+    eprintln!("measuring telemetry overhead (event loop, {events} events, 4096 pending)...");
+    let tele_loop = {
+        let mut best = telemetry_overhead_event_loop(events, 4_096);
+        for _ in 0..4 {
+            best.fold_best(&telemetry_overhead_event_loop(events, 4_096));
+        }
+        best
+    };
+    let (loop_disabled_pct, loop_enabled_pct) = (
+        tele_loop.disabled_overhead_pct(),
+        tele_loop.enabled_overhead_pct(),
+    );
+    eprintln!(
+        "  plain {:.0} ev/s; disabled {:.0} ev/s ({loop_disabled_pct:+.2}%); \
+         enabled {:.0} ev/s ({loop_enabled_pct:+.2}%)",
+        tele_loop.plain_events_per_sec,
+        tele_loop.disabled_events_per_sec,
+        tele_loop.enabled_events_per_sec,
+    );
+    eprintln!("measuring telemetry overhead (aggregate trunk, {flows} flows)...");
+    let tele_trunk = {
+        let mut best = telemetry_overhead_aggregate(flows, 1.0);
+        for _ in 0..4 {
+            best.fold_best(&telemetry_overhead_aggregate(flows, 1.0));
+        }
+        best
+    };
+    let (trunk_disabled_pct, trunk_enabled_pct) = (
+        tele_trunk.disabled_overhead_pct(),
+        tele_trunk.enabled_overhead_pct(),
+    );
+    eprintln!(
+        "  plain {:.0} ev/s; disabled {:.0} ev/s ({trunk_disabled_pct:+.2}%); \
+         enabled {:.0} ev/s ({trunk_enabled_pct:+.2}%)",
+        tele_trunk.plain_events_per_sec,
+        tele_trunk.disabled_events_per_sec,
+        tele_trunk.enabled_events_per_sec,
+    );
+    assert!(
+        loop_disabled_pct < 1.0,
+        "disabled telemetry must be free on the event loop: {loop_disabled_pct:.2}%"
+    );
+    assert!(
+        trunk_disabled_pct < 1.0,
+        "disabled telemetry must be free on aggregate_trunk: {trunk_disabled_pct:.2}%"
+    );
+
+    // Engine-profile context: one profiled aggregate-trunk run's
+    // headline numbers — the evidence base for the per-event dispatch
+    // bound (ROADMAP open item 4). Counts, not timings: bench_compare
+    // reads them as context, not gated metrics.
+    eprintln!("profiling aggregate trunk engine ({flows} flows, context section)...");
+    let profile = aggregate_trunk_profile(flows, 1.0);
+    eprintln!(
+        "  {} events: {} timers + {} deliveries in {} batches \
+         (mean {:.2}, p99 {}); depth peak {} over {} rungs",
+        profile.events(),
+        profile.timer_events,
+        profile.deliver_events,
+        profile.deliver_batches,
+        profile.mean_batch(),
+        profile.batch_sizes.quantile(0.99),
+        profile.depth_peak,
+        profile.rung_peak.len(),
+    );
+
     eprintln!("measuring scenario reset vs rebuild (lab sweep unit)...");
     // Same per-metric best-of protocol as every other recorded number:
     // these are sub-µs per-replication costs over 200 reps, the noisiest
@@ -254,7 +330,7 @@ fn main() {
     eprintln!("  sweep: {sweep:.3} s");
 
     let json = format!(
-        "{{\n  \"schema\": \"linkpad-bench-baseline-v6\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"million_flows\": {{\n    \"flows\": {MF_FLOWS},\n    \"cohort_size\": {MF_COHORT},\n    \"shards\": {MF_SHARDS},\n    \"simulated_seconds\": {MF_SIM_SECS},\n    \"arrivals\": {},\n    \"merged_windows\": {},\n    \"peak_pending\": {},\n    \"events_per_sec\": {:.0},\n    \"per_shard_events_per_sec\": {:.0},\n    \"wall_clock_secs\": {:.3}\n  }},\n  \"fault_robustness\": {{\n    \"flows\": {flows},\n    \"plain_events_per_sec\": {:.0},\n    \"faultfree_plan_events_per_sec\": {:.0},\n    \"gated_zero_loss_events_per_sec\": {:.0},\n    \"faultfree_hook_overhead_pct\": {hook_faultfree_pct:.2},\n    \"armed_hook_overhead_pct\": {hook_armed_pct:.2}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
+        "{{\n  \"schema\": \"linkpad-bench-baseline-v7\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"million_flows\": {{\n    \"flows\": {MF_FLOWS},\n    \"cohort_size\": {MF_COHORT},\n    \"shards\": {MF_SHARDS},\n    \"simulated_seconds\": {MF_SIM_SECS},\n    \"arrivals\": {},\n    \"merged_windows\": {},\n    \"peak_pending\": {},\n    \"events_per_sec\": {:.0},\n    \"per_shard_events_per_sec\": {:.0},\n    \"wall_clock_secs\": {:.3}\n  }},\n  \"fault_robustness\": {{\n    \"flows\": {flows},\n    \"plain_events_per_sec\": {:.0},\n    \"faultfree_plan_events_per_sec\": {:.0},\n    \"gated_zero_loss_events_per_sec\": {:.0},\n    \"faultfree_hook_overhead_pct\": {hook_faultfree_pct:.2},\n    \"armed_hook_overhead_pct\": {hook_armed_pct:.2}\n  }},\n  \"telemetry\": {{\n    \"event_loop_pending\": 4096,\n    \"event_loop_plain_events_per_sec\": {:.0},\n    \"event_loop_disabled_events_per_sec\": {:.0},\n    \"event_loop_enabled_events_per_sec\": {:.0},\n    \"event_loop_disabled_overhead_pct\": {loop_disabled_pct:.2},\n    \"event_loop_enabled_overhead_pct\": {loop_enabled_pct:.2},\n    \"aggregate_trunk_flows\": {flows},\n    \"aggregate_trunk_plain_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_enabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_overhead_pct\": {trunk_disabled_pct:.2},\n    \"aggregate_trunk_enabled_overhead_pct\": {trunk_enabled_pct:.2}\n  }},\n  \"engine_profile\": {{\n    \"workload\": \"aggregate_trunk\",\n    \"flows\": {flows},\n    \"timer_events\": {},\n    \"deliver_events\": {},\n    \"deliver_batches\": {},\n    \"mean_batch\": {:.3},\n    \"batch_p99\": {},\n    \"batch_max\": {},\n    \"depth_peak\": {},\n    \"depth_samples\": {},\n    \"depth_sample_stride\": {},\n    \"rungs_occupied\": {},\n    \"store_push_near\": {},\n    \"store_push_rung\": {},\n    \"store_push_far\": {},\n    \"store_refills\": {},\n    \"store_rebases\": {}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
         shape_entries.join(",\n"),
         trunk_engine.pending,
         trunk_engine.events_per_sec,
@@ -274,6 +350,27 @@ fn main() {
         hook.plain_events_per_sec,
         hook.faultfree_plan_events_per_sec,
         hook.gated_zero_loss_events_per_sec,
+        tele_loop.plain_events_per_sec,
+        tele_loop.disabled_events_per_sec,
+        tele_loop.enabled_events_per_sec,
+        tele_trunk.plain_events_per_sec,
+        tele_trunk.disabled_events_per_sec,
+        tele_trunk.enabled_events_per_sec,
+        profile.timer_events,
+        profile.deliver_events,
+        profile.deliver_batches,
+        profile.mean_batch(),
+        profile.batch_sizes.quantile(0.99),
+        profile.batch_sizes.max(),
+        profile.depth_peak,
+        profile.depth.len(),
+        profile.depth_sample_stride,
+        profile.rung_peak.iter().filter(|&&v| v > 0).count(),
+        profile.store.push_near,
+        profile.store.push_rung,
+        profile.store.push_far,
+        profile.store.refills,
+        profile.store.rebases,
         reset.build_us,
         reset.reset_us,
         reset.setup_speedup(),

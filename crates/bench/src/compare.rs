@@ -580,6 +580,60 @@ pub fn section_changes(prev: &Json, new: &Json) -> (Vec<String>, Vec<String>) {
     (added, removed)
 }
 
+/// Schema tag of the machine-readable comparison verdict.
+pub const COMPARE_SCHEMA: &str = "linkpad-bench-compare-v1";
+
+/// Render the full comparison verdict — section drift, machine-speed
+/// drift, every matched directional metric with raw and corrected
+/// changes, and the overall pass/fail — as machine-readable JSON
+/// (`bench_compare --json <path>` writes this for CI artifacts).
+///
+/// Self-contained on purpose: it recomputes [`section_changes`],
+/// [`measure_drift`] and [`compare_reports`] from the two parsed
+/// reports, so the JSON verdict cannot drift from the printed one.
+pub fn comparison_json(prev: &Json, new: &Json, threshold: f64) -> String {
+    use linkpad_obs::json::{escape, num};
+    let (added, removed) = section_changes(prev, new);
+    let drift = measure_drift(prev, new);
+    let comparisons = compare_reports(prev, new);
+    let str_arr = |names: &[String]| {
+        let quoted: Vec<String> = names.iter().map(|n| format!("\"{}\"", escape(n))).collect();
+        format!("[{}]", quoted.join(","))
+    };
+    let metrics: Vec<String> = comparisons
+        .iter()
+        .map(|c| {
+            let corrected = c.drift_corrected_change(drift.global());
+            format!(
+                "    {{\"metric\":\"{}\",\"prev\":{},\"new\":{},\"raw_change_pct\":{},\
+                 \"corrected_change_pct\":{},\"gate_pct\":{},\"regressed\":{}}}",
+                escape(&c.metric),
+                num(c.prev),
+                num(c.new),
+                num(c.change * 100.0),
+                num(corrected * 100.0),
+                num(c.gate_threshold(threshold) * 100.0),
+                corrected < -c.gate_threshold(threshold),
+            )
+        })
+        .collect();
+    let regressed = comparisons
+        .iter()
+        .any(|c| c.drift_corrected_change(drift.global()) < -c.gate_threshold(threshold));
+    format!(
+        "{{\n  \"schema\": \"{COMPARE_SCHEMA}\",\n  \"threshold_pct\": {},\n  \
+         \"drift_factor\": {},\n  \"sections_added\": {},\n  \"sections_removed\": {},\n  \
+         \"compared_metrics\": {},\n  \"regressed\": {},\n  \"metrics\": [\n{}\n  ]\n}}\n",
+        num(threshold * 100.0),
+        num(drift.global()),
+        str_arr(&added),
+        str_arr(&removed),
+        comparisons.len(),
+        regressed,
+        metrics.join(",\n"),
+    )
+}
+
 /// Find the two highest-numbered `BENCH_N.json` files in `dir`,
 /// returned as `(previous, newest)`. `None` if fewer than two exist.
 pub fn latest_two_baselines(dir: &Path) -> Option<(PathBuf, PathBuf)> {
@@ -1024,6 +1078,55 @@ mod tests {
             .find(|c| c.metric.contains("replication_reset_us"))
             .unwrap();
         assert!(us.regressed_beyond(0.10), "{us:?}");
+    }
+
+    #[test]
+    fn comparison_json_round_trips_and_agrees_with_the_gate() {
+        let prev = Json::parse(PREV).unwrap();
+        // Clean pair: same data plus a brand-new section → no regression,
+        // the new section listed as added.
+        let clean = Json::parse(&PREV.replace(
+            "\"sweep_wall_clock_secs\": 0.033",
+            "\"sweep_wall_clock_secs\": 0.033, \"telemetry\": { \"x\": 1 }",
+        ))
+        .unwrap();
+        let verdict = Json::parse(&comparison_json(&prev, &clean, 0.10)).expect("verdict parses");
+        assert_eq!(
+            verdict.get("schema"),
+            Some(&Json::Str(COMPARE_SCHEMA.into()))
+        );
+        assert_eq!(verdict.get("regressed"), Some(&Json::Bool(false)));
+        assert_eq!(
+            verdict.get("sections_added"),
+            Some(&Json::Arr(vec![Json::Str("telemetry".into())]))
+        );
+        let Some(Json::Arr(metrics)) = verdict.get("metrics") else {
+            panic!("metrics is an array")
+        };
+        assert_eq!(metrics.len(), compare_reports(&prev, &clean).len());
+        assert!(metrics
+            .iter()
+            .all(|m| m.get("regressed") == Some(&Json::Bool(false))));
+
+        // Regressed pair: big-shape throughput down 20% → overall fail,
+        // and exactly that metric flagged.
+        let worse = Json::parse(&PREV.replace("9900000", "7920000")).unwrap();
+        let verdict = Json::parse(&comparison_json(&prev, &worse, 0.10)).expect("verdict parses");
+        assert_eq!(verdict.get("regressed"), Some(&Json::Bool(true)));
+        let Some(Json::Arr(metrics)) = verdict.get("metrics") else {
+            panic!("metrics is an array")
+        };
+        let flagged: Vec<&Json> = metrics
+            .iter()
+            .filter(|m| m.get("regressed") == Some(&Json::Bool(true)))
+            .collect();
+        assert_eq!(flagged.len(), 1);
+        let name = flagged[0].get("metric").unwrap();
+        assert_eq!(
+            name,
+            &Json::Str("event_loop[pending=262144].engine_events_per_sec".into())
+        );
+        assert!(flagged[0].get("raw_change_pct").unwrap().as_f64().unwrap() < -10.0);
     }
 
     #[test]

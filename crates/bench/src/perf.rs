@@ -16,7 +16,7 @@
 //!   inline in the heap nodes and the same `(time, seq)` FIFO ordering,
 //!   driving the same boxed-trait-object dispatch.
 
-use linkpad_sim::engine::{Context, SimBuilder};
+use linkpad_sim::engine::{Context, Sim, SimBuilder};
 use linkpad_sim::node::{Node, NodeId};
 use linkpad_sim::packet::{FlowId, Packet, PacketKind};
 use linkpad_sim::time::{SimDuration, SimTime};
@@ -71,6 +71,13 @@ fn workload_events(events: u64, pending: usize) -> (u64, u64) {
 
 /// Run the timer workload on the real engine; returns events/sec.
 pub fn sim_events_per_sec(events: u64, pending: usize) -> f64 {
+    sim_events_per_sec_with(events, pending, |_| {})
+}
+
+/// [`sim_events_per_sec`] with a pre-run engine configurator — how the
+/// telemetry gate times the identical workload with profiling in its
+/// plain / enabled-then-disabled / enabled states.
+fn sim_events_per_sec_with(events: u64, pending: usize, configure: impl FnOnce(&mut Sim)) -> f64 {
     let (fires, total) = workload_events(events, pending);
     let mut b = SimBuilder::new(MasterSeed::new(1));
     let sink = b.add_node(Box::new(NullSink { received: 0 }));
@@ -82,6 +89,7 @@ pub fn sim_events_per_sec(events: u64, pending: usize) -> f64 {
         }));
     }
     let mut sim = b.build().expect("bench sim builds");
+    configure(&mut sim);
     let start = Instant::now();
     let stats = sim.run_until(SimTime::MAX);
     let elapsed = start.elapsed().as_secs_f64();
@@ -442,11 +450,22 @@ pub fn aggregate_scenario_events_per_sec(flows: usize, sim_secs: f64) -> TrunkMe
 /// Warm a built aggregate scenario past the trunk horizon, then time
 /// `sim_secs` of steady-state simulation.
 fn scenario_throughput(b: ScenarioBuilder, sim_secs: f64) -> TrunkMeasurement {
+    scenario_throughput_with(b, sim_secs, |_| {})
+}
+
+/// [`scenario_throughput`] with an engine configurator applied after
+/// the warm-up, immediately before the timed span.
+fn scenario_throughput_with(
+    b: ScenarioBuilder,
+    sim_secs: f64,
+    configure: impl FnOnce(&mut Sim),
+) -> TrunkMeasurement {
     let mut s = b.build().expect("aggregate scenario builds");
     // Warm past the 100 ms trunk so the in-flight population is steady.
     s.run_for_secs(0.25);
     let pending = s.sim.pending_events();
     let before = s.sim.events_processed();
+    configure(&mut s.sim);
     let start = Instant::now();
     s.run_for_secs(sim_secs);
     let elapsed = start.elapsed().as_secs_f64();
@@ -454,6 +473,107 @@ fn scenario_throughput(b: ScenarioBuilder, sim_secs: f64) -> TrunkMeasurement {
         events_per_sec: (s.sim.events_processed() - before) as f64 / elapsed,
         pending,
     }
+}
+
+// ---- Telemetry overhead -----------------------------------------------
+
+/// Paired measurement of what engine self-profiling costs one workload,
+/// in three configurations run back to back:
+///
+/// * **plain** — profiling never touched: the pre-telemetry code path
+///   plus the one routing branch per `run_until` call.
+/// * **disabled** — profiling enabled then disabled before the timed
+///   span. Must match `plain` to measurement noise: `disable_profiling`
+///   has to restore the exact fast path, leaving no residual state or
+///   indirection behind. This is the telemetry analogue of the fault
+///   hook's "configured but fault-free plan is free" contract, and the
+///   `<1%` gate `perf_baseline` asserts in-binary.
+/// * **enabled** — profiling on for the whole timed span (the outlined
+///   profiled loop, per-event recording, periodic depth samples). The
+///   honest cost of actually collecting an engine profile, recorded as
+///   context rather than gated.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryMeasurement {
+    /// Events/sec with profiling never touched.
+    pub plain_events_per_sec: f64,
+    /// Events/sec after `enable_profiling(); disable_profiling();`.
+    pub disabled_events_per_sec: f64,
+    /// Events/sec with profiling enabled throughout.
+    pub enabled_events_per_sec: f64,
+}
+
+impl TelemetryMeasurement {
+    /// Throughput cost of the disabled (enable-then-disable) state vs
+    /// plain, percent (positive = slower). Zero by construction up to
+    /// noise — the asserted zero-cost-disabled contract.
+    pub fn disabled_overhead_pct(&self) -> f64 {
+        (self.plain_events_per_sec / self.disabled_events_per_sec - 1.0) * 100.0
+    }
+
+    /// Throughput cost of enabled profiling vs plain, percent.
+    pub fn enabled_overhead_pct(&self) -> f64 {
+        (self.plain_events_per_sec / self.enabled_events_per_sec - 1.0) * 100.0
+    }
+
+    /// Fold another round in, per-config best (the measurement protocol
+    /// every recorded baseline metric uses — see `perf_baseline`).
+    pub fn fold_best(&mut self, other: &TelemetryMeasurement) {
+        self.plain_events_per_sec = self.plain_events_per_sec.max(other.plain_events_per_sec);
+        self.disabled_events_per_sec = self
+            .disabled_events_per_sec
+            .max(other.disabled_events_per_sec);
+        self.enabled_events_per_sec = self
+            .enabled_events_per_sec
+            .max(other.enabled_events_per_sec);
+    }
+}
+
+/// Telemetry cost on the timer microbench (the `event_loop` shape):
+/// one plain / disabled / enabled round, back to back.
+pub fn telemetry_overhead_event_loop(events: u64, pending: usize) -> TelemetryMeasurement {
+    TelemetryMeasurement {
+        plain_events_per_sec: sim_events_per_sec_with(events, pending, |_| {}),
+        disabled_events_per_sec: sim_events_per_sec_with(events, pending, |sim| {
+            sim.enable_profiling();
+            sim.disable_profiling();
+        }),
+        enabled_events_per_sec: sim_events_per_sec_with(events, pending, |sim| {
+            sim.enable_profiling();
+        }),
+    }
+}
+
+/// Telemetry cost on the real aggregate scenario (the `aggregate_trunk`
+/// shape): one plain / disabled / enabled round, back to back.
+pub fn telemetry_overhead_aggregate(flows: usize, sim_secs: f64) -> TelemetryMeasurement {
+    let base = || ScenarioBuilder::aggregate(1, flows).with_trunk(10e9, 0.1);
+    TelemetryMeasurement {
+        plain_events_per_sec: scenario_throughput_with(base(), sim_secs, |_| {}).events_per_sec,
+        disabled_events_per_sec: scenario_throughput_with(base(), sim_secs, |sim| {
+            sim.enable_profiling();
+            sim.disable_profiling();
+        })
+        .events_per_sec,
+        enabled_events_per_sec: scenario_throughput_with(base(), sim_secs, |sim| {
+            sim.enable_profiling();
+        })
+        .events_per_sec,
+    }
+}
+
+/// An engine profile of the aggregate-trunk workload: build the real
+/// scenario, warm it, profile `sim_secs` of steady state. The evidence
+/// record behind the dispatch bound — batch sizes, depth series, store
+/// op mix — embedded in the baseline's context section.
+pub fn aggregate_trunk_profile(flows: usize, sim_secs: f64) -> linkpad_obs::ProfileReport {
+    let b = ScenarioBuilder::aggregate(1, flows).with_trunk(10e9, 0.1);
+    let mut s = b.build().expect("aggregate scenario builds");
+    s.run_for_secs(0.25);
+    s.sim.enable_profiling();
+    s.run_for_secs(sim_secs);
+    s.sim
+        .profile_report()
+        .expect("profiling was enabled for the span")
 }
 
 // ---- Fault-hook overhead ----------------------------------------------

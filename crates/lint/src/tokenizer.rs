@@ -225,7 +225,16 @@ fn consume_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            // An escaped newline (line continuation) still ends a
+            // source line — without counting it, every token after a
+            // continued string reports a line number short by one and
+            // allowlist line-fragment matching silently misses.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -357,6 +366,20 @@ mod tests {
         let src = "let q = '\\''; let s = \"x\"; tail();";
         let t = tokenize(src);
         assert!(idents(&t).contains(&"tail"));
+    }
+
+    #[test]
+    fn string_line_continuation_advances_lines() {
+        // `\` + newline inside a string is a line continuation: the
+        // literal stays one token, but the *file* gained a line.
+        let src = "let s = \"a\\\n b\\\n c\";\nmarker();";
+        let t = tokenize(src);
+        let m = t
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("marker".into()))
+            .unwrap();
+        assert_eq!(m.line, 4);
     }
 
     #[test]

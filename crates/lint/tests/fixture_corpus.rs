@@ -63,6 +63,36 @@ fn determinism_good_is_clean() {
 }
 
 #[test]
+fn obs_shaped_wallclock_fires_det_wallclock_outside_tests() {
+    // Telemetry code is exactly where a wall clock looks innocent and
+    // isn't: the rule must fire on both host-clock reads in the bad
+    // fixture (and on nothing else), and the sim-time twin must be
+    // clean — the shape `linkpad-obs`'s metrics/profile modules follow.
+    // Four hits: the braced `use` contributes one per banned name, the
+    // two bodies one each.
+    let v = lint_fixture("obs_wallclock_bad.rs", &[]);
+    assert_eq!(rules_of(&v), vec!["DET_WALLCLOCK"; 4], "{v:?}");
+    let text = v
+        .iter()
+        .map(|(_, _, m)| m.clone())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("Instant"), "{text}");
+    assert!(text.contains("SystemTime"), "{text}");
+    let src = fixture("obs_wallclock_bad.rs");
+    let test_mod_line = src
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap()
+        + 1;
+    assert!(
+        v.iter().all(|(_, line, _)| *line < test_mod_line),
+        "a violation leaked out of the cfg(test) region: {v:?}"
+    );
+    assert!(lint_fixture("obs_wallclock_good.rs", &[]).is_empty());
+}
+
+#[test]
 fn node_reset_bad_fires_once_with_type_name() {
     let v = lint_fixture("node_reset_bad.rs", &[]);
     assert_eq!(rules_of(&v), vec!["NODE_RESET"]);

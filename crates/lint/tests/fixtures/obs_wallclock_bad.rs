@@ -1,0 +1,32 @@
+//! Known-bad fixture: telemetry-shaped code that smuggles the wall
+//! clock into a metric sample. DET_WALLCLOCK must fire — a registry
+//! stamped with host time is a pure function of nothing, and the
+//! bit-for-bit snapshot determinism tests would miscompare forever.
+use std::time::{Instant, SystemTime};
+
+pub struct Registry {
+    samples: Vec<(u128, u64)>,
+}
+
+impl Registry {
+    pub fn record(&mut self, value: u64) {
+        // Wrong clock: metric samples must be keyed to *sim* time.
+        let stamp = Instant::now().elapsed().as_nanos();
+        self.samples.push((stamp, value));
+    }
+
+    pub fn snapshot_name(&self) -> String {
+        // Also wrong: a snapshot named after the host epoch can never
+        // be bit-identical across a reset(seed) replay.
+        format!("{:?}", SystemTime::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Fine here: tests may time freely.
+    #[test]
+    fn t() {
+        let _ = std::time::Instant::now();
+    }
+}

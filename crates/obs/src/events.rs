@@ -1,0 +1,298 @@
+//! Structured harness event log: shard lifecycle, watchdog
+//! truncations, fault-plan activations, observer gap windows.
+//!
+//! Events are a *harness boundary* artifact — they describe what the
+//! coordinator did about a run (spawned a shard, retried a panic,
+//! truncated on watchdog), not what happened inside the simulation.
+//! That is why each record carries a wall-clock offset: a shard retry
+//! is a wall-clock phenomenon, and the JSONL file is read next to CI
+//! logs. Sim-time quantities inside events (truncation points, window
+//! indices) remain deterministic; only the `wall_secs` column varies
+//! between runs.
+//!
+//! The log serializes as JSON Lines — one event per line — so it can be
+//! tailed, grepped, and uploaded as a CI artifact without a parser.
+
+use crate::json::{escape, num};
+use std::time::Instant;
+
+/// One harness lifecycle event. Variants carry only plain data so the
+/// log can be emitted from the sharded coordinator without touching
+/// worker threads (the coordinator observes results in shard order —
+/// the log is deterministic apart from its wall-clock column).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarnessEvent {
+    /// A sharded (or single) run began.
+    RunStart {
+        /// Base seed of the run.
+        seed: u64,
+        /// Number of shards (1 for unsharded runs).
+        shards: usize,
+        /// Total flow population.
+        flows: usize,
+    },
+    /// A fault plan is armed for this run.
+    FaultPlanActive {
+        /// Human-readable plan summary.
+        summary: String,
+    },
+    /// A shard completed (possibly after a retry).
+    ShardFinished {
+        /// Shard index.
+        shard: usize,
+        /// Events the shard's sim processed.
+        events: u64,
+        /// Arrivals the shard's observer recorded.
+        arrivals: u64,
+        /// Complete observer windows the shard produced.
+        windows: usize,
+        /// Whether the shard's watchdog tripped.
+        interrupted: bool,
+    },
+    /// A shard panicked on its first attempt.
+    ShardPanicked {
+        /// Shard index.
+        shard: usize,
+        /// Panic payload rendered as text.
+        cause: String,
+    },
+    /// A panicked shard was re-run on a fresh scenario and succeeded.
+    ShardRetried {
+        /// Shard index.
+        shard: usize,
+    },
+    /// The run was truncated because at least one shard's watchdog
+    /// tripped. This is the prominent record of a partial result:
+    /// downstream readers must treat the merged series as a prefix.
+    WatchdogTruncation {
+        /// Complete windows retained after truncation.
+        complete_windows: usize,
+        /// Windows dropped from the longest shard.
+        dropped: usize,
+        /// Lowest-indexed shard that tripped.
+        first_tripped_shard: usize,
+        /// Sim time (nanoseconds) the first tripped shard had reached.
+        sim_nanos: u64,
+    },
+    /// A merged observer window had coverage below 1.0 (an observer
+    /// outage overlapped it).
+    ObserverGap {
+        /// Window index in the merged series.
+        window: usize,
+        /// Fraction of the window the observer was up, in [0, 1].
+        coverage: f64,
+    },
+    /// The run finished; totals are post-merge.
+    RunFinished {
+        /// Total events across all shard sims.
+        events: u64,
+        /// Total observed arrivals.
+        arrivals: u64,
+        /// Complete merged windows.
+        windows: usize,
+        /// Whether any shard was interrupted.
+        interrupted: bool,
+    },
+}
+
+impl HarnessEvent {
+    /// Short machine-stable kind tag (`"run_start"`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HarnessEvent::RunStart { .. } => "run_start",
+            HarnessEvent::FaultPlanActive { .. } => "fault_plan_active",
+            HarnessEvent::ShardFinished { .. } => "shard_finished",
+            HarnessEvent::ShardPanicked { .. } => "shard_panicked",
+            HarnessEvent::ShardRetried { .. } => "shard_retried",
+            HarnessEvent::WatchdogTruncation { .. } => "watchdog_truncation",
+            HarnessEvent::ObserverGap { .. } => "observer_gap",
+            HarnessEvent::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// Render the variant's payload fields as JSON object members
+    /// (without braces), or an empty string for payload-free variants.
+    fn payload_json(&self) -> String {
+        match self {
+            HarnessEvent::RunStart {
+                seed,
+                shards,
+                flows,
+            } => {
+                format!("\"seed\":{seed},\"shards\":{shards},\"flows\":{flows}")
+            }
+            HarnessEvent::FaultPlanActive { summary } => {
+                format!("\"summary\":\"{}\"", escape(summary))
+            }
+            HarnessEvent::ShardFinished {
+                shard,
+                events,
+                arrivals,
+                windows,
+                interrupted,
+            } => format!(
+                "\"shard\":{shard},\"events\":{events},\"arrivals\":{arrivals},\
+                 \"windows\":{windows},\"interrupted\":{interrupted}"
+            ),
+            HarnessEvent::ShardPanicked { shard, cause } => {
+                format!("\"shard\":{shard},\"cause\":\"{}\"", escape(cause))
+            }
+            HarnessEvent::ShardRetried { shard } => format!("\"shard\":{shard}"),
+            HarnessEvent::WatchdogTruncation {
+                complete_windows,
+                dropped,
+                first_tripped_shard,
+                sim_nanos,
+            } => format!(
+                "\"complete_windows\":{complete_windows},\"dropped\":{dropped},\
+                 \"first_tripped_shard\":{first_tripped_shard},\"sim_nanos\":{sim_nanos}"
+            ),
+            HarnessEvent::ObserverGap { window, coverage } => {
+                format!("\"window\":{window},\"coverage\":{}", num(*coverage))
+            }
+            HarnessEvent::RunFinished {
+                events,
+                arrivals,
+                windows,
+                interrupted,
+            } => format!(
+                "\"events\":{events},\"arrivals\":{arrivals},\
+                 \"windows\":{windows},\"interrupted\":{interrupted}"
+            ),
+        }
+    }
+}
+
+/// Append-only harness event log with wall-clock offsets from its
+/// creation instant.
+#[derive(Debug)]
+pub struct EventLog {
+    // Harness-boundary wall clock: event logs time-stamp coordinator
+    // actions (retries, truncations) relative to run start. Sim-side
+    // telemetry never touches this; see the module docs and the
+    // DET_WALLCLOCK allowlist entry for this file.
+    t0: Instant,
+    entries: Vec<(f64, HarnessEvent)>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventLog {
+    /// Empty log; wall offsets are measured from this call.
+    pub fn new() -> Self {
+        Self {
+            t0: Instant::now(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append an event stamped with the current wall offset.
+    pub fn emit(&mut self, event: HarnessEvent) {
+        let wall = self.t0.elapsed().as_secs_f64();
+        self.entries.push((wall, event));
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate events in emission order (with wall offsets).
+    pub fn iter(&self) -> impl Iterator<Item = &(f64, HarnessEvent)> {
+        self.entries.iter()
+    }
+
+    /// Render as JSON Lines: one `{"wall_secs":…,"kind":…,…}` object
+    /// per line, in emission order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (wall, event) in &self.entries {
+            out.push_str(&format!(
+                "{{\"wall_secs\":{},\"kind\":\"{}\"",
+                num(*wall),
+                event.kind()
+            ));
+            let payload = event.payload_json();
+            if !payload.is_empty() {
+                out.push(',');
+                out.push_str(&payload);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Write the JSONL rendering to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_one_json_object_per_line() {
+        let mut log = EventLog::new();
+        log.emit(HarnessEvent::RunStart {
+            seed: 7,
+            shards: 2,
+            flows: 100,
+        });
+        log.emit(HarnessEvent::ShardPanicked {
+            shard: 1,
+            cause: "boom \"quoted\"".to_string(),
+        });
+        log.emit(HarnessEvent::RunFinished {
+            events: 10,
+            arrivals: 5,
+            windows: 3,
+            interrupted: false,
+        });
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"run_start\""));
+        assert!(lines[0].contains("\"seed\":7"));
+        assert!(lines[1].contains("\"cause\":\"boom \\\"quoted\\\"\""));
+        assert!(lines[2].contains("\"interrupted\":false"));
+        for line in lines {
+            assert!(line.starts_with("{\"wall_secs\":"));
+            assert!(line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn truncation_event_carries_the_cut_point() {
+        let e = HarnessEvent::WatchdogTruncation {
+            complete_windows: 4,
+            dropped: 2,
+            first_tripped_shard: 1,
+            sim_nanos: 900_000_000,
+        };
+        assert_eq!(e.kind(), "watchdog_truncation");
+        let p = e.payload_json();
+        assert!(p.contains("\"complete_windows\":4"));
+        assert!(p.contains("\"sim_nanos\":900000000"));
+    }
+
+    #[test]
+    fn wall_offsets_are_monotone() {
+        let mut log = EventLog::new();
+        for i in 0..5 {
+            log.emit(HarnessEvent::ShardRetried { shard: i });
+        }
+        let walls: Vec<f64> = log.iter().map(|(w, _)| *w).collect();
+        assert!(walls.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

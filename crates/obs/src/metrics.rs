@@ -1,0 +1,573 @@
+//! The metric registry: counters, gauges, and log₂ histograms keyed by
+//! static names, plus the mergeable [`Snapshot`] they export.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** Values are integers; snapshots sort by name;
+//!    merging follows the window-series discipline (counters superpose
+//!    exactly, gauges keep the peak, histograms pool bucket-wise).
+//!    A snapshot is therefore a pure function of `(spec, seed)` and the
+//!    determinism tests compare snapshots with `==`, bit for bit.
+//! 2. **Cheap.** Registration hands out index handles; the record path
+//!    is an array index plus an integer add. No hashing, no strings, no
+//!    allocation after registration.
+//! 3. **Dependency-free.** Names are `&'static str`; storage is flat
+//!    `Vec`s; rendering is plain JSON via [`crate::json`].
+
+use crate::json;
+
+/// Handle to a registered counter (monotone `u64`, merges by `+`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (level/peak `u64`, merges by `max`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram (merges bucket-wise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts zeros; bucket `k ≥ 1` counts values in
+/// `[2^(k-1), 2^k)`. Exact count/sum/min/max ride alongside, so the
+/// mean is exact and only the quantiles are bucket-resolution.
+/// Merging two histograms adds buckets and pools the exact moments —
+/// the same reduction `RunningMoments::merge` performs for PIATs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` while empty.
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Fold one sample in.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Pool another histogram into this one (bucket-wise add, exact
+    /// moments pooled).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Samples folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0 < q <= 1`), i.e. the quantile at log₂ resolution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if k == 0 { 0 } else { 1u64 << k };
+            }
+        }
+        self.max
+    }
+
+    /// Render as a JSON object with the exact moments and the sparse
+    /// non-empty buckets (keyed by bucket upper bound).
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| {
+                let ub = if k == 0 { 0u128 } else { 1u128 << k };
+                format!("\"{ub}\":{n}")
+            })
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{{}}}}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            buckets.join(",")
+        )
+    }
+}
+
+/// One snapshotted metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone count; merges by addition (exact superposition).
+    Counter(u64),
+    /// Level/peak; merges by `max`.
+    Gauge(u64),
+    /// Distribution; merges bucket-wise (boxed: a histogram's bucket
+    /// array dwarfs the scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+impl MetricValue {
+    fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += *b,
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            // Kind mismatch between same-named metrics is a programming
+            // error upstream; keep the left value rather than inventing
+            // a combination (and rather than panicking on a run path).
+            _ => {}
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => format!("{{\"type\":\"counter\",\"value\":{v}}}"),
+            MetricValue::Gauge(v) => format!("{{\"type\":\"gauge\",\"value\":{v}}}"),
+            MetricValue::Histogram(h) => {
+                format!("{{\"type\":\"histogram\",\"value\":{}}}", h.to_json())
+            }
+        }
+    }
+}
+
+/// The live registry: flat storage, handle-indexed record path.
+///
+/// Handles are only meaningful against the registry that issued them;
+/// recording through a foreign or stale handle is ignored (never a
+/// panic — registries are updated on run paths).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or find) a counter by name.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or find) a gauge by name.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| *n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name, 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register (or find) a histogram by name.
+    pub fn histogram(&mut self, name: &'static str) -> HistId {
+        if let Some(i) = self.hists.iter().position(|(n, _)| *n == name) {
+            return HistId(i);
+        }
+        self.hists.push((name, Histogram::new()));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Add `delta` to a counter.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        if let Some((_, v)) = self.counters.get_mut(id.0) {
+            *v += delta;
+        }
+    }
+
+    /// Raise a gauge to at least `v` (peak semantics).
+    pub fn gauge_max(&mut self, id: GaugeId, v: u64) {
+        if let Some((_, g)) = self.gauges.get_mut(id.0) {
+            *g = (*g).max(v);
+        }
+    }
+
+    /// Set a gauge to `v` (level semantics).
+    pub fn gauge_set(&mut self, id: GaugeId, v: u64) {
+        if let Some((_, g)) = self.gauges.get_mut(id.0) {
+            *g = v;
+        }
+    }
+
+    /// Fold one sample into a histogram.
+    pub fn record(&mut self, id: HistId, v: u64) {
+        if let Some((_, h)) = self.hists.get_mut(id.0) {
+            h.record(v);
+        }
+    }
+
+    /// Zero every value, keeping registrations and handles valid — the
+    /// registry analogue of a node reset: a reset registry re-recorded
+    /// under the same seed snapshots bit-identically to a fresh one.
+    pub fn reset(&mut self) {
+        for (_, v) in &mut self.counters {
+            *v = 0;
+        }
+        for (_, v) in &mut self.gauges {
+            *v = 0;
+        }
+        for (_, h) in &mut self.hists {
+            *h = Histogram::new();
+        }
+    }
+
+    /// Export a name-sorted, mergeable snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries: Vec<(String, MetricValue)> =
+            Vec::with_capacity(self.counters.len() + self.gauges.len() + self.hists.len());
+        for (n, v) in &self.counters {
+            entries.push((n.to_string(), MetricValue::Counter(*v)));
+        }
+        for (n, v) in &self.gauges {
+            entries.push((n.to_string(), MetricValue::Gauge(*v)));
+        }
+        for (n, h) in &self.hists {
+            entries.push((n.to_string(), MetricValue::Histogram(Box::new(h.clone()))));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+}
+
+/// An immutable, name-sorted export of a registry — the unit that
+/// crosses shard boundaries and lands in run manifests. Merging mirrors
+/// `WindowStats::merge`: counters superpose exactly, gauges keep peaks,
+/// histograms pool. Equality is bitwise (all-integer payloads), which
+/// is what the `reset_determinism` family asserts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name, names unique.
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// A snapshot with no metrics.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metrics are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .and_then(|i| self.entries.get(i))
+            .map(|(_, v)| v)
+    }
+
+    /// Counter value by name, if the metric exists and is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, if the metric exists and is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Insert (or merge into) a single metric.
+    pub fn insert(&mut self, name: &str, value: MetricValue) {
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.entries[i].1.merge(&value),
+            Err(i) => self.entries.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// Merge another snapshot in: shared names combine kind-wise
+    /// (counters `+`, gauges `max`, histograms pool); names unique to
+    /// `other` are adopted as-is.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.entries {
+            self.insert(name, value.clone());
+        }
+    }
+
+    /// Just the counters, as `(name, value)` pairs in name order — the
+    /// exactly-superposable subset that the sharded-vs-unsharded
+    /// equality gate compares bit-for-bit.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.entries
+            .iter()
+            .filter_map(|(n, v)| match v {
+                MetricValue::Counter(c) => Some((n.clone(), *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render as one JSON object keyed by metric name.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(n, v)| format!("\"{}\":{}", json::escape(n), v.to_json()))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 1050);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        // zeros → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4..7 → 3; 8 → 4.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 2);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets[11], 1);
+    }
+
+    #[test]
+    fn histogram_merge_equals_pooled_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut pooled = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            pooled.record(v);
+        }
+        for v in [0u64, 2, 100] {
+            b.record(v);
+            pooled.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, pooled);
+    }
+
+    #[test]
+    fn histogram_quantile_is_bucket_resolution() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Value 1 lives in bucket [1, 2) whose upper bound is 2.
+        assert_eq!(h.quantile(0.01), 2);
+        // Median of 1..=100 sits in bucket [32, 64).
+        assert_eq!(h.quantile(0.5), 64);
+        assert_eq!(h.quantile(1.0), 128);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_handles_record_and_snapshot_sorts() {
+        let mut r = Registry::new();
+        let c = r.counter("z.count");
+        let g = r.gauge("a.peak");
+        let h = r.histogram("m.sizes");
+        r.add(c, 3);
+        r.add(c, 4);
+        r.gauge_max(g, 10);
+        r.gauge_max(g, 7);
+        r.record(h, 5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.peak", "m.sizes", "z.count"]);
+        assert_eq!(snap.counter("z.count"), Some(7));
+        assert_eq!(snap.gauge("a.peak"), Some(10));
+        assert!(matches!(
+            snap.get("m.sizes"),
+            Some(MetricValue::Histogram(h)) if h.count() == 1
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_returns_the_same_handle() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.add(a, 1);
+        r.add(b, 1);
+        assert_eq!(r.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_snapshot() {
+        let mut r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        let fresh = r.snapshot();
+        r.add(c, 5);
+        r.gauge_max(g, 9);
+        r.record(h, 3);
+        assert_ne!(r.snapshot(), fresh);
+        r.reset();
+        assert_eq!(r.snapshot(), fresh, "reset must be bit-identical");
+        // Handles stay valid after reset.
+        r.add(c, 1);
+        assert_eq!(r.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_merge_follows_the_window_discipline() {
+        let mut r1 = Registry::new();
+        let c1 = r1.counter("events");
+        let g1 = r1.gauge("peak");
+        let h1 = r1.histogram("sizes");
+        r1.add(c1, 10);
+        r1.gauge_max(g1, 4);
+        r1.record(h1, 2);
+
+        let mut r2 = Registry::new();
+        let c2 = r2.counter("events");
+        let g2 = r2.gauge("peak");
+        let h2 = r2.histogram("sizes");
+        let only2 = r2.counter("retries");
+        r2.add(c2, 5);
+        r2.gauge_max(g2, 9);
+        r2.record(h2, 64);
+        r2.add(only2, 1);
+
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("events"), Some(15), "counters superpose");
+        assert_eq!(merged.gauge("peak"), Some(9), "gauges keep the peak");
+        assert_eq!(merged.counter("retries"), Some(1), "unique names adopted");
+        assert!(matches!(
+            merged.get("sizes"),
+            Some(MetricValue::Histogram(h)) if h.count() == 2
+        ));
+        // Merge order does not matter for the result.
+        let mut other_way = r2.snapshot();
+        other_way.merge(&r1.snapshot());
+        assert_eq!(merged, other_way);
+    }
+
+    #[test]
+    fn foreign_handles_are_ignored_not_fatal() {
+        let mut issuing = Registry::new();
+        let _pad = issuing.counter("a");
+        let far = issuing.counter("b");
+        let mut other = Registry::new();
+        let near = other.counter("only");
+        other.add(near, 1);
+        other.add(far, 99); // index 1 does not exist in `other`
+        assert_eq!(other.snapshot().counter("only"), Some(1));
+        assert_eq!(other.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_typed() {
+        let mut r = Registry::new();
+        let c = r.counter("b.count");
+        r.add(c, 2);
+        let g = r.gauge("a.peak");
+        r.gauge_set(g, 3);
+        let j = r.snapshot().to_json();
+        assert!(j.starts_with("{\"a.peak\":{\"type\":\"gauge\",\"value\":3}"));
+        assert!(j.contains("\"b.count\":{\"type\":\"counter\",\"value\":2}"));
+    }
+}

@@ -13,11 +13,26 @@
 //! instant are dispatched as one [`Node::on_packets`] batch, amortizing
 //! the virtual call per packet to a virtual call per burst.
 
-use crate::equeue::{Event, EventKind, EventQueue};
+use crate::equeue::{Diag, Event, EventKind, EventQueue};
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::{SimDuration, SimTime};
+use linkpad_obs::{EngineProfile, ProfileReport, StoreCounters};
 use linkpad_stats::rng::{MasterSeed, Xoshiro256StarStar};
+
+/// View the queue's cumulative op counters as obs store counters (the
+/// profile subtracts an enable-time base so reports are span deltas).
+fn store_counters(d: Diag) -> StoreCounters {
+    StoreCounters {
+        push_near: d.push_near,
+        push_rung: d.push_rung,
+        push_far: d.push_far,
+        refills: d.refills,
+        rebases: d.rebases,
+        rebase_scanned: d.rebase_scanned,
+        rebase_moved: d.rebase_moved,
+    }
+}
 
 /// Error from [`SimBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +128,7 @@ impl SimBuilder {
             events_processed: 0,
             watchdog: None,
             watchdog_tripped: false,
+            profile: None,
         })
     }
 }
@@ -148,6 +164,10 @@ pub struct Sim {
     events_processed: u64,
     watchdog: Option<Watchdog>,
     watchdog_tripped: bool,
+    /// Engine self-profile, recorded only while enabled. Boxed so the
+    /// disabled (overwhelmingly common) case costs one pointer of state
+    /// and the run loop one branch per run call — mirrors the watchdog.
+    profile: Option<Box<EngineProfile>>,
 }
 
 impl Sim {
@@ -204,6 +224,48 @@ impl Sim {
         if let Some(wd) = &mut self.watchdog {
             wd.deadline = wd.max_wall.map(|d| std::time::Instant::now() + d);
         }
+        // An enabled profile re-zeros with the post-clear cumulative
+        // queue counters as its new base, so a reset-then-run profile
+        // is bit-identical to a fresh-build-then-run profile.
+        if let Some(p) = &mut self.profile {
+            p.reset(store_counters(self.queue.diag()));
+        }
+    }
+
+    /// Enable engine self-profiling: same-instant batch sizes, the
+    /// timer/delivery event mix, a sim-time-stamped pending-depth
+    /// series with per-rung peaks, and event-store op counters over the
+    /// profiled span. Profiles are a pure function of `(spec, seed)` —
+    /// bit-identical across reruns and resets. Enabling on an already
+    /// profiled sim restarts the profile from now. While enabled, runs
+    /// take an outlined profiled loop (cost asserted <1 % disabled,
+    /// and reported while enabled, by `perf_baseline`).
+    pub fn enable_profiling(&mut self) {
+        let base = store_counters(self.queue.diag());
+        match &mut self.profile {
+            Some(p) => p.reset(base),
+            None => self.profile = Some(Box::new(EngineProfile::new(base))),
+        }
+    }
+
+    /// Drop the engine profile (if any) and return runs to the plain
+    /// un-instrumented loop.
+    pub fn disable_profiling(&mut self) {
+        self.profile = None;
+    }
+
+    /// Is engine self-profiling currently enabled?
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Snapshot the engine profile accumulated since
+    /// [`Sim::enable_profiling`] (or the last [`Sim::reset`]), or
+    /// `None` when profiling is disabled.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profile
+            .as_ref()
+            .map(|p| p.report(store_counters(self.queue.diag())))
     }
 
     /// Arm a run budget: the event loop ends a run early — leaving a
@@ -243,13 +305,17 @@ impl Sim {
     /// armed watchdog budget ([`Sim::set_watchdog`]) may end the run
     /// early.
     pub fn run_until(&mut self, until: SimTime) -> RunStats {
-        // Unarmed sims — every benchmark and the overwhelmingly common
-        // case — take one predictable branch here and then the exact
-        // pre-watchdog function body. Everything watchdog-related lives
-        // in the outlined guarded variant so its control flow and code
-        // size never perturb this loop's codegen.
+        // Unarmed, unprofiled sims — every benchmark and the
+        // overwhelmingly common case — take two predictable branches
+        // here and then the exact pre-watchdog function body.
+        // Everything watchdog- and profile-related lives in outlined
+        // variants so their control flow and code size never perturb
+        // this loop's codegen.
         if self.watchdog.is_some() || self.watchdog_tripped {
             return self.run_until_guarded(until);
+        }
+        if self.profile.is_some() {
+            return self.run_until_profiled(until);
         }
         self.ensure_started();
         let mut events = 0u64;
@@ -296,7 +362,10 @@ impl Sim {
         let mut checks = 0u64;
         while let Some(entry) = self.queue.pop_at_or_before(until) {
             self.now = entry.time;
-            events += self.dispatch(entry);
+            let is_timer = matches!(entry.kind, EventKind::Timer(_));
+            let consumed = self.dispatch(entry);
+            events += consumed;
+            self.record_profile(is_timer, consumed);
             checks += 1;
             let events_over = wd
                 .max_events
@@ -318,6 +387,59 @@ impl Sim {
         }
     }
 
+    /// [`Sim::run_until`] with engine self-profiling enabled (and no
+    /// watchdog — the guarded variant records into the profile itself
+    /// when both are armed): the plain loop plus per-event profile
+    /// recording, outlined exactly like the watchdog so the
+    /// un-instrumented loop's codegen is untouched.
+    #[cold]
+    #[inline(never)]
+    fn run_until_profiled(&mut self, until: SimTime) -> RunStats {
+        if self.profile.is_none() {
+            // Only reachable if the routing in run_until changes; fall
+            // back to the plain loop rather than panicking on a run
+            // path.
+            return self.run_until(until);
+        }
+        self.ensure_started();
+        let mut events = 0u64;
+        while let Some(entry) = self.queue.pop_at_or_before(until) {
+            self.now = entry.time;
+            let is_timer = matches!(entry.kind, EventKind::Timer(_));
+            let consumed = self.dispatch(entry);
+            events += consumed;
+            self.record_profile(is_timer, consumed);
+        }
+        if self.now < until && until != SimTime::MAX {
+            self.now = until;
+        }
+        self.events_processed += events;
+        RunStats {
+            events,
+            ended_at_nanos: self.now.as_nanos(),
+        }
+    }
+
+    /// Fold one dispatched event into the engine profile, sampling
+    /// pending depth when due. A no-op when profiling is disabled (the
+    /// profiled and guarded loops are the only callers on hot paths,
+    /// and both are already outlined).
+    fn record_profile(&mut self, is_timer: bool, consumed: u64) {
+        if let Some(p) = &mut self.profile {
+            if p.record_dispatch(is_timer, consumed) {
+                let (_, _, _, near, rung, far) = self.queue.tier_state();
+                p.sample_depth(
+                    self.now.as_nanos(),
+                    self.queue.len() as u64,
+                    near as u64,
+                    rung as u64,
+                    far as u64,
+                    &self.queue.rung_lens(),
+                );
+            }
+        }
+    }
+
     /// Run for a span from the current clock.
     pub fn run_for(&mut self, span: SimDuration) -> RunStats {
         let until = self.now + span;
@@ -334,8 +456,12 @@ impl Sim {
         match self.queue.pop() {
             Some(entry) => {
                 self.now = entry.time;
+                let is_timer = matches!(entry.kind, EventKind::Timer(_));
                 self.dispatch_single(entry);
                 self.events_processed += 1;
+                if self.profile.is_some() {
+                    self.record_profile(is_timer, 1);
+                }
                 true
             }
             None => false,
@@ -871,6 +997,97 @@ mod tests {
         sim.reset(MasterSeed::new(77));
         sim.run_until(SimTime::from_nanos(100_000));
         assert_eq!(*log.borrow(), first);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_profiles_replay_bit_identically() {
+        let build = || {
+            let mut b = SimBuilder::new(MasterSeed::new(21));
+            let (log, rec) = logger();
+            let dst = b.add_node(rec);
+            b.add_node(Box::new(Ticker {
+                dst,
+                period: 700,
+                count: 400,
+                emitted: 0,
+            }));
+            (log, b.build().unwrap())
+        };
+        // Plain run as the behavior reference.
+        let (plain_log, mut plain) = build();
+        let plain_stats = plain.run_until(SimTime::from_nanos(1_000_000));
+        assert!(plain.profile_report().is_none());
+
+        // Profiled run: identical node-visible behavior, full profile.
+        let (prof_log, mut prof) = build();
+        prof.enable_profiling();
+        assert!(prof.profiling_enabled());
+        let prof_stats = prof.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(prof_stats, plain_stats);
+        assert_eq!(*prof_log.borrow(), *plain_log.borrow());
+        let report = prof.profile_report().expect("profiling enabled");
+        assert_eq!(report.events(), prof_stats.events);
+        assert_eq!(report.timer_events, 400);
+        assert_eq!(report.deliver_events, 400);
+        assert!(report.store.push_near + report.store.push_rung + report.store.push_far > 0);
+
+        // Reset-and-rerun produces a bit-identical profile.
+        prof.reset(MasterSeed::new(21));
+        prof.run_until(SimTime::from_nanos(1_000_000));
+        let replay = prof.profile_report().expect("profiling survives reset");
+        assert_eq!(replay, report);
+
+        // ...and so does a fresh build with profiling enabled.
+        let (_, mut fresh) = build();
+        fresh.enable_profiling();
+        fresh.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(fresh.profile_report().expect("enabled"), report);
+
+        // Disabling drops the profile and returns to the plain loop.
+        fresh.disable_profiling();
+        assert!(fresh.profile_report().is_none());
+    }
+
+    #[test]
+    fn watchdog_and_profiling_compose() {
+        let mut b = SimBuilder::new(MasterSeed::new(22));
+        let (_, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 100,
+            count: 1000,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.enable_profiling();
+        sim.set_watchdog(Some(50), None);
+        let stats = sim.run_until(SimTime::MAX);
+        assert!(sim.watchdog_tripped());
+        let report = sim
+            .profile_report()
+            .expect("profile recorded under watchdog");
+        assert_eq!(report.events(), stats.events);
+    }
+
+    #[test]
+    fn step_records_into_the_profile() {
+        let mut b = SimBuilder::new(MasterSeed::new(23));
+        let (_, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 10,
+            count: 3,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.enable_profiling();
+        while sim.step() {}
+        let report = sim.profile_report().expect("enabled");
+        assert_eq!(report.events(), sim.events_processed());
+        assert_eq!(report.timer_events, 3);
+        assert_eq!(report.deliver_events, 3);
     }
 
     #[test]

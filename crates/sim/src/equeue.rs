@@ -247,6 +247,13 @@ impl EventQueue {
         )
     }
 
+    /// Per-rung occupancy of the calendar tier, lowest rung first —
+    /// the per-rung view behind engine-profile depth samples (the
+    /// summed total is in [`EventQueue::tier_state`]).
+    pub fn rung_lens(&self) -> Vec<usize> {
+        self.rungs.iter().map(Vec::len).collect()
+    }
+
     /// Drop every pending event and reset the ladder geometry, keeping
     /// every allocation — the slab's packet slots, the near heap's
     /// buffer, the rung vectors and the far tier are all reused by the

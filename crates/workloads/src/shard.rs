@@ -53,6 +53,11 @@
 
 use crate::aggregate::{AggregateSpec, PhaseSpec};
 use crate::scenario::{BuiltScenario, ScenarioBuilder, ScenarioError};
+use linkpad_obs::metrics::{MetricValue, Registry};
+use linkpad_obs::{
+    EventLog, HarnessEvent, Histogram, ProfileReport, RunManifest, ShardManifest, Snapshot,
+    Truncation,
+};
 use linkpad_sim::observer::{merge_window_series, WindowStats};
 use linkpad_sim::parallel::{default_threads, parallel_map_init_catching};
 use linkpad_sim::time::SimDuration;
@@ -73,6 +78,39 @@ fn panic_cause(payload: Box<dyn Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// The metric snapshot of one trunk view: the **exactly superposable**
+/// counters (arrivals, per-window counts and bytes summed) plus peak
+/// gauges. Shard snapshots built by this function merge —
+/// counter-for-counter, bit-for-bit — to the snapshot of the
+/// equivalent unsharded run, which is the telemetry analogue of the
+/// window-series merge contract (asserted by
+/// `tests/metrics_determinism.rs`).
+///
+/// Deliberately excluded from the counter set: PIAT sample totals
+/// (each shard's first arrival has no predecessor, so N shards carry
+/// exactly N−1 fewer inter-arrival samples than the unsharded run —
+/// pooled, not superposable; see the module docs) and per-window
+/// *distributions* (added post-merge by
+/// [`ShardedRun::merged_metrics`]). Every counter in a snapshot must
+/// superpose exactly; quantities that only pool ride in gauges or in
+/// the report structs instead.
+pub fn window_metrics(windows: &[WindowStats], arrivals: u64, pending_peak: usize) -> Snapshot {
+    let mut reg = Registry::new();
+    let arr = reg.counter("trunk.arrivals");
+    let count = reg.counter("trunk.window_count");
+    let bytes = reg.counter("trunk.window_bytes");
+    let wins = reg.gauge("trunk.windows");
+    let pend = reg.gauge("pending.peak");
+    reg.add(arr, arrivals);
+    for w in windows {
+        reg.add(count, w.count);
+        reg.add(bytes, w.bytes);
+    }
+    reg.gauge_max(wins, windows.len() as u64);
+    reg.gauge_max(pend, pending_peak as u64);
+    reg.snapshot()
 }
 
 /// Shape fingerprint of a shard's topology: shards with equal shapes are
@@ -121,6 +159,17 @@ pub struct ShardReport {
     /// `windows` holds only the fully-simulated prefix (the partial
     /// window in progress at the trip is discarded).
     pub interrupted: bool,
+    /// Sim time (nanoseconds) the shard had reached when its watchdog
+    /// tripped — the truncation point a partial result was cut at.
+    /// `None` for a complete run.
+    pub truncated_at_nanos: Option<u64>,
+    /// The shard's metric snapshot ([`window_metrics`] over its trunk
+    /// view): merges across shards to the unsharded run's counters
+    /// bit-for-bit.
+    pub metrics: Snapshot,
+    /// Engine self-profile, when the run enabled
+    /// [`ShardedAggregate::with_profiling`].
+    pub profile: Option<ProfileReport>,
 }
 
 /// Merged outcome of a sharded aggregate run.
@@ -173,6 +222,27 @@ impl ShardedRun {
     pub fn interrupted(&self) -> bool {
         self.shards.iter().any(|s| s.interrupted)
     }
+
+    /// Merge the per-shard metric snapshots (counters superpose, gauges
+    /// keep peaks) and add the post-merge per-window arrival-count
+    /// distribution. The counter subset equals the unsharded run's
+    /// bit-for-bit; the histogram is computed from the *merged* window
+    /// series because per-shard distributions do not superpose.
+    pub fn merged_metrics(&self) -> Snapshot {
+        let mut merged = Snapshot::empty();
+        for s in &self.shards {
+            merged.merge(&s.metrics);
+        }
+        let mut hist = Histogram::new();
+        for w in &self.windows {
+            hist.record(w.count);
+        }
+        merged.insert(
+            "trunk.window_count_hist",
+            MetricValue::Histogram(Box::new(hist)),
+        );
+        merged
+    }
 }
 
 /// An aggregate scenario split over worker sub-simulations (see the
@@ -188,6 +258,9 @@ pub struct ShardedAggregate {
     /// Test hook: attempts at this shard panic while the shared budget
     /// is positive (each firing decrements it).
     panic_budget: Option<(usize, Arc<AtomicUsize>)>,
+    /// Enable per-shard engine self-profiling
+    /// ([`linkpad_sim::engine::Sim::enable_profiling`]).
+    profiling: bool,
 }
 
 impl ShardedAggregate {
@@ -233,7 +306,18 @@ impl ShardedAggregate {
             ranges,
             watchdog: None,
             panic_budget: None,
+            profiling: false,
         })
+    }
+
+    /// Enable engine self-profiling in every shard sim: each
+    /// [`ShardReport`] (and manifest) then carries a
+    /// [`ProfileReport`] — batch-size distribution, pending-depth
+    /// series, event-store op counters. Profiles are deterministic per
+    /// shard; the run pays the engine's outlined profiled loop.
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
+        self
     }
 
     /// Bound every shard's run: end its event loop early once it has
@@ -349,7 +433,43 @@ impl ShardedAggregate {
         secs: f64,
         threads: usize,
     ) -> Result<ShardedRun, ScenarioError> {
+        self.run_observed(secs, threads, None)
+    }
+
+    /// [`ShardedAggregate::run_for_secs_with_threads`] that also emits
+    /// structured lifecycle events — run start/finish, per-shard
+    /// completion, panic/retry, watchdog truncation, fault-plan
+    /// activation, observer gap windows — into `log`. Events are
+    /// emitted by the coordinator after the fan-out, so the simulated
+    /// results are byte-identical to an unlogged run.
+    pub fn run_for_secs_logged(
+        &self,
+        secs: f64,
+        threads: usize,
+        log: &mut EventLog,
+    ) -> Result<ShardedRun, ScenarioError> {
+        self.run_observed(secs, threads, Some(log))
+    }
+
+    fn run_observed(
+        &self,
+        secs: f64,
+        threads: usize,
+        mut log: Option<&mut EventLog>,
+    ) -> Result<ShardedRun, ScenarioError> {
         let start = Instant::now();
+        if let Some(l) = log.as_deref_mut() {
+            l.emit(HarnessEvent::RunStart {
+                seed: self.builder.seed(),
+                shards: self.shards(),
+                flows: self.builder.aggregate_spec().map_or(0, |s| s.flows),
+            });
+            if let Some(plan) = self.builder.aggregate_spec().and_then(|s| s.faults) {
+                l.emit(HarnessEvent::FaultPlanActive {
+                    summary: format!("{plan:?}"),
+                });
+            }
+        }
         let shard_ids: Vec<usize> = (0..self.shards()).collect();
         let attempts = parallel_map_init_catching(
             shard_ids,
@@ -364,9 +484,20 @@ impl ShardedAggregate {
                 // Worker panic: one fresh-rebuild retry. The shard is a
                 // closed deterministic sub-sim, so a clean retry
                 // reproduces the lost result exactly.
-                Err(_panic) => {
+                Err(panic) => {
+                    if let Some(l) = log.as_deref_mut() {
+                        l.emit(HarnessEvent::ShardPanicked {
+                            shard: s,
+                            cause: panic.message,
+                        });
+                    }
                     match catch_unwind(AssertUnwindSafe(|| self.run_shard(&mut None, s, secs))) {
-                        Ok(report) => report?,
+                        Ok(report) => {
+                            if let Some(l) = log.as_deref_mut() {
+                                l.emit(HarnessEvent::ShardRetried { shard: s });
+                            }
+                            report?
+                        }
                         Err(payload) => {
                             return Err(ScenarioError::ShardFailed {
                                 shard: s,
@@ -376,6 +507,15 @@ impl ShardedAggregate {
                     }
                 }
             };
+            if let Some(l) = log.as_deref_mut() {
+                l.emit(HarnessEvent::ShardFinished {
+                    shard: report.shard,
+                    events: report.events,
+                    arrivals: report.arrivals,
+                    windows: report.windows.len(),
+                    interrupted: report.interrupted,
+                });
+            }
             shards.push(report);
         }
         let mut windows = Vec::new();
@@ -385,15 +525,91 @@ impl ShardedAggregate {
         // A watchdog-interrupted shard contributes a shorter series;
         // truncate the merge to the prefix every shard fully simulated
         // so partial results never mix complete and incomplete windows.
+        // The truncation is announced prominently: a silently shortened
+        // series reads as a complete run to anyone who does not think
+        // to check the interrupted flags.
         if shards.iter().any(|r| r.interrupted) {
             let complete = shards.iter().map(|r| r.windows.len()).min().unwrap_or(0);
+            let dropped = windows.len().saturating_sub(complete);
             windows.truncate(complete);
+            if let Some(l) = log.as_deref_mut() {
+                if let Some(first) = shards.iter().find(|r| r.interrupted) {
+                    l.emit(HarnessEvent::WatchdogTruncation {
+                        complete_windows: complete,
+                        dropped,
+                        first_tripped_shard: first.shard,
+                        sim_nanos: first.truncated_at_nanos.unwrap_or(0),
+                    });
+                }
+            }
+        }
+        if let Some(l) = log {
+            for (i, w) in windows.iter().enumerate() {
+                if w.coverage < 1.0 {
+                    l.emit(HarnessEvent::ObserverGap {
+                        window: i,
+                        coverage: w.coverage,
+                    });
+                }
+            }
+            l.emit(HarnessEvent::RunFinished {
+                events: shards.iter().map(|r| r.events).sum(),
+                arrivals: shards.iter().map(|r| r.arrivals).sum(),
+                windows: windows.len(),
+                interrupted: shards.iter().any(|r| r.interrupted),
+            });
         }
         Ok(ShardedRun {
             windows,
             shards,
             wall_secs: start.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Build the machine-readable manifest of a finished run: seed,
+    /// spec digest, totals, per-shard breakdown (with profiles when
+    /// enabled), the merged metric snapshot, and — when a watchdog cut
+    /// the run short — an explicit truncation record, so a partial
+    /// result can never be mistaken for a complete one.
+    pub fn manifest(&self, bin: &str, run: &ShardedRun) -> RunManifest {
+        let digest = linkpad_obs::fnv1a(format!("{:?}", self.builder).as_bytes());
+        let truncation = run
+            .shards
+            .iter()
+            .find(|s| s.interrupted)
+            .map(|s| Truncation {
+                complete_windows: run.windows.len(),
+                first_tripped_shard: s.shard,
+                sim_nanos: s.truncated_at_nanos.unwrap_or(0),
+            });
+        RunManifest {
+            bin: bin.to_string(),
+            seed: self.builder.seed(),
+            spec_digest: format!("fnv1a:{digest:016x}"),
+            interrupted: run.interrupted(),
+            truncation,
+            wall_secs: run.wall_secs,
+            events: run.events(),
+            arrivals: run.arrivals(),
+            windows: run.windows.len(),
+            peak_pending: run.pending_peak(),
+            shards: run
+                .shards
+                .iter()
+                .map(|s| ShardManifest {
+                    shard: s.shard,
+                    flow_start: s.flow_range.0,
+                    flow_count: s.flow_range.1,
+                    events: s.events,
+                    arrivals: s.arrivals,
+                    windows: s.windows.len(),
+                    pending_peak: s.pending_peak,
+                    interrupted: s.interrupted,
+                    profile: s.profile.clone(),
+                })
+                .collect(),
+            metrics: run.merged_metrics(),
+        }
     }
 
     /// One worker step: build (or reset-reuse) shard `s`'s sub-sim, run
@@ -432,6 +648,13 @@ impl ShardedAggregate {
             // A reused slot may carry a previous configuration.
             None => scenario.sim.clear_watchdog(),
         }
+        if self.profiling {
+            // (Re)start the profile at the run boundary; a reused slot
+            // may carry a stale one.
+            scenario.sim.enable_profiling();
+        } else {
+            scenario.sim.disable_profiling();
+        }
         // Run in slices, sampling the pending-event population for the
         // memory high-water report. A tripped watchdog makes the
         // remaining slices no-ops.
@@ -464,14 +687,19 @@ impl ShardedAggregate {
                 windows.truncate(complete);
             }
         }
+        let arrivals = observer.arrivals();
+        let metrics = window_metrics(&windows, arrivals, pending_peak);
         Ok(ShardReport {
             shard: s,
             flow_range: self.ranges[s],
             windows,
-            arrivals: observer.arrivals(),
+            arrivals,
             events: scenario.sim.events_processed(),
             pending_peak,
             interrupted,
+            truncated_at_nanos: interrupted.then(|| scenario.sim.now().as_nanos()),
+            metrics,
+            profile: scenario.sim.profile_report(),
         })
     }
 }
