@@ -1,0 +1,516 @@
+//! Baseline trajectory report: walk **every** committed `BENCH_N.json`
+//! (not just the newest pair the CI gate diffs) and render each
+//! directional metric's whole history — per-baseline values, the
+//! machine-speed drift between consecutive recordings, and net
+//! raw/drift-corrected changes over the full trajectory.
+//!
+//! The drift model does double duty here: beyond correcting each
+//! consecutive step, a pooled yardstick factor far from ×1.0 *is* the
+//! container-transition detector — the heap reference's code never
+//! changes, so a step where it moves >15 % is the machine changing
+//! under the benchmarks, not the product (the workspace's known
+//! transition sits between the PR 4 and PR 5 recordings; see ROADMAP).
+//! Such steps are annotated in both outputs so nobody reads a
+//! container swap as a code regression (or masks one with it).
+//!
+//! Usage:
+//! * `bench_trend` — auto-discover all `BENCH_N.json` at the workspace
+//!   root, print the markdown report to stdout.
+//! * `bench_trend --md <report.md>` — also write the markdown report.
+//! * `bench_trend --json <report.json>` — also write the
+//!   machine-readable trajectory (schema [`TREND_SCHEMA`]).
+//! * `bench_trend <dir>` — read baselines from an explicit directory.
+//!
+//! Exit code 0 = report produced (even from a single baseline),
+//! 2 = usage/parse error or no baselines at all.
+
+use linkpad_bench::compare::{
+    all_baselines, compare_reports, flatten_metrics, measure_drift, metric_direction, Json,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Schema tag of the machine-readable trend report.
+const TREND_SCHEMA: &str = "linkpad-bench-trend-v1";
+
+/// A consecutive-pair pooled drift factor this far from ×1.0 marks a
+/// container transition: the yardstick's own run-to-run noise on one
+/// machine is ±10–15 % at minute scale (see `DriftModel` docs and the
+/// ROADMAP noise notes), so only a shift beyond that band is evidence
+/// of a different machine rather than a different minute.
+const TRANSITION_DRIFT: f64 = 0.15;
+
+/// Container transitions recorded in repo history: `(from, to, note)`
+/// over `BENCH_N` indices. The threshold detector above only sees
+/// swaps that *move* the yardstick — the documented PR 4 → PR 5 swap
+/// changed the container without changing its heap-microbench speed
+/// class (pooled drift read ×1.05, the calmest step in the
+/// trajectory), so recorded history is the only honest source for it.
+/// ROADMAP §Performance baseline pins the same discontinuity:
+/// absolute numbers are not comparable across this step.
+const KNOWN_TRANSITIONS: &[(u64, u64, &str)] = &[(
+    4,
+    5,
+    "CI-class container changed between the PR 4 and PR 5 recordings (ROADMAP)",
+)];
+
+/// One parsed committed baseline.
+struct Baseline {
+    n: u64,
+    json: Json,
+}
+
+/// One consecutive-baseline step of the trajectory.
+struct Step {
+    from: u64,
+    to: u64,
+    drift: f64,
+    transition: bool,
+    /// `KNOWN_TRANSITIONS` note when this step is a recorded container
+    /// swap (annotated even when the yardstick read same-speed-class).
+    recorded: Option<&'static str>,
+    /// metric path → (raw change, drift-corrected change), fractional.
+    changes: Vec<(String, f64, f64)>,
+}
+
+/// One directional metric's history across the trajectory.
+struct Trend {
+    metric: String,
+    higher_is_better: bool,
+    /// Value per baseline, aligned with the baseline list (`None`
+    /// where the metric did not exist yet / was retired).
+    values: Vec<Option<f64>>,
+    /// Net fractional changes chained over every step where both ends
+    /// carry the metric; `None` if no step did.
+    net_raw: Option<f64>,
+    net_corrected: Option<f64>,
+}
+
+/// Chain consecutive steps into per-metric trajectories.
+fn assemble_trends(baselines: &[Baseline], steps: &[Step]) -> Vec<Trend> {
+    // Directional metric paths in first-seen source order.
+    let mut order: Vec<(String, bool)> = Vec::new();
+    let flats: Vec<Vec<(String, f64)>> =
+        baselines.iter().map(|b| flatten_metrics(&b.json)).collect();
+    for flat in &flats {
+        for (path, _) in flat {
+            if let Some(up) = metric_direction(path) {
+                if !order.iter().any(|(p, _)| p == path) {
+                    order.push((path.clone(), up));
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|(metric, up)| {
+            let values: Vec<Option<f64>> = flats
+                .iter()
+                .map(|flat| flat.iter().find(|(p, _)| *p == metric).map(|(_, v)| *v))
+                .collect();
+            let mut net_raw: Option<f64> = None;
+            let mut net_corrected: Option<f64> = None;
+            for step in steps {
+                if let Some((_, raw, corrected)) =
+                    step.changes.iter().find(|(p, _, _)| *p == metric)
+                {
+                    net_raw = Some(net_raw.unwrap_or(1.0) * (1.0 + raw));
+                    net_corrected = Some(net_corrected.unwrap_or(1.0) * (1.0 + corrected));
+                }
+            }
+            Trend {
+                metric,
+                higher_is_better: up,
+                values,
+                net_raw: net_raw.map(|r| r - 1.0),
+                net_corrected: net_corrected.map(|r| r - 1.0),
+            }
+        })
+        .collect()
+}
+
+/// Compact value formatting for the markdown table: three significant
+/// figures, scientific above 10⁵ so ev/s columns stay readable.
+fn fmt_value(v: f64) -> String {
+    if v.abs() >= 1e5 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn render_markdown(baselines: &[Baseline], steps: &[Step], trends: &[Trend]) -> String {
+    let mut out = String::new();
+    let ns: Vec<String> = baselines.iter().map(|b| b.n.to_string()).collect();
+    out.push_str(&format!(
+        "# Bench trend — {} committed baselines (BENCH_{{{}}})\n\n",
+        baselines.len(),
+        ns.join(",")
+    ));
+    out.push_str(
+        "Directional metrics only (the same classification the CI gate uses); \
+         `corrected` divides each step's pooled heap-yardstick drift factor out, so it\n\
+         reads as the code-attributable change. Steps whose yardstick moved >15% are\n\
+         container transitions, as are swaps recorded in repo history (a same-speed-class\n\
+         swap never moves the yardstick) — absolute values across them are not comparable.\n\n",
+    );
+    out.push_str("## Machine-speed drift per step\n\n");
+    out.push_str("| step | pooled drift | note |\n|---|---|---|\n");
+    for s in steps {
+        out.push_str(&format!(
+            "| BENCH_{} → BENCH_{} | ×{:.3} | {} |\n",
+            s.from,
+            s.to,
+            s.drift,
+            match (s.recorded, s.transition) {
+                (Some(note), _) => format!("**container transition** (recorded: {note})"),
+                (None, true) =>
+                    "**container transition** (yardstick moved beyond noise)".to_string(),
+                (None, false) => String::new(),
+            }
+        ));
+    }
+    out.push_str("\n## Metric trajectories\n\n");
+    out.push_str("| metric | dir |");
+    for b in baselines {
+        out.push_str(&format!(" B{} |", b.n));
+    }
+    out.push_str(" net raw | net corrected |\n|---|---|");
+    for _ in baselines {
+        out.push_str("---|");
+    }
+    out.push_str("---|---|\n");
+    for t in trends {
+        out.push_str(&format!(
+            "| `{}` | {} |",
+            t.metric,
+            if t.higher_is_better { "↑" } else { "↓" }
+        ));
+        for v in &t.values {
+            match v {
+                Some(v) => out.push_str(&format!(" {} |", fmt_value(*v))),
+                None => out.push_str(" — |"),
+            }
+        }
+        let pct = |c: Option<f64>| match c {
+            Some(c) => format!("{:+.1}%", c * 100.0),
+            None => "—".to_string(),
+        };
+        out.push_str(&format!(
+            " {} | {} |\n",
+            pct(t.net_raw),
+            pct(t.net_corrected)
+        ));
+    }
+    out
+}
+
+fn render_json(baselines: &[Baseline], steps: &[Step], trends: &[Trend]) -> String {
+    use linkpad_obs::json::{escape, num};
+    let ns: Vec<String> = baselines.iter().map(|b| b.n.to_string()).collect();
+    let step_objs: Vec<String> = steps
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"from\":{},\"to\":{},\"drift_factor\":{},\"container_transition\":{},\
+                 \"recorded_transition\":{},\"compared_metrics\":{}}}",
+                s.from,
+                s.to,
+                num(s.drift),
+                s.transition,
+                match s.recorded {
+                    Some(note) => format!("\"{}\"", escape(note)),
+                    None => "null".to_string(),
+                },
+                s.changes.len()
+            )
+        })
+        .collect();
+    let trend_objs: Vec<String> = trends
+        .iter()
+        .map(|t| {
+            let values: Vec<String> = t
+                .values
+                .iter()
+                .zip(baselines)
+                .filter_map(|(v, b)| {
+                    v.map(|v| format!("{{\"baseline\":{},\"value\":{}}}", b.n, num(v)))
+                })
+                .collect();
+            let pct = |c: Option<f64>| match c {
+                Some(c) => num(c * 100.0),
+                None => "null".to_string(),
+            };
+            format!(
+                "    {{\"metric\":\"{}\",\"higher_is_better\":{},\"values\":[{}],\
+                 \"net_raw_change_pct\":{},\"net_corrected_change_pct\":{}}}",
+                escape(&t.metric),
+                t.higher_is_better,
+                values.join(","),
+                pct(t.net_raw),
+                pct(t.net_corrected),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"{TREND_SCHEMA}\",\n  \"baselines\": [{}],\n  \
+         \"steps\": [\n{}\n  ],\n  \"metrics\": [\n{}\n  ]\n}}\n",
+        ns.join(","),
+        step_objs.join(",\n"),
+        trend_objs.join(",\n"),
+    )
+}
+
+fn build_steps(baselines: &[Baseline]) -> Vec<Step> {
+    baselines
+        .windows(2)
+        .map(|pair| {
+            let (prev, new) = (&pair[0], &pair[1]);
+            let drift = measure_drift(&prev.json, &new.json);
+            let changes = compare_reports(&prev.json, &new.json)
+                .into_iter()
+                .map(|c| {
+                    let corrected = c.drift_corrected_change(drift.global());
+                    (c.metric, c.change, corrected)
+                })
+                .collect();
+            let recorded = KNOWN_TRANSITIONS
+                .iter()
+                .find(|(f, t, _)| *f == prev.n && *t == new.n)
+                .map(|(_, _, note)| *note);
+            Step {
+                from: prev.n,
+                to: new.n,
+                drift: drift.global(),
+                transition: (drift.global() - 1.0).abs() > TRANSITION_DRIFT || recorded.is_some(),
+                recorded,
+                changes,
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut md_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--md" => match raw.next() {
+                Some(p) => md_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bench_trend: --md needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match raw.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bench_trend: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ if dir.is_none() && !a.starts_with('-') => dir = Some(PathBuf::from(a)),
+            _ => {
+                eprintln!("usage: bench_trend [--md <report.md>] [--json <report.json>] [<dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let dir = dir.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let mut baselines = Vec::new();
+    for (n, path) in all_baselines(&dir) {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_trend: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Json::parse(&text) {
+            Ok(json) => baselines.push(Baseline { n, json }),
+            Err(e) => {
+                eprintln!("bench_trend: parsing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_trend: no BENCH_N.json baselines in {}",
+            dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let steps = build_steps(&baselines);
+    let trends = assemble_trends(&baselines, &steps);
+    let md = render_markdown(&baselines, &steps, &trends);
+    print!("{md}");
+    if let Some(path) = &md_path {
+        if let Err(e) = std::fs::write(path, &md) {
+            eprintln!("bench_trend: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("bench_trend: wrote {}", path.display());
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, render_json(&baselines, &steps, &trends)) {
+            eprintln!("bench_trend: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("bench_trend: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(n: u64, text: &str) -> Baseline {
+        Baseline {
+            n,
+            json: Json::parse(text).unwrap(),
+        }
+    }
+
+    const B1: &str = r#"{
+      "event_loop": [
+        { "pending": 4096, "engine_events_per_sec": 10000000, "heap_reference_events_per_sec": 5000000 }
+      ],
+      "sweep_wall_clock_secs": 0.040
+    }"#;
+
+    #[test]
+    fn transition_steps_are_annotated_and_corrected_changes_chain() {
+        // Step 1→2: container halves in speed (yardstick ×0.5, engine
+        // ×0.5 — pure machine). Step 2→3: same machine, engine +20%.
+        const B2: &str = r#"{
+          "event_loop": [
+            { "pending": 4096, "engine_events_per_sec": 5000000, "heap_reference_events_per_sec": 2500000 }
+          ],
+          "sweep_wall_clock_secs": 0.080
+        }"#;
+        const B3: &str = r#"{
+          "event_loop": [
+            { "pending": 4096, "engine_events_per_sec": 6000000, "heap_reference_events_per_sec": 2500000 }
+          ],
+          "sweep_wall_clock_secs": 0.080
+        }"#;
+        let baselines = vec![parse(1, B1), parse(2, B2), parse(3, B3)];
+        let steps = build_steps(&baselines);
+        assert_eq!(steps.len(), 2);
+        assert!(steps[0].transition, "×0.5 yardstick step is a transition");
+        assert!((steps[0].drift - 0.5).abs() < 1e-9);
+        assert!(!steps[1].transition, "same-machine step is not");
+        let trends = assemble_trends(&baselines, &steps);
+        let engine = trends
+            .iter()
+            .find(|t| t.metric.contains("engine_events_per_sec"))
+            .unwrap();
+        assert!(engine.higher_is_better);
+        assert_eq!(engine.values.len(), 3);
+        // Raw net: ×0.5 then ×1.2 → −40%. Corrected net: the machine
+        // halving divides out of step 1, leaving only the +20%.
+        assert!((engine.net_raw.unwrap() - (-0.4)).abs() < 1e-9);
+        assert!((engine.net_corrected.unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_cover_every_baseline_and_parse_back() {
+        let baselines = vec![parse(1, B1), parse(2, B1)];
+        let steps = build_steps(&baselines);
+        let trends = assemble_trends(&baselines, &steps);
+        let md = render_markdown(&baselines, &steps, &trends);
+        assert!(md.contains("BENCH_{1,2}"));
+        assert!(md.contains("| B1 | B2 |"));
+        assert!(md.contains("engine_events_per_sec"));
+        // Context-only paths never appear as trended metrics.
+        assert!(!md.contains("`event_loop[pending=4096].pending`"));
+        let json = render_json(&baselines, &steps, &trends);
+        let parsed = Json::parse(&json).expect("trend JSON parses with the mini parser");
+        assert_eq!(parsed.get("schema"), Some(&Json::Str(TREND_SCHEMA.into())));
+        let Some(Json::Arr(metrics)) = parsed.get("metrics") else {
+            panic!("metrics is an array")
+        };
+        assert!(!metrics.is_empty());
+        // Identical baselines: zero net change, no transition flagged.
+        let engine = metrics
+            .iter()
+            .find(|m| {
+                m.get("metric")
+                    .is_some_and(|s| matches!(s, Json::Str(s) if s.contains("engine")))
+            })
+            .unwrap();
+        assert_eq!(
+            engine.get("net_corrected_change_pct").unwrap().as_f64(),
+            Some(0.0)
+        );
+        let Some(Json::Arr(steps_json)) = parsed.get("steps") else {
+            panic!("steps is an array")
+        };
+        assert_eq!(
+            steps_json[0].get("container_transition"),
+            Some(&Json::Bool(false))
+        );
+    }
+
+    #[test]
+    fn recorded_transitions_annotate_even_same_speed_steps() {
+        // Bit-identical baselines numbered 4 and 5: the yardstick reads
+        // ×1.0, yet the step is the recorded PR 4 → PR 5 container swap
+        // and must be annotated from history.
+        let baselines = vec![parse(4, B1), parse(5, B1)];
+        let steps = build_steps(&baselines);
+        assert!((steps[0].drift - 1.0).abs() < 1e-9);
+        assert!(steps[0].transition, "recorded swap is a transition");
+        assert!(steps[0].recorded.is_some());
+        let md = render_markdown(&baselines, &steps, &[]);
+        assert!(md.contains("recorded: CI-class container changed"));
+        let json = Json::parse(&render_json(&baselines, &steps, &[])).unwrap();
+        let Some(Json::Arr(steps_json)) = json.get("steps") else {
+            panic!("steps is an array")
+        };
+        assert!(matches!(
+            steps_json[0].get("recorded_transition"),
+            Some(Json::Str(s)) if s.contains("PR 4 and PR 5")
+        ));
+    }
+
+    #[test]
+    fn trend_covers_the_workspace_committed_baselines() {
+        // The real committed trajectory: every BENCH_N.json at the
+        // workspace root must parse and land in the report.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let found = all_baselines(&root);
+        assert!(found.len() >= 2, "workspace has a baseline trajectory");
+        let baselines: Vec<Baseline> = found
+            .iter()
+            .map(|(n, p)| parse(*n, &std::fs::read_to_string(p).unwrap()))
+            .collect();
+        let steps = build_steps(&baselines);
+        assert_eq!(steps.len(), baselines.len() - 1);
+        let trends = assemble_trends(&baselines, &steps);
+        assert!(!trends.is_empty());
+        let md = render_markdown(&baselines, &steps, &trends);
+        for (n, _) in &found {
+            assert!(md.contains(&format!("B{n} |")), "baseline {n} in table");
+        }
+        // The recorded BENCH_4 → BENCH_5 container swap is part of the
+        // committed trajectory and must carry its annotation.
+        assert!(
+            steps
+                .iter()
+                .any(|s| s.from == 4 && s.to == 5 && s.transition && s.recorded.is_some()),
+            "recorded container transition annotated in the committed trajectory"
+        );
+        Json::parse(&render_json(&baselines, &steps, &trends))
+            .expect("workspace trend JSON parses");
+    }
+}

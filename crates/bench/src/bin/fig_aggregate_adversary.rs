@@ -25,14 +25,32 @@
 //!
 //! Scale via `LINKPAD_SCALE` (`quick` for CI smoke, `paper` default).
 //! Run: `cargo run --release -p linkpad-bench --bin fig_aggregate_adversary`
+//!
+//! Observability flags (see DESIGN.md §Observability):
+//! * `--report <path>` — write the machine-readable run manifest of the
+//!   largest-N flow-count run (schema `linkpad-run-manifest-v1`). Also
+//!   enables engine profiling for part 1.
+//! * `--events <path>` — write the harness lifecycle event log of the
+//!   part-1 runs as JSONL (schema header + run/shard records).
+//! * `--trace <path>` — write the Chrome trace-event JSON (Perfetto /
+//!   `chrome://tracing` loadable) of the largest-N flow-count run's
+//!   event loop. Also enables causal tracing for part 1.
+//!
+//! Part 1 runs through the one-shard [`ShardedAggregate`] path — bit-
+//! identical to the plain single sim (see `linkpad_workloads::shard`) —
+//! so the manifest/event-log/trace plumbing is the same one the sharded
+//! figures use.
 
 use linkpad_adversary::aggregate::{best_phase, estimate_flow_count};
 use linkpad_adversary::feature::SampleMean;
 use linkpad_adversary::pipeline::DetectionStudy;
 use linkpad_bench::runner::Budget;
 use linkpad_bench::table::{fmt_rate, Table};
+use linkpad_obs::EventLog;
 use linkpad_sim::time::SimTime;
 use linkpad_workloads::scenario::ScenarioBuilder;
+use linkpad_workloads::shard::ShardedAggregate;
+use std::path::PathBuf;
 
 /// Low/high payload rates of the switching target (the paper's ω pair).
 const RATES: [f64; 2] = [10.0, 40.0];
@@ -40,6 +58,34 @@ const RATES: [f64; 2] = [10.0, 40.0];
 const DWELL: f64 = 5.0;
 
 fn main() {
+    let mut report_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--report" | "--events" | "--trace" => match argv.next() {
+                Some(p) if arg == "--report" => report_path = Some(PathBuf::from(p)),
+                Some(p) if arg == "--events" => events_path = Some(PathBuf::from(p)),
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("fig_aggregate_adversary: {arg} needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("fig_aggregate_adversary: unknown argument {other:?}");
+                eprintln!(
+                    "usage: fig_aggregate_adversary [--report <path>] [--events <path>] \
+                     [--trace <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let observing = report_path.is_some() || events_path.is_some() || trace_path.is_some();
+    let mut log = EventLog::new();
+
     let budget = Budget::from_env();
     let tau = ScenarioBuilder::aggregate(1, 1).defaults.tau;
 
@@ -52,21 +98,35 @@ fn main() {
         ),
         &["flows", "windows", "mean_count", "n_hat", "err_pct"],
     );
+    let mut manifest = None;
+    let mut trace = None;
     for &n in &[10usize, 100, 1000] {
         let (skip, measured) = (5usize, 25usize);
         let b = ScenarioBuilder::aggregate(41 + n as u64, n)
             .with_payload_rate(RATES[0])
-            .with_trunk_observer(window);
-        let mut s = b.build().expect("aggregate observer scenario builds");
-        s.run_for_secs(window * (skip + measured + 1) as f64);
-        let obs = s
-            .aggregate
-            .as_ref()
-            .unwrap()
-            .trunk_observer
-            .clone()
-            .unwrap();
-        let counts = obs.counts();
+            .with_trunk_observer(window)
+            .with_shards(1);
+        // One shard reproduces the plain single sim bit-for-bit while
+        // carrying the manifest/profile/trace plumbing.
+        let mut sharded = ShardedAggregate::new(b).expect("one-shard configuration valid");
+        if report_path.is_some() {
+            sharded = sharded.with_profiling();
+        }
+        if trace_path.is_some() {
+            sharded = sharded.with_tracing();
+        }
+        let sim_secs = window * (skip + measured + 1) as f64;
+        let run = if observing {
+            sharded.run_for_secs_logged(sim_secs, 1, &mut log)
+        } else {
+            sharded.run_for_secs(sim_secs)
+        }
+        .expect("one-shard run completes");
+        // The manifest and trace record the largest-N run — the headline
+        // scale point of the flow-count gate.
+        manifest = Some(sharded.manifest("fig_aggregate_adversary", &run));
+        trace = run.shards[0].trace.clone();
+        let counts = run.counts();
         let est = estimate_flow_count(&counts[skip..skip + measured], window / tau)
             .expect("estimator over steady-state windows");
         let err_pct = est.relative_error(n) * 100.0;
@@ -89,6 +149,24 @@ fn main() {
     est_table.print();
     est_table.save_csv("fig_aggregate_flow_count").unwrap();
     println!("✓ flow-count estimate within ±10% for N ∈ {{10, 100, 1000}}");
+    if let (Some(path), Some(manifest)) = (&report_path, &manifest) {
+        manifest.write(path).expect("write run manifest");
+        println!("wrote run manifest to {}", path.display());
+    }
+    if let Some(path) = &events_path {
+        log.write_jsonl(path).expect("write harness event log");
+        println!("wrote harness event log to {}", path.display());
+    }
+    if let Some(path) = &trace_path {
+        let report = trace.as_ref().expect("tracing was enabled for part 1");
+        std::fs::write(path, report.chrome_trace_json()).expect("write chrome trace");
+        println!(
+            "wrote Perfetto-loadable trace ({} records, stride {}) to {}",
+            report.records.len(),
+            report.stride,
+            path.display()
+        );
+    }
 
     // Variance-law cross-check at a fractional window (f(1−f) ≈ 0.23):
     // slower to converge, but independent of the rate law's τ scaling.

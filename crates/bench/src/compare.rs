@@ -323,6 +323,24 @@ fn higher_is_better(path: &str) -> Option<bool> {
     }
 }
 
+/// Flatten a parsed baseline's numeric leaves to `(path, value)` pairs
+/// in source order — the exact paths [`compare_reports`] matches on
+/// (array elements keyed by their `pending`/`flows` discriminator).
+/// `bench_trend` uses this to line one metric up across the whole
+/// committed baseline trajectory.
+pub fn flatten_metrics(json: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    flatten(json, "", &mut out);
+    out
+}
+
+/// Direction of a flattened metric path: `Some(true)` = higher is
+/// better, `Some(false)` = lower is better, `None` = context only
+/// (shape parameters, yardstick readings — never compared or trended).
+pub fn metric_direction(path: &str) -> Option<bool> {
+    higher_is_better(path)
+}
+
 /// One matched metric across two baseline reports.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -634,11 +652,13 @@ pub fn comparison_json(prev: &Json, new: &Json, threshold: f64) -> String {
     )
 }
 
-/// Find the two highest-numbered `BENCH_N.json` files in `dir`,
-/// returned as `(previous, newest)`. `None` if fewer than two exist.
-pub fn latest_two_baselines(dir: &Path) -> Option<(PathBuf, PathBuf)> {
+/// Every `BENCH_N.json` file in `dir`, sorted ascending by `N` — the
+/// whole recorded baseline trajectory (`bench_trend` walks all of it;
+/// [`latest_two_baselines`] takes the tail pair for the CI gate).
+pub fn all_baselines(dir: &Path) -> Vec<(u64, PathBuf)> {
     let mut numbered: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
-        .ok()?
+        .into_iter()
+        .flatten()
         .flatten()
         .filter_map(|entry| {
             let name = entry.file_name().into_string().ok()?;
@@ -651,7 +671,13 @@ pub fn latest_two_baselines(dir: &Path) -> Option<(PathBuf, PathBuf)> {
         })
         .collect();
     numbered.sort();
-    match numbered.as_slice() {
+    numbered
+}
+
+/// Find the two highest-numbered `BENCH_N.json` files in `dir`,
+/// returned as `(previous, newest)`. `None` if fewer than two exist.
+pub fn latest_two_baselines(dir: &Path) -> Option<(PathBuf, PathBuf)> {
+    match all_baselines(dir).as_slice() {
         [.., (_, prev), (_, newest)] => Some((prev.clone(), newest.clone())),
         _ => None,
     }
@@ -1142,10 +1168,17 @@ mod tests {
         ] {
             std::fs::write(dir.join(name), "{}").unwrap();
         }
+        let all = all_baselines(&dir);
+        assert_eq!(
+            all.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec![1, 2, 10],
+            "numeric sort, non-baselines ignored"
+        );
         let (prev, newest) = latest_two_baselines(&dir).unwrap();
         assert!(prev.ends_with("BENCH_2.json"));
         assert!(newest.ends_with("BENCH_10.json"));
         std::fs::remove_dir_all(&dir).unwrap();
+        assert!(all_baselines(Path::new("/nonexistent-bench-dir")).is_empty());
 
         let empty =
             std::env::temp_dir().join(format!("bench_compare_empty_{}", std::process::id()));

@@ -561,6 +561,44 @@ pub fn telemetry_overhead_aggregate(flows: usize, sim_secs: f64) -> TelemetryMea
     }
 }
 
+/// Causal-trace cost on the timer microbench (the `event_loop` shape):
+/// one plain / disabled / enabled round, back to back. Same three-state
+/// protocol as [`telemetry_overhead_event_loop`] — `disabled` is
+/// enable-then-disable and must match `plain` to noise (the `<1%` gate
+/// `perf_baseline` asserts for tracing too), `enabled` is the honest
+/// cost of the outlined traced loop with provenance threading.
+pub fn tracing_overhead_event_loop(events: u64, pending: usize) -> TelemetryMeasurement {
+    TelemetryMeasurement {
+        plain_events_per_sec: sim_events_per_sec_with(events, pending, |_| {}),
+        disabled_events_per_sec: sim_events_per_sec_with(events, pending, |sim| {
+            sim.enable_tracing();
+            sim.disable_tracing();
+        }),
+        enabled_events_per_sec: sim_events_per_sec_with(events, pending, |sim| {
+            sim.enable_tracing();
+        }),
+    }
+}
+
+/// Causal-trace cost on the real aggregate scenario (the
+/// `aggregate_trunk` shape): one plain / disabled / enabled round,
+/// back to back.
+pub fn tracing_overhead_aggregate(flows: usize, sim_secs: f64) -> TelemetryMeasurement {
+    let base = || ScenarioBuilder::aggregate(1, flows).with_trunk(10e9, 0.1);
+    TelemetryMeasurement {
+        plain_events_per_sec: scenario_throughput_with(base(), sim_secs, |_| {}).events_per_sec,
+        disabled_events_per_sec: scenario_throughput_with(base(), sim_secs, |sim| {
+            sim.enable_tracing();
+            sim.disable_tracing();
+        })
+        .events_per_sec,
+        enabled_events_per_sec: scenario_throughput_with(base(), sim_secs, |sim| {
+            sim.enable_tracing();
+        })
+        .events_per_sec,
+    }
+}
+
 /// An engine profile of the aggregate-trunk workload: build the real
 /// scenario, warm it, profile `sim_secs` of steady state. The evidence
 /// record behind the dispatch bound — batch sizes, depth series, store
@@ -574,6 +612,28 @@ pub fn aggregate_trunk_profile(flows: usize, sim_secs: f64) -> linkpad_obs::Prof
     s.sim
         .profile_report()
         .expect("profiling was enabled for the span")
+}
+
+/// A sampled wall-time attribution of the aggregate-trunk workload:
+/// where each dispatch's nanoseconds go (store pop + batch collection
+/// vs `Context` build vs the node handler), per node label. Runs the
+/// same warmed scenario as [`aggregate_trunk_profile`] through the
+/// engine's `run_until_attributed` twin, sampling every
+/// `sample_every`-th dispatch. Recorded as context in the baseline's
+/// `engine_profile` section — evidence for the dispatch bound, never a
+/// gated number (it is wall-clock and container-dependent).
+pub fn aggregate_trunk_attribution(
+    flows: usize,
+    sim_secs: f64,
+    sample_every: u64,
+) -> linkpad_sim::AttributionReport {
+    let b = ScenarioBuilder::aggregate(1, flows).with_trunk(10e9, 0.1);
+    let mut s = b.build().expect("aggregate scenario builds");
+    s.run_for_secs(0.25);
+    let mut sampler = linkpad_sim::AttributionSampler::new(sample_every);
+    let until = s.sim.now() + SimDuration::from_secs_f64(sim_secs);
+    s.sim.run_until_attributed(until, &mut sampler);
+    sampler.report()
 }
 
 // ---- Fault-hook overhead ----------------------------------------------
@@ -905,6 +965,33 @@ mod tests {
         assert!(m.arrivals >= 3000, "arrivals {}", m.arrivals);
         assert!(m.merged_windows >= 9, "windows {}", m.merged_windows);
         assert!(m.peak_pending > 0);
+    }
+
+    #[test]
+    fn tracing_measurement_runs_all_three_configurations() {
+        // Tiny shape: correctness only, not timing — all three trace
+        // states must complete the workload at positive throughput.
+        let m = tracing_overhead_event_loop(2_000, 16);
+        assert!(m.plain_events_per_sec > 0.0);
+        assert!(m.disabled_events_per_sec > 0.0);
+        assert!(m.enabled_events_per_sec > 0.0);
+        assert!(m.disabled_overhead_pct().is_finite());
+        let m = tracing_overhead_aggregate(16, 0.2);
+        assert!(m.plain_events_per_sec > 0.0);
+        assert!(m.disabled_events_per_sec > 0.0);
+        assert!(m.enabled_events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn attribution_covers_the_scenario_node_types() {
+        let report = aggregate_trunk_attribution(16, 0.2, 64);
+        assert!(report.dispatches_seen > 0);
+        assert!(report.samples() > 0);
+        assert_eq!(report.sample_every, 64);
+        // The aggregate scenario dispatches at least gateways and
+        // trunk-side nodes; each sampled row accumulated wall time.
+        assert!(report.rows.len() >= 2, "rows {:?}", report.rows.len());
+        assert!(report.total_ns() > 0);
     }
 
     #[test]

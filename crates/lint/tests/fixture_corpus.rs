@@ -93,6 +93,35 @@ fn obs_shaped_wallclock_fires_det_wallclock_outside_tests() {
 }
 
 #[test]
+fn trace_shaped_wallclock_fires_det_wallclock_outside_tests() {
+    // The causal trace recorder is the newest place a host clock could
+    // sneak into deterministic state: three hits in the bad fixture
+    // (the `use`, the record stamp, the epoch-named report) and nothing
+    // else; the sim-time twin — the shape `linkpad_obs::trace` actually
+    // follows — must be clean.
+    let v = lint_fixture("trace_wallclock_bad.rs", &[]);
+    assert_eq!(rules_of(&v), vec!["DET_WALLCLOCK"; 3], "{v:?}");
+    let text = v
+        .iter()
+        .map(|(_, _, m)| m.clone())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("Instant"), "{text}");
+    assert!(text.contains("SystemTime"), "{text}");
+    let src = fixture("trace_wallclock_bad.rs");
+    let test_mod_line = src
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap()
+        + 1;
+    assert!(
+        v.iter().all(|(_, line, _)| *line < test_mod_line),
+        "a violation leaked out of the cfg(test) region: {v:?}"
+    );
+    assert!(lint_fixture("trace_wallclock_good.rs", &[]).is_empty());
+}
+
+#[test]
 fn node_reset_bad_fires_once_with_type_name() {
     let v = lint_fixture("node_reset_bad.rs", &[]);
     assert_eq!(rules_of(&v), vec!["NODE_RESET"]);

@@ -1,0 +1,32 @@
+//! Known-bad fixture: trace-recorder-shaped code that stamps causal
+//! records with the host clock. DET_WALLCLOCK must fire — a trace keyed
+//! to wall time can never replay bit-for-bit under `reset(seed)`, which
+//! is the exact contract the trace determinism tests pin.
+use std::time::Instant;
+
+pub struct Recorder {
+    records: Vec<(u128, u64, u64)>,
+}
+
+impl Recorder {
+    pub fn dispatched(&mut self, seq: u64, parent: u64) {
+        // Wrong clock: trace records must be keyed to *sim* time.
+        let stamp = Instant::now().elapsed().as_nanos();
+        self.records.push((stamp, seq, parent));
+    }
+
+    pub fn report_name(&self) -> String {
+        // Also wrong: a report named after the host epoch can never be
+        // bit-identical across a reset(seed) replay.
+        format!("trace-{:?}", std::time::SystemTime::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Fine here: tests may time freely.
+    #[test]
+    fn t() {
+        let _ = std::time::Instant::now();
+    }
+}

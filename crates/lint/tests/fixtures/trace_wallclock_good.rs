@@ -1,0 +1,31 @@
+//! Known-good twin of `trace_wallclock_bad.rs`: the same recorder shape
+//! with every record keyed to the simulation clock the engine passes
+//! in. Nothing here may trip any rule.
+
+pub struct Recorder {
+    records: Vec<(u64, u64, u64)>,
+}
+
+impl Recorder {
+    /// `sim_nanos` is the engine's clock — a pure function of
+    /// `(spec, seed)` — so traces replay bit-for-bit under reset.
+    pub fn dispatched(&mut self, sim_nanos: u64, seq: u64, parent: u64) {
+        self.records.push((sim_nanos, seq, parent));
+    }
+
+    pub fn report_name(&self, seed: u64) -> String {
+        format!("trace-seed{seed}-{}", self.records.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut r = super::Recorder {
+            records: Vec::new(),
+        };
+        r.dispatched(0, 1, 0);
+        assert_eq!(r.report_name(7), "trace-seed7-1");
+    }
+}

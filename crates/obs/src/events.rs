@@ -11,10 +11,18 @@
 //! between runs.
 //!
 //! The log serializes as JSON Lines — one event per line — so it can be
-//! tailed, grepped, and uploaded as a CI artifact without a parser.
+//! tailed, grepped, and uploaded as a CI artifact without a parser. The
+//! first line is always a schema header record
+//! (`{"schema":"<`[`EVENTS_SCHEMA`]`>"}`), mirroring the versioned
+//! manifests and bench-compare verdicts, so downstream tooling can
+//! reject a log whose field layout it does not understand.
 
 use crate::json::{escape, num};
 use std::time::Instant;
+
+/// Schema tag stamped as the first line of every JSONL rendering. Bump
+/// when an event variant's field layout changes incompatibly.
+pub const EVENTS_SCHEMA: &str = "linkpad-harness-events-v1";
 
 /// One harness lifecycle event. Variants carry only plain data so the
 /// log can be emitted from the sharded coordinator without touching
@@ -211,10 +219,10 @@ impl EventLog {
         self.entries.iter()
     }
 
-    /// Render as JSON Lines: one `{"wall_secs":…,"kind":…,…}` object
-    /// per line, in emission order.
+    /// Render as JSON Lines: a schema header record first, then one
+    /// `{"wall_secs":…,"kind":…,…}` object per line, in emission order.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+        let mut out = format!("{{\"schema\":\"{EVENTS_SCHEMA}\"}}\n");
         for (wall, event) in &self.entries {
             out.push_str(&format!(
                 "{{\"wall_secs\":{},\"kind\":\"{}\"",
@@ -261,15 +269,25 @@ mod tests {
         });
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[0].contains("\"kind\":\"run_start\""));
-        assert!(lines[0].contains("\"seed\":7"));
-        assert!(lines[1].contains("\"cause\":\"boom \\\"quoted\\\"\""));
-        assert!(lines[2].contains("\"interrupted\":false"));
-        for line in lines {
+        assert_eq!(lines.len(), 4, "schema header + 3 events");
+        assert_eq!(lines[0], "{\"schema\":\"linkpad-harness-events-v1\"}");
+        assert!(lines[1].contains("\"kind\":\"run_start\""));
+        assert!(lines[1].contains("\"seed\":7"));
+        assert!(lines[2].contains("\"cause\":\"boom \\\"quoted\\\"\""));
+        assert!(lines[3].contains("\"interrupted\":false"));
+        for line in &lines[1..] {
             assert!(line.starts_with("{\"wall_secs\":"));
             assert!(line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn empty_log_still_stamps_its_schema() {
+        let log = EventLog::new();
+        assert_eq!(
+            log.to_jsonl(),
+            format!("{{\"schema\":\"{EVENTS_SCHEMA}\"}}\n")
+        );
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   `(spec, seed)` and is compared bit-for-bit by the determinism
 //!   tests. No wall clock exists in these modules; `linkpad-lint`'s
 //!   DET_WALLCLOCK rule enforces that.
+//! * [`trace`] extends the deterministic core with *causality*: an
+//!   opt-in bounded recorder whose records carry the **parent event
+//!   id** threaded through the engine's scheduler, plus Perfetto /
+//!   flamegraph exporters. Traces replay bit-for-bit like snapshots.
 //! * [`events`] and [`manifest`] are the harness boundary. Lifecycle
 //!   events carry wall-clock stamps (a shard retry *is* a wall-clock
 //!   phenomenon) and manifests record wall time measured by the caller;
@@ -33,11 +37,13 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod profile;
+pub mod trace;
 
 pub use events::{EventLog, HarnessEvent};
 pub use manifest::{RunManifest, ShardManifest, Truncation};
 pub use metrics::{CounterId, GaugeId, HistId, Histogram, MetricValue, Registry, Snapshot};
 pub use profile::{DepthSample, EngineProfile, ProfileReport, StoreCounters};
+pub use trace::{TraceEventKind, TraceRecord, TraceRecorder, TraceReport, NO_PARENT};
 
 /// FNV-1a 64-bit hash — the spec-digest primitive for run manifests.
 /// Stable across platforms and releases (it is pure arithmetic), so two

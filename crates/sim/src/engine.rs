@@ -17,7 +17,11 @@ use crate::equeue::{Diag, Event, EventKind, EventQueue};
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::{SimDuration, SimTime};
-use linkpad_obs::{EngineProfile, ProfileReport, StoreCounters};
+// The causal-trace recorder gets an alias: `linkpad_sim` has its own
+// (packet-level) `trace::TraceRecorder` node, and the two must not be
+// confused at a glance.
+use linkpad_obs::trace::{TraceEventKind, TraceRecorder as CausalTrace};
+use linkpad_obs::{EngineProfile, ProfileReport, StoreCounters, TraceReport};
 use linkpad_stats::rng::{MasterSeed, Xoshiro256StarStar};
 
 /// View the queue's cumulative op counters as obs store counters (the
@@ -129,6 +133,7 @@ impl SimBuilder {
             watchdog: None,
             watchdog_tripped: false,
             profile: None,
+            trace: None,
         })
     }
 }
@@ -168,6 +173,11 @@ pub struct Sim {
     /// disabled (overwhelmingly common) case costs one pointer of state
     /// and the run loop one branch per run call — mirrors the watchdog.
     profile: Option<Box<EngineProfile>>,
+    /// Causal trace recorder, recorded only while enabled — same
+    /// one-pointer/one-branch disabled contract as the profile. The
+    /// queue's provenance hook ([`EventQueue::trace_arm`]) is armed
+    /// exactly while this is `Some`.
+    trace: Option<Box<CausalTrace>>,
 }
 
 impl Sim {
@@ -230,6 +240,11 @@ impl Sim {
         if let Some(p) = &mut self.profile {
             p.reset(store_counters(self.queue.diag()));
         }
+        // Same contract for an enabled trace (the queue's provenance
+        // hook was already re-zeroed by `clear()` above, staying armed).
+        if let Some(t) = &mut self.trace {
+            t.reset();
+        }
     }
 
     /// Enable engine self-profiling: same-instant batch sizes, the
@@ -266,6 +281,56 @@ impl Sim {
         self.profile
             .as_ref()
             .map(|p| p.report(store_counters(self.queue.diag())))
+    }
+
+    /// Enable causal tracing: every dispatch records `(seq, parent seq,
+    /// sim time, node, kind, batch size)` into a bounded decimating
+    /// ring, with the **parent** threaded through the scheduler — the
+    /// queue logs, for each scheduled event, which event's handler
+    /// scheduled it. Traces are a pure function of `(spec, seed)`, like
+    /// profiles. Enabling on an already traced sim restarts the trace
+    /// from now. While enabled, runs take an outlined traced loop (cost
+    /// asserted <1 % *disabled*, and reported while enabled, by
+    /// `perf_baseline`).
+    pub fn enable_tracing(&mut self) {
+        match &mut self.trace {
+            Some(t) => t.reset(),
+            None => {
+                let labels = self
+                    .nodes
+                    .iter()
+                    .map(|n| n.label().to_string())
+                    .collect::<Vec<_>>();
+                self.trace = Some(Box::new(CausalTrace::new(labels)));
+            }
+        }
+        self.queue.trace_arm();
+    }
+
+    /// Drop the causal trace (if any), disarm the queue's provenance
+    /// hook, and return runs to the plain un-instrumented loop.
+    pub fn disable_tracing(&mut self) {
+        self.trace = None;
+        self.queue.trace_disarm();
+    }
+
+    /// Is causal tracing currently enabled?
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Snapshot the causal trace accumulated since
+    /// [`Sim::enable_tracing`] (or the last [`Sim::reset`]), or `None`
+    /// when tracing is disabled.
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        self.trace.as_ref().map(|t| t.report())
+    }
+
+    /// Builder-style [`Sim::enable_tracing`], for construction chains.
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.enable_tracing();
+        self
     }
 
     /// Arm a run budget: the event loop ends a run early — leaving a
@@ -313,6 +378,11 @@ impl Sim {
         // this loop's codegen.
         if self.watchdog.is_some() || self.watchdog_tripped {
             return self.run_until_guarded(until);
+        }
+        // Trace before profile: the traced loop also records into an
+        // enabled profile (via `record_profile`), the reverse does not.
+        if self.trace.is_some() {
+            return self.run_until_traced(until);
         }
         if self.profile.is_some() {
             return self.run_until_profiled(until);
@@ -363,7 +433,14 @@ impl Sim {
         while let Some(entry) = self.queue.pop_at_or_before(until) {
             self.now = entry.time;
             let is_timer = matches!(entry.kind, EventKind::Timer(_));
-            let consumed = self.dispatch(entry);
+            // Tracing composes with the watchdog the same way profiling
+            // does: the guarded loop takes over the outer loop, the
+            // traced dispatch keeps recording.
+            let consumed = if self.trace.is_some() {
+                self.dispatch_traced(entry)
+            } else {
+                self.dispatch(entry)
+            };
             events += consumed;
             self.record_profile(is_timer, consumed);
             checks += 1;
@@ -420,6 +497,208 @@ impl Sim {
         }
     }
 
+    /// [`Sim::run_until`] with causal tracing enabled (and no watchdog —
+    /// the guarded variant dispatches through the traced path itself
+    /// when both are armed): the profiled loop's shape with the traced
+    /// dispatch, outlined so the plain loop's codegen is untouched.
+    /// Also records into an enabled profile, so tracing and profiling
+    /// compose.
+    #[cold]
+    #[inline(never)]
+    fn run_until_traced(&mut self, until: SimTime) -> RunStats {
+        if self.trace.is_none() {
+            // Only reachable if the routing in run_until changes; fall
+            // back to the plain loop rather than panicking on a run
+            // path.
+            return self.run_until(until);
+        }
+        self.ensure_started();
+        let mut events = 0u64;
+        while let Some(entry) = self.queue.pop_at_or_before(until) {
+            self.now = entry.time;
+            let is_timer = matches!(entry.kind, EventKind::Timer(_));
+            let consumed = self.dispatch_traced(entry);
+            events += consumed;
+            self.record_profile(is_timer, consumed);
+        }
+        if self.now < until && until != SimTime::MAX {
+            self.now = until;
+        }
+        self.events_processed += events;
+        RunStats {
+            events,
+            ended_at_nanos: self.now.as_nanos(),
+        }
+    }
+
+    /// Move pending scheduler birth records (child seq → parent seq)
+    /// from the queue's log into the trace recorder's provenance map.
+    /// Called at the top of every traced dispatch, so an event's birth
+    /// is always in the map before the event fires or is absorbed into
+    /// a batch.
+    fn drain_births(&mut self) {
+        let Some(t) = self.trace.as_deref_mut() else {
+            return;
+        };
+        if let Some(log) = self.queue.trace_births_mut() {
+            for (child, parent) in log.drain(..) {
+                t.birth(child, parent);
+            }
+        }
+    }
+
+    /// [`Sim::dispatch`] plus trace recording. The event semantics are
+    /// a deliberate line-for-line twin of the untraced dispatch — the
+    /// traced≡untraced determinism test pins the two together — with
+    /// provenance bookkeeping around the handler call: drain births,
+    /// mark this event as the current parent, retire batched events'
+    /// provenance as they are collected, record after the handler.
+    #[cold]
+    #[inline(never)]
+    fn dispatch_traced(&mut self, entry: Event) -> u64 {
+        self.drain_births();
+        self.queue.trace_set_current(entry.seq);
+        let target = entry.target;
+        debug_assert!(target < self.nodes.len(), "event for unknown node");
+        let (kind, consumed) = match entry.kind {
+            EventKind::Timer(tag) => {
+                let (node, mut ctx) = split_at(
+                    &mut self.nodes,
+                    &mut self.rngs,
+                    &mut self.queue,
+                    self.now,
+                    &mut self.seq,
+                    &mut self.next_packet_id,
+                    target,
+                );
+                node.on_timer(tag, &mut ctx);
+                (TraceEventKind::Timer, 1)
+            }
+            EventKind::Deliver(pkt) => {
+                let mut batch = std::mem::take(&mut self.deliver_buf);
+                batch.clear();
+                batch.push(pkt);
+                while let Some((tail_seq, next)) =
+                    self.queue.pop_deliver_if_keyed(entry.time, target)
+                {
+                    batch.push(next);
+                    // The batched event never fires on its own — retire
+                    // its provenance entry here (its children attribute
+                    // to the batch head, `entry.seq`).
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.absorb(tail_seq);
+                    }
+                }
+                let consumed = batch.len() as u64;
+                let (node, mut ctx) = split_at(
+                    &mut self.nodes,
+                    &mut self.rngs,
+                    &mut self.queue,
+                    self.now,
+                    &mut self.seq,
+                    &mut self.next_packet_id,
+                    target,
+                );
+                node.on_packets(&mut batch, &mut ctx);
+                batch.clear();
+                self.deliver_buf = batch;
+                (TraceEventKind::Deliver, consumed)
+            }
+        };
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.dispatched(
+                entry.seq,
+                self.now.as_nanos(),
+                target as u32,
+                kind,
+                consumed as u32,
+            );
+        }
+        consumed
+    }
+
+    /// [`Sim::run_until`] with per-node-type wall-time attribution: the
+    /// plain dispatch split into its three phases — event-store work
+    /// (pop + batch collection), [`Context`] build, and the node
+    /// handler — with each sampled dispatch's phase times credited to
+    /// the target node's label. A `perf_baseline` measurement harness
+    /// (ROADMAP open item 4, "where do the ~50 ns/event go"), not a
+    /// simulation feature: the sampler is write-only, so the simulated
+    /// results are bit-identical to a plain run. Ignores the watchdog
+    /// and profile (callers measure un-instrumented runs). All
+    /// wall-clock reads live in [`crate::attr`] — this function calls
+    /// only sampler methods.
+    #[cold]
+    #[inline(never)]
+    pub fn run_until_attributed(
+        &mut self,
+        until: SimTime,
+        sampler: &mut crate::attr::AttributionSampler,
+    ) -> RunStats {
+        self.ensure_started();
+        let mut events = 0u64;
+        loop {
+            sampler.begin();
+            let Some(entry) = self.queue.pop_at_or_before(until) else {
+                break;
+            };
+            self.now = entry.time;
+            let target = entry.target;
+            debug_assert!(target < self.nodes.len(), "event for unknown node");
+            let consumed = match entry.kind {
+                EventKind::Timer(tag) => {
+                    sampler.lap_store();
+                    let (node, mut ctx) = split_at(
+                        &mut self.nodes,
+                        &mut self.rngs,
+                        &mut self.queue,
+                        self.now,
+                        &mut self.seq,
+                        &mut self.next_packet_id,
+                        target,
+                    );
+                    sampler.lap_context();
+                    node.on_timer(tag, &mut ctx);
+                    1
+                }
+                EventKind::Deliver(pkt) => {
+                    let mut batch = std::mem::take(&mut self.deliver_buf);
+                    batch.clear();
+                    batch.push(pkt);
+                    while let Some(next) = self.queue.pop_deliver_if(entry.time, target) {
+                        batch.push(next);
+                    }
+                    sampler.lap_store();
+                    let consumed = batch.len() as u64;
+                    let (node, mut ctx) = split_at(
+                        &mut self.nodes,
+                        &mut self.rngs,
+                        &mut self.queue,
+                        self.now,
+                        &mut self.seq,
+                        &mut self.next_packet_id,
+                        target,
+                    );
+                    sampler.lap_context();
+                    node.on_packets(&mut batch, &mut ctx);
+                    batch.clear();
+                    self.deliver_buf = batch;
+                    consumed
+                }
+            };
+            events += consumed;
+            sampler.lap_node(self.nodes[target].label());
+        }
+        if self.now < until && until != SimTime::MAX {
+            self.now = until;
+        }
+        self.events_processed += events;
+        RunStats {
+            events,
+            ended_at_nanos: self.now.as_nanos(),
+        }
+    }
+
     /// Fold one dispatched event into the engine profile, sampling
     /// pending depth when due. A no-op when profiling is disabled (the
     /// profiled and guarded loops are the only callers on hot paths,
@@ -457,10 +736,23 @@ impl Sim {
             Some(entry) => {
                 self.now = entry.time;
                 let is_timer = matches!(entry.kind, EventKind::Timer(_));
+                let (seq, target) = (entry.seq, entry.target as u32);
+                if self.trace.is_some() {
+                    self.drain_births();
+                    self.queue.trace_set_current(seq);
+                }
                 self.dispatch_single(entry);
                 self.events_processed += 1;
                 if self.profile.is_some() {
                     self.record_profile(is_timer, 1);
+                }
+                if let Some(t) = self.trace.as_deref_mut() {
+                    let kind = if is_timer {
+                        TraceEventKind::Timer
+                    } else {
+                        TraceEventKind::Deliver
+                    };
+                    t.dispatched(seq, self.now.as_nanos(), target, kind, 1);
                 }
                 true
             }
@@ -1046,6 +1338,243 @@ mod tests {
         // Disabling drops the profile and returns to the plain loop.
         fresh.disable_profiling();
         assert!(fresh.profile_report().is_none());
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run_and_traces_replay_bit_identically() {
+        let build = || {
+            let mut b = SimBuilder::new(MasterSeed::new(31));
+            let (log, rec) = logger();
+            let dst = b.add_node(rec);
+            b.add_node(Box::new(Ticker {
+                dst,
+                period: 700,
+                count: 400,
+                emitted: 0,
+            }));
+            (log, b.build().unwrap())
+        };
+        // Plain run as the behavior reference.
+        let (plain_log, mut plain) = build();
+        let plain_stats = plain.run_until(SimTime::from_nanos(1_000_000));
+        assert!(plain.trace_report().is_none());
+
+        // Traced run: identical node-visible behavior, full trace.
+        let (traced_log, mut traced) = build();
+        traced.enable_tracing();
+        assert!(traced.tracing_enabled());
+        let traced_stats = traced.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(
+            traced_stats, plain_stats,
+            "tracing must not perturb the run"
+        );
+        assert_eq!(*traced_log.borrow(), *plain_log.borrow());
+        let report = traced.trace_report().expect("tracing enabled");
+        assert_eq!(report.stride, 1, "800 dispatches fit the ring uncut");
+        assert_eq!(report.dispatched, report.records.len() as u64);
+        assert_eq!(report.node_labels.len(), 2);
+
+        // Provenance is exact: the one root is the on_start timer;
+        // every delivery's parent is a recorded timer at the same
+        // instant (the ticker sends with send_now); every re-armed
+        // timer's parent is the previous timer.
+        use std::collections::BTreeMap;
+        let by_seq: BTreeMap<u64, &linkpad_obs::TraceRecord> =
+            report.records.iter().map(|r| (r.seq, r)).collect();
+        let mut roots = 0;
+        for r in &report.records {
+            if r.parent == linkpad_obs::NO_PARENT {
+                roots += 1;
+                assert_eq!(r.kind, linkpad_obs::TraceEventKind::Timer);
+                continue;
+            }
+            let parent = by_seq[&r.parent];
+            assert_eq!(parent.kind, linkpad_obs::TraceEventKind::Timer);
+            match r.kind {
+                linkpad_obs::TraceEventKind::Deliver => {
+                    assert_eq!(parent.sim_nanos, r.sim_nanos, "send_now child")
+                }
+                linkpad_obs::TraceEventKind::Timer => {
+                    assert_eq!(parent.sim_nanos + 700, r.sim_nanos, "re-armed timer")
+                }
+            }
+        }
+        assert_eq!(roots, 1, "exactly one on_start root");
+
+        // Reset-and-rerun produces a bit-identical trace.
+        traced.reset(MasterSeed::new(31));
+        traced.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(traced.trace_report().expect("survives reset"), report);
+
+        // ...and so does a fresh build with tracing enabled.
+        let (_, mut fresh) = build();
+        fresh.enable_tracing();
+        fresh.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(fresh.trace_report().expect("enabled"), report);
+
+        // Disabling drops the trace and returns to the plain loop.
+        fresh.disable_tracing();
+        assert!(fresh.trace_report().is_none());
+        assert!(!fresh.tracing_enabled());
+    }
+
+    #[test]
+    fn no_parent_sentinels_agree_across_crates() {
+        assert_eq!(crate::equeue::NO_PARENT_SEQ, linkpad_obs::NO_PARENT);
+    }
+
+    #[test]
+    fn tracing_batches_attribute_to_the_head_and_count_every_event() {
+        // Same topology as the batching test: 3 same-instant deliveries
+        // plus a straggler — the batch must appear as one record of
+        // batch 3 whose absorbed tails left no provenance leak.
+        struct TripleSend {
+            dst: NodeId,
+        }
+        impl Node for TripleSend {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for _ in 0..3 {
+                    let p = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                    ctx.send_after(SimDuration::from_nanos(10), self.dst, p);
+                }
+                let p = ctx.spawn_packet(FlowId::PADDED, PacketKind::Dummy, 1);
+                ctx.send_after(SimDuration::from_nanos(20), self.dst, p);
+            }
+        }
+        let mut b = SimBuilder::new(MasterSeed::new(32));
+        let (_, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(TripleSend { dst }));
+        let mut sim = b.build().unwrap().with_tracing();
+        let stats = sim.run_until(SimTime::from_nanos(100));
+        assert_eq!(stats.events, 4);
+        let report = sim.trace_report().expect("enabled");
+        let batches: Vec<u32> = report.records.iter().map(|r| r.batch).collect();
+        assert_eq!(batches, vec![3, 1], "burst batched, straggler alone");
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.parent == linkpad_obs::NO_PARENT));
+    }
+
+    #[test]
+    fn tracing_and_profiling_compose() {
+        let mut b = SimBuilder::new(MasterSeed::new(33));
+        let (_, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 100,
+            count: 50,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.enable_profiling();
+        sim.enable_tracing();
+        let stats = sim.run_until(SimTime::MAX);
+        let profile = sim.profile_report().expect("profile recorded");
+        assert_eq!(profile.events(), stats.events, "traced loop feeds profile");
+        let trace = sim.trace_report().expect("trace recorded");
+        assert_eq!(
+            trace
+                .records
+                .iter()
+                .map(|r| u64::from(r.batch))
+                .sum::<u64>(),
+            stats.events,
+            "trace covers every event"
+        );
+    }
+
+    #[test]
+    fn watchdog_and_tracing_compose() {
+        let mut b = SimBuilder::new(MasterSeed::new(34));
+        let (_, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 100,
+            count: 1000,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.enable_tracing();
+        sim.set_watchdog(Some(50), None);
+        let stats = sim.run_until(SimTime::MAX);
+        assert!(sim.watchdog_tripped());
+        let trace = sim.trace_report().expect("trace recorded under watchdog");
+        assert_eq!(
+            trace
+                .records
+                .iter()
+                .map(|r| u64::from(r.batch))
+                .sum::<u64>(),
+            stats.events
+        );
+    }
+
+    #[test]
+    fn step_records_into_the_trace() {
+        let mut b = SimBuilder::new(MasterSeed::new(35));
+        let (_, rec) = logger();
+        let dst = b.add_node(rec);
+        b.add_node(Box::new(Ticker {
+            dst,
+            period: 10,
+            count: 3,
+            emitted: 0,
+        }));
+        let mut sim = b.build().unwrap();
+        sim.enable_tracing();
+        while sim.step() {}
+        let trace = sim.trace_report().expect("enabled");
+        assert_eq!(trace.dispatched, sim.events_processed());
+        // Stepped deliveries still know their scheduling timer.
+        let deliver_parents: Vec<u64> = trace
+            .records
+            .iter()
+            .filter(|r| r.kind == linkpad_obs::TraceEventKind::Deliver)
+            .map(|r| r.parent)
+            .collect();
+        assert_eq!(deliver_parents.len(), 3);
+        assert!(deliver_parents.iter().all(|&p| p != linkpad_obs::NO_PARENT));
+    }
+
+    #[test]
+    fn attributed_run_matches_plain_run() {
+        let build = || {
+            let mut b = SimBuilder::new(MasterSeed::new(36));
+            let (log, rec) = logger();
+            let dst = b.add_node(rec);
+            b.add_node(Box::new(Ticker {
+                dst,
+                period: 700,
+                count: 200,
+                emitted: 0,
+            }));
+            (log, b.build().unwrap())
+        };
+        let (plain_log, mut plain) = build();
+        let plain_stats = plain.run_until(SimTime::from_nanos(1_000_000));
+        let (attr_log, mut attr) = build();
+        let mut sampler = crate::attr::AttributionSampler::new(4);
+        let attr_stats = attr.run_until_attributed(SimTime::from_nanos(1_000_000), &mut sampler);
+        assert_eq!(attr_stats, plain_stats, "sampler must not perturb the run");
+        assert_eq!(*attr_log.borrow(), *plain_log.borrow());
+        let report = sampler.report();
+        assert_eq!(
+            report.dispatches_seen,
+            400 + 1,
+            "400 dispatches + final probe"
+        );
+        assert!(report.samples() >= 100, "every 4th of 400 dispatches");
+        // Both node labels appear (default label for both test nodes).
+        assert!(!report.rows.is_empty());
+        assert_eq!(
+            report.rows.iter().map(|r| r.samples).sum::<u64>(),
+            report.samples()
+        );
     }
 
     #[test]

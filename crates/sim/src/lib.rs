@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod cohort;
 pub mod engine;
 pub mod equeue;
@@ -64,6 +65,7 @@ pub mod tap;
 pub mod time;
 pub mod trace;
 
+pub use attr::{AttributionReport, AttributionRow, AttributionSampler};
 pub use cohort::{CohortHandle, CohortJitter, FlowCohort, COHORT_FLOW};
 pub use engine::{Context, RunStats, Sim, SimBuilder};
 pub use equeue::EventQueue;

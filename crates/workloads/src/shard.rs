@@ -56,7 +56,7 @@ use crate::scenario::{BuiltScenario, ScenarioBuilder, ScenarioError};
 use linkpad_obs::metrics::{MetricValue, Registry};
 use linkpad_obs::{
     EventLog, HarnessEvent, Histogram, ProfileReport, RunManifest, ShardManifest, Snapshot,
-    Truncation,
+    TraceReport, Truncation,
 };
 use linkpad_sim::observer::{merge_window_series, WindowStats};
 use linkpad_sim::parallel::{default_threads, parallel_map_init_catching};
@@ -170,6 +170,12 @@ pub struct ShardReport {
     /// Engine self-profile, when the run enabled
     /// [`ShardedAggregate::with_profiling`].
     pub profile: Option<ProfileReport>,
+    /// Causal trace of the shard's event loop, when the run enabled
+    /// [`ShardedAggregate::with_tracing`]. Per-shard and deterministic,
+    /// like the profile; deliberately kept out of run manifests (a
+    /// trace is an artifact of its own, exported via the Perfetto /
+    /// collapsed-stack renderers).
+    pub trace: Option<TraceReport>,
 }
 
 /// Merged outcome of a sharded aggregate run.
@@ -261,6 +267,9 @@ pub struct ShardedAggregate {
     /// Enable per-shard engine self-profiling
     /// ([`linkpad_sim::engine::Sim::enable_profiling`]).
     profiling: bool,
+    /// Enable per-shard causal tracing
+    /// ([`linkpad_sim::engine::Sim::enable_tracing`]).
+    tracing: bool,
 }
 
 impl ShardedAggregate {
@@ -307,6 +316,7 @@ impl ShardedAggregate {
             watchdog: None,
             panic_budget: None,
             profiling: false,
+            tracing: false,
         })
     }
 
@@ -317,6 +327,17 @@ impl ShardedAggregate {
     /// shard; the run pays the engine's outlined profiled loop.
     pub fn with_profiling(mut self) -> Self {
         self.profiling = true;
+        self
+    }
+
+    /// Enable causal tracing in every shard sim: each [`ShardReport`]
+    /// then carries a [`TraceReport`] — per-event records with exact
+    /// scheduler provenance, renderable as a Perfetto timeline or
+    /// collapsed causal stacks. Traces are deterministic per shard
+    /// (S=1 tracing reproduces the unsharded sim's trace bit-for-bit);
+    /// the run pays the engine's outlined traced loop.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
         self
     }
 
@@ -655,6 +676,12 @@ impl ShardedAggregate {
         } else {
             scenario.sim.disable_profiling();
         }
+        if self.tracing {
+            // Same stale-state discipline as the profile.
+            scenario.sim.enable_tracing();
+        } else {
+            scenario.sim.disable_tracing();
+        }
         // Run in slices, sampling the pending-event population for the
         // memory high-water report. A tripped watchdog makes the
         // remaining slices no-ops.
@@ -700,6 +727,7 @@ impl ShardedAggregate {
             truncated_at_nanos: interrupted.then(|| scenario.sim.now().as_nanos()),
             metrics,
             profile: scenario.sim.profile_report(),
+            trace: scenario.sim.trace_report(),
         })
     }
 }

@@ -15,6 +15,10 @@
 //! * **manifests tell the truth** — a watchdog-truncated run's manifest
 //!   carries `interrupted: true` plus the truncation point, and the
 //!   harness event log records the truncation and any retries.
+//! * **traces replay and never perturb** — the causal trace is bit-
+//!   identical under `reset(seed)` vs a fresh build, a one-shard
+//!   sharded run's trace equals the unsharded sim's, and a traced run's
+//!   simulated results are byte-identical to an untraced run's.
 
 use linkpad_obs::{EventLog, HarnessEvent};
 use linkpad_workloads::scenario::ScenarioBuilder;
@@ -126,6 +130,65 @@ fn profiled_sharded_runs_are_deterministic_and_carry_reports() {
         .expect("runs");
     assert_eq!(a.windows, plain.windows);
     assert_eq!(a.merged_metrics(), plain.merged_metrics());
+}
+
+#[test]
+fn reset_and_fresh_builds_produce_bit_identical_traces() {
+    let builder = observer_builder(97, 10, 1);
+    let mut s = builder.clone().build().expect("builds");
+    s.sim.enable_tracing();
+    s.run_for_secs(1.5);
+    let fresh = s.sim.trace_report().expect("tracing enabled");
+    assert!(!fresh.records.is_empty());
+    assert!(fresh.dispatched > 0);
+
+    // Pollute with a different-seed run, then reset back: the trace —
+    // records, provenance links, decimation stride — must replay
+    // bit-for-bit, exactly like the metric snapshot and the profile.
+    s.reset(24680);
+    s.run_for_secs(1.5);
+    s.reset(97);
+    s.run_for_secs(1.5);
+    assert_eq!(
+        s.sim.trace_report().expect("still enabled"),
+        fresh,
+        "reset must replay the trace"
+    );
+}
+
+#[test]
+fn one_shard_traces_equal_the_unsharded_sim_and_never_perturb_results() {
+    // Shard 0 runs under the builder's own seed, so the S = 1 sharded
+    // trace must be the unsharded sim's trace bit-for-bit — provenance
+    // links included.
+    let secs = 1.55;
+    let builder = observer_builder(98, 10, 1);
+    let mut single = builder.clone().build().expect("builds");
+    single.sim.enable_tracing();
+    single.run_for_secs(secs);
+    let single_trace = single.sim.trace_report().expect("tracing enabled");
+    assert!(!single_trace.records.is_empty());
+
+    let sharded = ShardedAggregate::new(builder.clone())
+        .expect("valid")
+        .with_tracing();
+    let run = sharded.run_for_secs(secs).expect("runs");
+    let shard_trace = run.shards[0].trace.as_ref().expect("tracing enabled");
+    assert_eq!(
+        shard_trace, &single_trace,
+        "one-shard trace is the single sim's trace"
+    );
+
+    // Tracing must not perturb the simulated results: windows, merged
+    // metrics, and event totals match an untraced run byte-for-byte.
+    let plain = ShardedAggregate::new(builder)
+        .expect("valid")
+        .run_for_secs(secs)
+        .expect("runs");
+    assert!(plain.shards[0].trace.is_none());
+    assert_eq!(run.windows, plain.windows);
+    assert_eq!(run.merged_metrics(), plain.merged_metrics());
+    assert_eq!(run.events(), plain.events());
 }
 
 #[test]
