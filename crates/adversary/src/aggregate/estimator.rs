@@ -184,6 +184,78 @@ pub fn estimate_flow_count_gap_aware(
     })
 }
 
+/// Convert a per-window **byte-rate** series (bytes/s over the full
+/// window, the shape `ObserverHandle::byte_rates` in the simulator
+/// produces) into equivalent per-window packet counts, given the window width and
+/// the mean wire bytes per packet of the padding discipline's payload
+/// model. The byte channel is the estimator input that survives
+/// variable-payload defences: sizes vary per packet, but the *mean*
+/// bytes per emission is a property of the (reconstructable) padding
+/// system, exactly like τ.
+pub fn counts_from_byte_rates(
+    byte_rates: &[f64],
+    window_secs: f64,
+    mean_packet_bytes: f64,
+) -> Result<Vec<f64>> {
+    if !(window_secs.is_finite() && window_secs > 0.0) {
+        return Err(StatsError::NonPositive {
+            what: "observer window width",
+            value: window_secs,
+        });
+    }
+    if !(mean_packet_bytes.is_finite() && mean_packet_bytes > 0.0) {
+        return Err(StatsError::NonPositive {
+            what: "mean wire bytes per packet",
+            value: mean_packet_bytes,
+        });
+    }
+    Ok(byte_rates
+        .iter()
+        .map(|&r| r * window_secs / mean_packet_bytes)
+        .collect())
+}
+
+/// [`estimate_flow_count`] driven by the **byte** channel: per-window
+/// byte rates are converted to equivalent packet counts (see
+/// [`counts_from_byte_rates`]) and fed through the rate law. Under a
+/// variable-payload defence the count channel still works, but the byte
+/// channel is what a size-aware adversary actually measures — and per-
+/// packet size dispersion inflates the window variance, so treat
+/// [`FlowCountEstimate::n_hat_var`] from this route as qualitative.
+pub fn estimate_flow_count_from_bytes(
+    byte_rates: &[f64],
+    window_secs: f64,
+    mean_packet_bytes: f64,
+    window_over_tau: f64,
+) -> Result<FlowCountEstimate> {
+    let counts = counts_from_byte_rates(byte_rates, window_secs, mean_packet_bytes)?;
+    estimate_flow_count(&counts, window_over_tau)
+}
+
+/// Gap-aware byte-channel estimation — the coverage mask propagated to
+/// the bytes channel.
+///
+/// Observer byte rates are computed against the **full** window width
+/// even when the observer was blind for part of it, so a gapped window
+/// reads low by its coverage factor and a naive consumer underestimates
+/// N by roughly the mean coverage — the same latent bias the count
+/// channel's [`estimate_flow_count_gap_aware`] already corrects, which
+/// the byte channel silently lacked while it had no consumer at all.
+/// Windows below `min_coverage` are skipped and surviving byte rates
+/// are rescaled by `1/coverage` before the rate law, making the byte
+/// route gap-robust in expectation for a stationary arrival process.
+pub fn estimate_flow_count_from_bytes_gap_aware(
+    byte_rates: &[f64],
+    coverages: &[f64],
+    window_secs: f64,
+    mean_packet_bytes: f64,
+    window_over_tau: f64,
+    min_coverage: f64,
+) -> Result<GapAwareEstimate> {
+    let counts = counts_from_byte_rates(byte_rates, window_secs, mean_packet_bytes)?;
+    estimate_flow_count_gap_aware(&counts, coverages, window_over_tau, min_coverage)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +412,87 @@ mod tests {
         assert_eq!(aware.estimate, plain, "full coverage is a no-op");
         assert_eq!(aware.skipped, 0);
         assert_eq!(aware.mean_coverage, 1.0);
+    }
+
+    #[test]
+    fn byte_channel_estimate_matches_the_count_channel() {
+        // Variable payloads with mean 497 B: the byte channel divides
+        // the size model back out and recovers the same N.
+        let n = 200usize;
+        let mean_bytes = 497.0;
+        let window_secs = 0.2; // W = 20τ at τ = 10 ms
+        let counts = synthetic_counts(n, 20.0, 25, 11);
+        let byte_rates: Vec<f64> = counts
+            .iter()
+            .map(|&c| c * mean_bytes / window_secs)
+            .collect();
+        let est =
+            estimate_flow_count_from_bytes(&byte_rates, window_secs, mean_bytes, 20.0).unwrap();
+        assert!(est.relative_error(n) < 0.01, "n_hat={}", est.n_hat);
+        let plain = estimate_flow_count(&counts, 20.0).unwrap();
+        assert!((est.n_hat - plain.n_hat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_channel_gap_mask_recovers_where_naive_collapses() {
+        // Regression for the dead-feature bug: observer byte rates use
+        // the full-window denominator even under gaps, so without the
+        // coverage mask the byte route reads low by the coverage factor.
+        let n = 500usize;
+        let mean_bytes = 1000.0;
+        let window_secs = 0.2;
+        let counts = synthetic_counts(n, 20.0, 40, 99);
+        let coverages: Vec<f64> = (0..counts.len())
+            .map(|i| match i % 4 {
+                0 => 0.0,
+                1 => 0.6,
+                _ => 1.0,
+            })
+            .collect();
+        // What a gapped observer records: arrivals thinned by coverage,
+        // rate still divided by the full window width.
+        let byte_rates: Vec<f64> = counts
+            .iter()
+            .zip(&coverages)
+            .map(|(&c, &cov)| c * cov * mean_bytes / window_secs)
+            .collect();
+
+        let naive =
+            estimate_flow_count_from_bytes(&byte_rates, window_secs, mean_bytes, 20.0).unwrap();
+        assert!(
+            naive.relative_error(n) > 0.2,
+            "naive byte route must collapse: err {}",
+            naive.relative_error(n)
+        );
+
+        let aware = estimate_flow_count_from_bytes_gap_aware(
+            &byte_rates,
+            &coverages,
+            window_secs,
+            mean_bytes,
+            20.0,
+            0.5,
+        )
+        .unwrap();
+        assert!(
+            aware.estimate.relative_error(n) < 0.01,
+            "gap-aware byte route err {}",
+            aware.estimate.relative_error(n)
+        );
+        assert_eq!(aware.skipped, 10);
+    }
+
+    #[test]
+    fn byte_channel_validates_input() {
+        let rates = [1000.0, 1000.0];
+        assert!(estimate_flow_count_from_bytes(&rates, 0.0, 500.0, 20.0).is_err());
+        assert!(estimate_flow_count_from_bytes(&rates, 0.2, 0.0, 20.0).is_err());
+        assert!(estimate_flow_count_from_bytes(&rates, 0.2, f64::NAN, 20.0).is_err());
+        assert!(
+            estimate_flow_count_from_bytes_gap_aware(&rates, &[1.0], 0.2, 500.0, 20.0, 0.5)
+                .is_err(),
+            "mask length mismatch"
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub mod estimator;
 pub mod windows;
 
 pub use estimator::{
-    estimate_flow_count, estimate_flow_count_gap_aware, FlowCountEstimate, GapAwareEstimate,
+    counts_from_byte_rates, estimate_flow_count, estimate_flow_count_from_bytes,
+    estimate_flow_count_from_bytes_gap_aware, estimate_flow_count_gap_aware, FlowCountEstimate,
+    GapAwareEstimate,
 };
 pub use windows::{best_phase, mask_low_coverage, pearson, square_signature};

@@ -8,10 +8,12 @@
 //! lossless gate), the telemetry overhead (engine self-profiling plain
 //! vs disabled vs enabled, with the disabled state asserted free), the
 //! causal-trace overhead (same three-state protocol for the trace
-//! layer, disabled state likewise asserted free) plus an
-//! engine-profile context section extended with a sampled wall-time
-//! attribution per node type, scenario-reset setup cost and a
-//! representative sweep wall-clock, and writes `BENCH_8.json` at the
+//! layer, disabled state likewise asserted free), the defense matrix
+//! (every first-class padding defense through the sharded cohort path,
+//! with both flow-count channels' deterministic accuracy readings),
+//! plus an engine-profile context section extended with a sampled
+//! wall-time attribution per node type, scenario-reset setup cost and a
+//! representative sweep wall-clock, and writes `BENCH_9.json` at the
 //! workspace root so later PRs have a recorded trajectory
 //! (`bench_compare` diffs consecutive baselines in CI).
 //!
@@ -21,15 +23,15 @@
 use linkpad_bench::perf::{
     aggregate_observer_events_per_sec, aggregate_scenario_events_per_sec,
     aggregate_trunk_attribution, aggregate_trunk_events_per_sec, aggregate_trunk_profile,
-    fault_hook_overhead, heap_reference_aggregate_events_per_sec, heap_reference_events_per_sec,
-    reset_vs_rebuild, sharded_aggregate_measurement, sim_events_per_sec, sweep_wall_clock_secs,
-    telemetry_overhead_aggregate, telemetry_overhead_event_loop, tracing_overhead_aggregate,
-    tracing_overhead_event_loop,
+    defense_matrix_measurement, fault_hook_overhead, heap_reference_aggregate_events_per_sec,
+    heap_reference_events_per_sec, reset_vs_rebuild, sharded_aggregate_measurement,
+    sim_events_per_sec, sweep_wall_clock_secs, telemetry_overhead_aggregate,
+    telemetry_overhead_event_loop, tracing_overhead_aggregate, tracing_overhead_event_loop,
 };
 use std::io::Write;
 
 /// Sequence number of the baseline this binary writes.
-const BASELINE: u32 = 8;
+const BASELINE: u32 = 9;
 
 fn main() {
     // Sized so the run takes a few seconds in release mode; override with
@@ -184,6 +186,57 @@ fn main() {
         million.arrivals,
         million.merged_windows,
     );
+
+    // Defense matrix: every first-class padding defense (CIT,
+    // constant-rate, adaptive, CIT + variable payloads) through the
+    // sharded cohort path at 10⁴ flows. Throughput and wall-clock are
+    // the gated perf trajectory per defense; the two flow-count error
+    // readings are deterministic given the recorded seeds, so a change
+    // in them is an accuracy regression, not noise.
+    const DM_FLOWS: usize = 10_000;
+    const DM_COHORT: usize = 1_024;
+    const DM_SHARDS: usize = 4;
+    const DM_MEASURED: usize = 6;
+    eprintln!(
+        "measuring defense matrix ({DM_FLOWS} flows per defense, {DM_SHARDS} shards, \
+         {DM_MEASURED} measured windows)..."
+    );
+    let dm = defense_matrix_measurement(DM_FLOWS, DM_COHORT, DM_SHARDS, DM_MEASURED);
+    for d in &dm {
+        eprintln!(
+            "  {}: {:.0} ev/s ({:.2} s wall), count err {:.2}%, byte err {:.2}%, \
+             overhead {:.2}x",
+            d.name,
+            d.events_per_sec,
+            d.wall_clock_secs,
+            d.count_err_pct,
+            d.byte_err_pct,
+            d.overhead_factor,
+        );
+        assert!(
+            d.count_err_pct <= 10.0 && d.byte_err_pct <= 10.0,
+            "{}: flow-count channels must hold ±10% in the recorded baseline",
+            d.name
+        );
+    }
+    let dm_rows_json: Vec<String> = dm
+        .iter()
+        .map(|d| {
+            format!(
+                "      \"{}\": {{ \"mean_interval_ms\": {:.3}, \"mean_wire_bytes\": {:.0}, \
+\"overhead_factor\": {:.3}, \"count_err_pct\": {:.2}, \"byte_err_pct\": {:.2}, \
+\"events_per_sec\": {:.0}, \"wall_clock_secs\": {:.3} }}",
+                d.name,
+                d.mean_interval_secs * 1e3,
+                d.mean_wire_bytes,
+                d.overhead_factor,
+                d.count_err_pct,
+                d.byte_err_pct,
+                d.events_per_sec,
+                d.wall_clock_secs,
+            )
+        })
+        .collect();
 
     // Fault-hook overhead: the same 10⁴-flow scenario with (a) a
     // configured-but-empty fault plan (no gate inserted — must be free)
@@ -471,7 +524,7 @@ fn main() {
     eprintln!("  sweep: {sweep:.3} s");
 
     let json = format!(
-        "{{\n  \"schema\": \"linkpad-bench-baseline-v8\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"million_flows\": {{\n    \"flows\": {MF_FLOWS},\n    \"cohort_size\": {MF_COHORT},\n    \"shards\": {MF_SHARDS},\n    \"simulated_seconds\": {MF_SIM_SECS},\n    \"arrivals\": {},\n    \"merged_windows\": {},\n    \"peak_pending\": {},\n    \"events_per_sec\": {:.0},\n    \"per_shard_events_per_sec\": {:.0},\n    \"wall_clock_secs\": {:.3}\n  }},\n  \"fault_robustness\": {{\n    \"flows\": {flows},\n    \"plain_events_per_sec\": {:.0},\n    \"faultfree_plan_events_per_sec\": {:.0},\n    \"gated_zero_loss_events_per_sec\": {:.0},\n    \"faultfree_hook_overhead_pct\": {hook_faultfree_pct:.2},\n    \"armed_hook_overhead_pct\": {hook_armed_pct:.2}\n  }},\n  \"telemetry\": {{\n    \"event_loop_pending\": 4096,\n    \"event_loop_plain_events_per_sec\": {:.0},\n    \"event_loop_disabled_events_per_sec\": {:.0},\n    \"event_loop_enabled_events_per_sec\": {:.0},\n    \"event_loop_disabled_overhead_pct\": {loop_disabled_pct:.2},\n    \"event_loop_enabled_overhead_pct\": {loop_enabled_pct:.2},\n    \"aggregate_trunk_flows\": {flows},\n    \"aggregate_trunk_plain_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_enabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_overhead_pct\": {trunk_disabled_pct:.2},\n    \"aggregate_trunk_enabled_overhead_pct\": {trunk_enabled_pct:.2}\n  }},\n  \"tracing\": {{\n    \"event_loop_pending\": 4096,\n    \"event_loop_plain_events_per_sec\": {:.0},\n    \"event_loop_disabled_events_per_sec\": {:.0},\n    \"event_loop_enabled_events_per_sec\": {:.0},\n    \"event_loop_disabled_overhead_pct\": {trace_loop_disabled_pct:.2},\n    \"event_loop_enabled_overhead_pct\": {trace_loop_enabled_pct:.2},\n    \"aggregate_trunk_flows\": {flows},\n    \"aggregate_trunk_plain_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_enabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_overhead_pct\": {trace_trunk_disabled_pct:.2},\n    \"aggregate_trunk_enabled_overhead_pct\": {trace_trunk_enabled_pct:.2}\n  }},\n  \"engine_profile\": {{\n    \"workload\": \"aggregate_trunk\",\n    \"flows\": {flows},\n    \"timer_events\": {},\n    \"deliver_events\": {},\n    \"deliver_batches\": {},\n    \"mean_batch\": {:.3},\n    \"batch_p99\": {},\n    \"batch_max\": {},\n    \"depth_peak\": {},\n    \"depth_samples\": {},\n    \"depth_sample_stride\": {},\n    \"rungs_occupied\": {},\n    \"store_push_near\": {},\n    \"store_push_rung\": {},\n    \"store_push_far\": {},\n    \"store_refills\": {},\n    \"store_rebases\": {},\n    \"attribution\": {{\n      \"sample_every\": {ATTR_SAMPLE_EVERY},\n      \"dispatches_seen\": {},\n      \"samples\": {},\n      \"rows\": {{\n{}\n      }}\n    }}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
+        "{{\n  \"schema\": \"linkpad-bench-baseline-v9\",\n  \"microbench_events\": {events},\n  \"event_loop\": [\n{}\n  ],\n  \"aggregate_trunk\": {{\n    \"flows\": {flows},\n    \"pending\": {},\n    \"engine_events_per_sec\": {:.0},\n    \"heap_reference_events_per_sec\": {:.0},\n    \"speedup_vs_heap\": {trunk_speedup:.2},\n    \"scenario_pending\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"aggregate_observer\": {{\n    \"flows\": {flows},\n    \"window_ms\": {OBSERVER_WINDOW_MS},\n    \"pending\": {},\n    \"windows\": {},\n    \"arrivals\": {},\n    \"scenario_events_per_sec\": {:.0}\n  }},\n  \"million_flows\": {{\n    \"flows\": {MF_FLOWS},\n    \"cohort_size\": {MF_COHORT},\n    \"shards\": {MF_SHARDS},\n    \"simulated_seconds\": {MF_SIM_SECS},\n    \"arrivals\": {},\n    \"merged_windows\": {},\n    \"peak_pending\": {},\n    \"events_per_sec\": {:.0},\n    \"per_shard_events_per_sec\": {:.0},\n    \"wall_clock_secs\": {:.3}\n  }},\n  \"defense_matrix\": {{\n    \"flows\": {DM_FLOWS},\n    \"cohort_size\": {DM_COHORT},\n    \"shards\": {DM_SHARDS},\n    \"measured_windows\": {DM_MEASURED},\n    \"rows\": {{\n{}\n    }}\n  }},\n  \"fault_robustness\": {{\n    \"flows\": {flows},\n    \"plain_events_per_sec\": {:.0},\n    \"faultfree_plan_events_per_sec\": {:.0},\n    \"gated_zero_loss_events_per_sec\": {:.0},\n    \"faultfree_hook_overhead_pct\": {hook_faultfree_pct:.2},\n    \"armed_hook_overhead_pct\": {hook_armed_pct:.2}\n  }},\n  \"telemetry\": {{\n    \"event_loop_pending\": 4096,\n    \"event_loop_plain_events_per_sec\": {:.0},\n    \"event_loop_disabled_events_per_sec\": {:.0},\n    \"event_loop_enabled_events_per_sec\": {:.0},\n    \"event_loop_disabled_overhead_pct\": {loop_disabled_pct:.2},\n    \"event_loop_enabled_overhead_pct\": {loop_enabled_pct:.2},\n    \"aggregate_trunk_flows\": {flows},\n    \"aggregate_trunk_plain_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_enabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_overhead_pct\": {trunk_disabled_pct:.2},\n    \"aggregate_trunk_enabled_overhead_pct\": {trunk_enabled_pct:.2}\n  }},\n  \"tracing\": {{\n    \"event_loop_pending\": 4096,\n    \"event_loop_plain_events_per_sec\": {:.0},\n    \"event_loop_disabled_events_per_sec\": {:.0},\n    \"event_loop_enabled_events_per_sec\": {:.0},\n    \"event_loop_disabled_overhead_pct\": {trace_loop_disabled_pct:.2},\n    \"event_loop_enabled_overhead_pct\": {trace_loop_enabled_pct:.2},\n    \"aggregate_trunk_flows\": {flows},\n    \"aggregate_trunk_plain_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_enabled_events_per_sec\": {:.0},\n    \"aggregate_trunk_disabled_overhead_pct\": {trace_trunk_disabled_pct:.2},\n    \"aggregate_trunk_enabled_overhead_pct\": {trace_trunk_enabled_pct:.2}\n  }},\n  \"engine_profile\": {{\n    \"workload\": \"aggregate_trunk\",\n    \"flows\": {flows},\n    \"timer_events\": {},\n    \"deliver_events\": {},\n    \"deliver_batches\": {},\n    \"mean_batch\": {:.3},\n    \"batch_p99\": {},\n    \"batch_max\": {},\n    \"depth_peak\": {},\n    \"depth_samples\": {},\n    \"depth_sample_stride\": {},\n    \"rungs_occupied\": {},\n    \"store_push_near\": {},\n    \"store_push_rung\": {},\n    \"store_push_far\": {},\n    \"store_refills\": {},\n    \"store_rebases\": {},\n    \"attribution\": {{\n      \"sample_every\": {ATTR_SAMPLE_EVERY},\n      \"dispatches_seen\": {},\n      \"samples\": {},\n      \"rows\": {{\n{}\n      }}\n    }}\n  }},\n  \"scenario_reset\": {{\n    \"replication_build_us\": {:.2},\n    \"replication_reset_us\": {:.2},\n    \"setup_speedup_vs_rebuild\": {:.1},\n    \"sweep_rebuild_wall_secs\": {:.3},\n    \"sweep_reset_wall_secs\": {:.3}\n  }},\n  \"sweep_piats_per_class\": 40000,\n  \"sweep_wall_clock_secs\": {sweep:.3}\n}}\n",
         shape_entries.join(",\n"),
         trunk_engine.pending,
         trunk_engine.events_per_sec,
@@ -488,6 +541,7 @@ fn main() {
         million.events_per_sec,
         million.per_shard_events_per_sec,
         million.wall_clock_secs,
+        dm_rows_json.join(",\n"),
         hook.plain_events_per_sec,
         hook.faultfree_plan_events_per_sec,
         hook.gated_zero_loss_events_per_sec,

@@ -812,6 +812,130 @@ pub fn sharded_aggregate_measurement(
     }
 }
 
+// ---- Defense matrix ---------------------------------------------------
+
+/// The canonical defense grid: every padding schedule the cohort path
+/// supports, plus the variable-payload axis on a CIT clock. One policy
+/// shared by the recorded baseline and the `fig_defense_matrix`
+/// experiment so both always measure the same configurations.
+pub fn defense_grid() -> Vec<(
+    &'static str,
+    linkpad_workloads::spec::ScheduleSpec,
+    linkpad_workloads::spec::PayloadModel,
+)> {
+    use linkpad_workloads::spec::{PayloadModel, ScheduleSpec};
+    vec![
+        ("cit", ScheduleSpec::Cit, PayloadModel::Fixed),
+        (
+            "constant_rate",
+            ScheduleSpec::ConstantRate { rate: 125.0 },
+            PayloadModel::Fixed,
+        ),
+        (
+            "adaptive",
+            ScheduleSpec::AdaptivePadding { reactive: false },
+            PayloadModel::Fixed,
+        ),
+        (
+            "cit_var_payload",
+            ScheduleSpec::Cit,
+            PayloadModel::Uniform { lo: 300, hi: 900 },
+        ),
+    ]
+}
+
+/// One defense row of the `defense_matrix` baseline section: the
+/// sharded cohort aggregate run under one schedule/payload pair, read
+/// by both adversary channels.
+#[derive(Debug, Clone, Copy)]
+pub struct DefenseMeasurement {
+    /// Grid key (also the JSON object key in the baseline).
+    pub name: &'static str,
+    /// The defense's mean emission interval E\[T\], seconds.
+    pub mean_interval_secs: f64,
+    /// Mean wire bytes per emission.
+    pub mean_wire_bytes: f64,
+    /// Trunk bandwidth relative to the CIT/fixed-payload baseline.
+    pub overhead_factor: f64,
+    /// Count-channel flow-count estimate error, percent (deterministic
+    /// given the seed — a gated accuracy metric, not a noise band).
+    pub count_err_pct: f64,
+    /// Byte-channel flow-count estimate error, percent.
+    pub byte_err_pct: f64,
+    /// Events per wall-clock second, summed across shard event loops.
+    pub events_per_sec: f64,
+    /// Wall-clock seconds for the whole sharded run.
+    pub wall_clock_secs: f64,
+}
+
+/// Run the whole [`defense_grid`] through the sharded cohort aggregate:
+/// `flows` flows per defense, uniform clock phases, `measured`
+/// steady-state windows fed to both flow-count channels. The trunk is
+/// provisioned by [`provisioned_trunk_bps`]; the observer window is
+/// 20τ (the rate law's exact regime for the deterministic schedules).
+pub fn defense_matrix_measurement(
+    flows: usize,
+    cohort_size: usize,
+    shards: usize,
+    measured: usize,
+) -> Vec<DefenseMeasurement> {
+    use linkpad_adversary::aggregate::{estimate_flow_count, estimate_flow_count_from_bytes};
+    const SKIP: usize = 2;
+    let defaults = linkpad_workloads::scenario::ScenarioBuilder::aggregate(1, 1).defaults;
+    let (tau, pkt) = (defaults.tau, defaults.packet_size);
+    let window = 20.0 * tau;
+    let sim_secs = window * (SKIP + measured + 1) as f64;
+    let baseline_bps = pkt as f64 / tau;
+    defense_grid()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, spec, payload))| {
+            let interval = spec.mean_interval(tau);
+            let mean_bytes = payload.mean_bytes(pkt);
+            let window_over_interval = window / interval;
+            let builder =
+                linkpad_workloads::scenario::ScenarioBuilder::aggregate(2311 + i as u64, flows)
+                    .with_payload_rate(10.0)
+                    .with_trunk(provisioned_trunk_bps(flows), 5e-3)
+                    .with_trunk_observer(window)
+                    .with_cohorts(cohort_size)
+                    .with_shards(shards)
+                    .with_phases(linkpad_workloads::aggregate::PhaseSpec::Uniform { seed: 41 })
+                    .with_schedule(spec)
+                    .with_payload_model(payload);
+            let sharded = linkpad_workloads::shard::ShardedAggregate::new(builder)
+                .expect("defense-matrix config valid");
+            let run = sharded
+                .run_for_secs(sim_secs)
+                .expect("defense-matrix run succeeds");
+            let span = SKIP..SKIP + measured;
+            let count_est = estimate_flow_count(&run.counts()[span.clone()], window_over_interval)
+                .expect("count-channel estimator");
+            let byte_rates: Vec<f64> = run.windows[span]
+                .iter()
+                .map(|w| w.bytes as f64 / window)
+                .collect();
+            let byte_est = estimate_flow_count_from_bytes(
+                &byte_rates,
+                window,
+                mean_bytes,
+                window_over_interval,
+            )
+            .expect("byte-channel estimator");
+            DefenseMeasurement {
+                name,
+                mean_interval_secs: interval,
+                mean_wire_bytes: mean_bytes,
+                overhead_factor: (mean_bytes / interval) / baseline_bps,
+                count_err_pct: count_est.relative_error(flows) * 100.0,
+                byte_err_pct: byte_est.relative_error(flows) * 100.0,
+                events_per_sec: run.events_per_sec(),
+                wall_clock_secs: run.wall_secs,
+            }
+        })
+        .collect()
+}
+
 // ---- Scenario reset vs rebuild ----------------------------------------
 
 /// Timing of per-replication setup: rebuilding the lab topology from its

@@ -8,8 +8,9 @@
 //! (2) Otherwise, a dummy packet is transmitted to GW2."*
 //!
 //! [`SenderGateway`] implements that algorithm on top of a
-//! [`PaddingSchedule`] (CIT/VIT) and a [`GatewayJitterModel`] (δ_gw). The
-//! timer can run in two disciplines:
+//! [`LinkSchedule`] — a stateless [`PaddingSchedule`](crate::schedule::PaddingSchedule) law (CIT/VIT/
+//! constant-rate) or the stateful adaptive-padding machine — and a
+//! [`GatewayJitterModel`] (δ_gw). The timer can run in two disciplines:
 //!
 //! * [`TimerDiscipline::Absolute`] — a periodic interrupt: tick *i* fires
 //!   at the nominal instant `Σ T_j`; jitter shifts only the transmission.
@@ -27,11 +28,12 @@
 //! protected subnet, completing the end-to-end QoS measurement.
 
 use crate::jitter::GatewayJitterModel;
-use crate::schedule::PaddingSchedule;
+use crate::schedule::LinkSchedule;
 use linkpad_sim::engine::Context;
 use linkpad_sim::node::{Node, NodeId};
 use linkpad_sim::packet::{FlowId, Packet, PacketKind};
 use linkpad_sim::time::{SimDuration, SimTime};
+use linkpad_stats::dist::ContinuousDist;
 use linkpad_stats::moments::RunningMoments;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -103,7 +105,7 @@ impl GatewayHandle {
 
 /// The sender gateway GW1.
 pub struct SenderGateway {
-    schedule: PaddingSchedule,
+    schedule: LinkSchedule,
     jitter: GatewayJitterModel,
     discipline: TimerDiscipline,
     next: NodeId,
@@ -114,6 +116,11 @@ pub struct SenderGateway {
     /// Constant on-the-wire size of every padded packet (threat model
     /// remark 3: all packets look identical).
     packet_size: u32,
+    /// Wire-size law for variable-payload defences: when set, each
+    /// emission samples its on-the-wire size (floored to whole bytes,
+    /// min 1) instead of using the constant `packet_size`. Deterministic
+    /// laws (fixed, MTU-padded) make zero RNG draws.
+    size_law: Option<Box<dyn ContinuousDist>>,
     /// Clock start offset: the first timer interval is measured from
     /// `start_phase` instead of simulation time zero, so the tick grid
     /// sits at `start_phase + Σ Tⱼ`. Desynchronized gateway deployments
@@ -129,10 +136,13 @@ pub struct SenderGateway {
 }
 
 impl SenderGateway {
-    /// Build GW1 sending padded traffic to `next`.
+    /// Build GW1 sending padded traffic to `next`. Accepts a
+    /// [`PaddingSchedule`](crate::schedule::PaddingSchedule) law or a
+    /// full [`LinkSchedule`] (e.g. an adaptive-padding machine) via
+    /// `Into`.
     pub fn new(
         next: NodeId,
-        schedule: PaddingSchedule,
+        schedule: impl Into<LinkSchedule>,
         jitter: GatewayJitterModel,
         packet_size: u32,
     ) -> (GatewayHandle, Self) {
@@ -142,12 +152,13 @@ impl SenderGateway {
                 stats: Rc::clone(&stats),
             },
             Self {
-                schedule,
+                schedule: schedule.into(),
                 jitter,
                 discipline: TimerDiscipline::Absolute,
                 next,
                 flow: FlowId::PADDED,
                 packet_size,
+                size_law: None,
                 start_phase: SimDuration::ZERO,
                 queue_capacity: None,
                 queue: VecDeque::new(),
@@ -195,8 +206,29 @@ impl SenderGateway {
     }
 
     /// The configured schedule.
-    pub fn schedule(&self) -> &PaddingSchedule {
+    pub fn schedule(&self) -> &LinkSchedule {
         &self.schedule
+    }
+
+    /// Install a wire-size law for variable-payload defences (default:
+    /// every packet is exactly `packet_size`).
+    pub fn with_packet_size_law(mut self, law: Box<dyn ContinuousDist>) -> Self {
+        self.size_law = Some(law);
+        self
+    }
+
+    /// Wire size of the next emission (a draw under a size law, else
+    /// the constant configured size).
+    #[inline]
+    fn sample_size(
+        size_law: &Option<Box<dyn ContinuousDist>>,
+        packet_size: u32,
+        ctx: &mut Context<'_>,
+    ) -> u32 {
+        match size_law {
+            Some(law) => law.sample(ctx.rng).floor().max(1.0) as u32,
+            None => packet_size,
+        }
     }
 
     fn emit(&mut self, ctx: &mut Context<'_>) {
@@ -216,18 +248,22 @@ impl SenderGateway {
         // and is invisible in inter-arrival times.
         let send_delay = (self.jitter.pipeline_offset() + delay).max(0.0);
 
+        // Per-emission draw order: tick δ (above), wire size, next
+        // interval (below) — documented so determinism tests can reason
+        // about the RNG stream.
+        let size = Self::sample_size(&self.size_law, self.packet_size, ctx);
         let out = if let Some(payload) = self.queue.pop_front() {
             st.payload_sent += 1;
             st.queue_wait
                 .push(ctx.now().saturating_since(payload.enqueued).as_secs_f64());
-            let mut p = ctx.spawn_packet(self.flow, PacketKind::Payload, self.packet_size);
+            let mut p = ctx.spawn_packet(self.flow, PacketKind::Payload, size);
             // Preserve when the payload entered the gateway so the far
             // sink can measure end-to-end padding delay.
             p.enqueued = payload.enqueued;
             p
         } else {
             st.dummy_sent += 1;
-            ctx.spawn_packet(self.flow, PacketKind::Dummy, self.packet_size)
+            ctx.spawn_packet(self.flow, PacketKind::Dummy, size)
         };
         drop(st);
 
@@ -247,6 +283,9 @@ impl Node for SenderGateway {
     fn on_packet(&mut self, mut packet: Packet, ctx: &mut Context<'_>) {
         // A payload packet from the protected subnet enters the queue.
         self.arrivals_since_tick = self.arrivals_since_tick.saturating_add(1);
+        // Reactive adaptive padding opens a fresh burst on client
+        // traffic (no-op for laws and non-reactive machines).
+        self.schedule.notify_client_arrival();
         packet.enqueued = ctx.now();
         let mut st = self.stats.borrow_mut();
         if self.queue_capacity.is_none_or(|cap| self.queue.len() < cap) {
@@ -274,6 +313,7 @@ impl Node for SenderGateway {
     fn reset(&mut self) {
         self.queue.clear();
         self.arrivals_since_tick = 0;
+        self.schedule.reset();
         *self.stats.borrow_mut() = GatewayStats::default();
     }
 
@@ -395,6 +435,7 @@ impl Node for ReceiverGateway {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::PaddingSchedule;
     use linkpad_sim::engine::SimBuilder;
     use linkpad_sim::sink::Sink;
     use linkpad_sim::source::DistSource;

@@ -41,4 +41,4 @@ pub use calibration::CalibratedDefaults;
 pub use gateway::{GatewayHandle, ReceiverGateway, ReceiverHandle, SenderGateway, TimerDiscipline};
 pub use jitter::GatewayJitterModel;
 pub use overhead::OverheadReport;
-pub use schedule::PaddingSchedule;
+pub use schedule::{AdaptiveCohortSchedule, AdaptivePadding, LinkSchedule, PaddingSchedule};

@@ -32,6 +32,28 @@
 //! offset. With jitter disabled the cohort makes **zero RNG draws** and
 //! its emission times are bit-exact nominal instants — the regime the
 //! exactness tests compare against real `SenderGateway`s.
+//!
+//! # Stochastic cohorts
+//!
+//! The comb above is exact only for deterministic schedules (CIT,
+//! constant-rate). Stochastic defences — VIT interval laws, adaptive
+//! padding — give each member its own random clock, so the cohort
+//! carries **per-member next-fire state** instead: a small in-node
+//! binary heap of `(next nominal fire time, member index)` pairs, one
+//! entry per member, driven by a [`MemberSchedule`] (an interval *law*
+//! shared iid across members, or per-member machines like adaptive
+//! padding). The engine still sees **one pending timer event per
+//! cohort** — the heap minimum — so a stochastic cohort costs the event
+//! store the same as a deterministic one and `ShardedAggregate` scales
+//! every defence to 10⁶ flows. Determinism: the heap pops in the total
+//! order `(time, member)`, and all draws (jitter δ, packet size, next
+//! interval — in that documented per-emission order) come off the
+//! cohort node's single RNG stream, so runs replay bit-identically
+//! under `reset(seed)`. What the heap does *not* preserve is the
+//! gateway fan-in's *stream interleaving*: K real gateways draw from K
+//! independent RNG streams, the cohort from one, so stochastic-regime
+//! equivalence is distributional (window count/byte moments), not
+//! bit-exact — see `defense_equivalence.rs` and DESIGN.md.
 
 use crate::engine::Context;
 use crate::node::{Node, NodeId};
@@ -40,7 +62,10 @@ use crate::time::{SimDuration, SimTime};
 use linkpad_stats::dist::{ContinuousDist, Exponential};
 use linkpad_stats::normal::Normal;
 use linkpad_stats::rng::Xoshiro256StarStar;
+use rand_core::RngCore;
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 /// Conventional wire flow id for cohort-generated traffic. Cohort
@@ -50,6 +75,44 @@ use std::rc::Rc;
 pub const COHORT_FLOW: FlowId = FlowId(u32::MAX);
 
 const TICK: u64 = 0;
+
+/// Per-member interval source of a stochastic cohort: `member` is the
+/// within-cohort index (position in the sorted phase vector). Called
+/// once per emission in the deterministic heap pop order, plus once per
+/// member (in member order) at start to seed the heap.
+pub trait MemberSchedule: std::fmt::Debug {
+    /// Draw member `member`'s next inter-emission interval, seconds.
+    /// Must be positive (the cohort floors to 1 ns defensively).
+    fn next_interval_secs(&mut self, member: u32, rng: &mut dyn RngCore) -> f64;
+
+    /// Return any machine state to its initial value (the next
+    /// `on_start` re-seeds the heap from a fresh RNG stream).
+    fn reset(&mut self);
+}
+
+/// A [`MemberSchedule`] where every member draws iid intervals from one
+/// shared law — the stochastic-cohort form of the VIT families (each
+/// member's clock is an independent renewal process of the same law).
+#[derive(Debug)]
+pub struct LawSchedule {
+    law: Box<dyn ContinuousDist>,
+}
+
+impl LawSchedule {
+    /// Wrap an interval law (mean must be positive; the caller
+    /// validates, as `PaddingSchedule` constructors already do).
+    pub fn new(law: Box<dyn ContinuousDist>) -> Self {
+        Self { law }
+    }
+}
+
+impl MemberSchedule for LawSchedule {
+    fn next_interval_secs(&mut self, _member: u32, rng: &mut dyn RngCore) -> f64 {
+        self.law.sample(rng).max(1e-6)
+    }
+
+    fn reset(&mut self) {}
+}
 
 /// Per-emission disturbance model of a cohort member, mirroring the
 /// sender gateway's δ_gw: baseline OS jitter plus payload-arrival
@@ -142,7 +205,21 @@ impl CohortHandle {
     }
 }
 
-/// A node emitting the superposed arrival process of K CIT-padded flows.
+/// Per-member next-fire state of a stochastic cohort (heap mode).
+#[derive(Debug)]
+struct MemberState {
+    sched: Box<dyn MemberSchedule>,
+    /// Member `m`'s clock start offset (sorted ascending; the member
+    /// index is the position in this vector).
+    phases: Vec<SimDuration>,
+    /// `(next nominal fire time, member)` — `Reverse` turns the std
+    /// max-heap into a min-heap popping in `(time, member)` order.
+    heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+}
+
+/// A node emitting the superposed arrival process of K padded flows:
+/// an exact comb for deterministic schedules, a per-member next-fire
+/// heap for stochastic ones (see the module docs).
 pub struct FlowCohort {
     /// Unique nominal phases (offset from each period start, `< τ`),
     /// sorted ascending, with the number of member flows at each.
@@ -151,7 +228,13 @@ pub struct FlowCohort {
     next: NodeId,
     flow: FlowId,
     packet_size: u32,
+    /// Wire-size law for variable-payload defences (`None` → every
+    /// packet is exactly `packet_size`, zero RNG draws).
+    size_law: Option<Box<dyn ContinuousDist>>,
     jitter: Option<JitterSamplers>,
+    /// Per-member state when a [`MemberSchedule`] is installed
+    /// (stochastic mode); `None` runs the exact comb.
+    member: Option<MemberState>,
     /// Index into `schedule` of the next emission.
     idx: usize,
     /// Nominal start of the current period cycle (`j·τ`; emissions of
@@ -204,7 +287,9 @@ impl FlowCohort {
                 next,
                 flow: COHORT_FLOW,
                 packet_size,
+                size_law: None,
                 jitter: None,
+                member: None,
                 idx: 0,
                 cycle_base: SimTime::ZERO,
                 stats,
@@ -232,10 +317,94 @@ impl FlowCohort {
         self
     }
 
+    /// Install a per-member interval source, switching the cohort from
+    /// the exact comb to the stochastic heap (see the module docs).
+    /// Member `m` is the m-th entry of the sorted phase vector; its
+    /// first emission lands at `phase_m + T₁(m)` where `T₁` is the
+    /// member's first interval draw, matching a gateway's first tick at
+    /// `start_phase + T₁`.
+    pub fn with_member_schedule(mut self, sched: Box<dyn MemberSchedule>) -> Self {
+        let mut phases = Vec::new();
+        for &(p, count) in &self.schedule {
+            for _ in 0..count {
+                phases.push(p);
+            }
+        }
+        let heap = BinaryHeap::with_capacity(phases.len());
+        self.member = Some(MemberState {
+            sched,
+            phases,
+            heap,
+        });
+        self
+    }
+
+    /// Install a wire-size law for variable-payload defences: each
+    /// emission samples its size (floored to whole bytes, min 1).
+    /// Deterministic laws make zero RNG draws, preserving bit-exactness.
+    pub fn with_packet_size_law(mut self, law: Box<dyn ContinuousDist>) -> Self {
+        self.size_law = Some(law);
+        self
+    }
+
+    /// Wire size of one emission (a draw under a size law, else the
+    /// fixed configured size).
+    #[inline]
+    fn sample_size(&self, rng: &mut Xoshiro256StarStar) -> u32 {
+        match &self.size_law {
+            Some(law) => law.sample(rng).floor().max(1.0) as u32,
+            None => self.packet_size,
+        }
+    }
+
     /// Nominal absolute time of the emission at `self.idx`.
     #[inline]
     fn next_nominal(&self) -> SimTime {
         self.cycle_base + self.schedule[self.idx].0
+    }
+
+    /// Floor an interval draw to a nonzero duration so the re-armed
+    /// timer always advances sim time (no same-instant livelock).
+    #[inline]
+    fn interval_duration(secs: f64) -> SimDuration {
+        let d = SimDuration::from_secs_f64(secs);
+        SimDuration::from_nanos(d.as_nanos().max(1))
+    }
+
+    /// Stochastic-mode tick: pop every member due now (in `(time,
+    /// member)` order), emit one packet each — per-emission draw order
+    /// is jitter δ, wire size, next interval — and re-arm one timer at
+    /// the new heap minimum.
+    fn on_timer_member(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let Some(ms) = self.member.as_mut() else {
+            return;
+        };
+        let mut emitted = 0u64;
+        while let Some(&Reverse((t, m))) = ms.heap.peek() {
+            if t > now {
+                break;
+            }
+            ms.heap.pop();
+            let delay = self.jitter.as_ref().map(|j| j.sample_send_delay(ctx.rng));
+            let size = match &self.size_law {
+                Some(law) => law.sample(ctx.rng).floor().max(1.0) as u32,
+                None => self.packet_size,
+            };
+            let pkt = ctx.spawn_packet(self.flow, PacketKind::Dummy, size);
+            match delay {
+                Some(d) => ctx.send_after(SimDuration::from_secs_f64(d), self.next, pkt),
+                None => ctx.send_now(self.next, pkt),
+            }
+            let interval = ms.sched.next_interval_secs(m, ctx.rng);
+            ms.heap
+                .push(Reverse((t + Self::interval_duration(interval), m)));
+            emitted += 1;
+        }
+        self.stats.borrow_mut().emitted += emitted;
+        if let Some(&Reverse((t, _))) = ms.heap.peek() {
+            ctx.schedule_timer(t.saturating_since(now), TICK);
+        }
     }
 }
 
@@ -245,6 +414,22 @@ impl Node for FlowCohort {
     }
 
     fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some(ms) = self.member.as_mut() {
+            // Stochastic mode: seed every member's next-fire time in
+            // member order (one interval draw each), then arm one timer
+            // at the heap minimum.
+            ms.heap.clear();
+            for (m, &phase) in ms.phases.iter().enumerate() {
+                let m = m as u32;
+                let first = ms.sched.next_interval_secs(m, ctx.rng);
+                let t = SimTime::ZERO + phase + Self::interval_duration(first);
+                ms.heap.push(Reverse((t, m)));
+            }
+            if let Some(&Reverse((t, _))) = ms.heap.peek() {
+                ctx.schedule_timer(t.saturating_since(ctx.now()), TICK);
+            }
+            return;
+        }
         // First emissions land at phase + τ, one period after each
         // member's clock start — as a real gateway's first tick does.
         self.idx = 0;
@@ -255,10 +440,17 @@ impl Node for FlowCohort {
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
         debug_assert_eq!(tag, TICK);
+        if self.member.is_some() {
+            self.on_timer_member(ctx);
+            return;
+        }
         let (_, count) = self.schedule[self.idx];
         self.stats.borrow_mut().emitted += count as u64;
         for _ in 0..count {
-            let pkt = ctx.spawn_packet(self.flow, PacketKind::Dummy, self.packet_size);
+            // Per-emission draw order: wire size (variable-payload
+            // defences), then the member's jitter δ.
+            let size = self.sample_size(ctx.rng);
+            let pkt = ctx.spawn_packet(self.flow, PacketKind::Dummy, size);
             match &self.jitter {
                 // One independent δ per member flow, as each gateway's
                 // tick would draw its own.
@@ -282,6 +474,10 @@ impl Node for FlowCohort {
     fn reset(&mut self) {
         self.idx = 0;
         self.cycle_base = SimTime::ZERO;
+        if let Some(ms) = self.member.as_mut() {
+            ms.heap.clear();
+            ms.sched.reset();
+        }
         *self.stats.borrow_mut() = CohortStats::default();
     }
 
@@ -428,5 +624,96 @@ mod tests {
         let mut b = SimBuilder::new(MasterSeed::new(7));
         let id = b.reserve();
         let _ = FlowCohort::new(id, TAU, &[], 500);
+    }
+
+    #[test]
+    fn deterministic_law_heap_matches_the_comb_bit_exactly() {
+        // A Deterministic(τ) member schedule drives the heap along the
+        // same nominal grid the comb walks, with zero RNG draws — the
+        // two modes must agree to the nanosecond.
+        let run = |member: bool| {
+            let mut b = SimBuilder::new(MasterSeed::new(11));
+            let (tap, node) = Tap::new(None, None);
+            let tap_id = b.add_node(Box::new(node));
+            let (_, mut cohort) =
+                FlowCohort::new(tap_id, TAU, &[ms(0.0), ms(2.0), ms(5.0), ms(5.0)], 500);
+            if member {
+                let law = Box::new(linkpad_stats::dist::Deterministic::new(0.010).unwrap());
+                cohort = cohort.with_member_schedule(Box::new(LawSchedule::new(law)));
+            }
+            b.add_node(Box::new(cohort));
+            let mut sim = b.build().unwrap();
+            sim.run_until(SimTime::from_secs_f64(0.2005));
+            tap.timestamps()
+        };
+        let comb = run(false);
+        let heap = run(true);
+        assert!(!comb.is_empty());
+        assert_eq!(comb, heap);
+    }
+
+    #[test]
+    fn stochastic_heap_replays_bit_identically_after_reset() {
+        let mut b = SimBuilder::new(MasterSeed::new(12));
+        let (tap, node) = Tap::new(None, None);
+        let tap_id = b.add_node(Box::new(node));
+        let phases: Vec<SimDuration> = (0..16).map(|k| ms(0.5 * k as f64)).collect();
+        let (handle, cohort) = FlowCohort::new(tap_id, TAU, &phases, 500);
+        let law = Box::new(Exponential::new(0.010).unwrap());
+        b.add_node(Box::new(
+            cohort.with_member_schedule(Box::new(LawSchedule::new(law))),
+        ));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(0.5));
+        let first = tap.timestamps();
+        assert!(handle.emitted() > 0);
+        sim.reset(MasterSeed::new(12));
+        assert_eq!(handle.emitted(), 0);
+        sim.run_until(SimTime::from_secs_f64(0.5));
+        assert_eq!(tap.timestamps(), first);
+    }
+
+    #[test]
+    fn stochastic_heap_rate_matches_the_law_mean() {
+        // 32 members with exponential interval law of mean τ emit at
+        // ~32/τ packets per second in steady state.
+        let mut b = SimBuilder::new(MasterSeed::new(13));
+        let (tap, node) = Tap::new(None, None);
+        let tap_id = b.add_node(Box::new(node));
+        let phases: Vec<SimDuration> = (0..32).map(|k| ms(0.25 * k as f64)).collect();
+        let (_, cohort) = FlowCohort::new(tap_id, TAU, &phases, 500);
+        let law = Box::new(Exponential::new(0.010).unwrap());
+        b.add_node(Box::new(
+            cohort.with_member_schedule(Box::new(LawSchedule::new(law))),
+        ));
+        let mut sim = b.build().unwrap();
+        let secs = 20.0;
+        sim.run_until(SimTime::from_secs_f64(secs));
+        let expected = 32.0 * secs / 0.010;
+        let got = tap.count() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.03,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn size_law_draws_variable_wire_sizes() {
+        let mut b = SimBuilder::new(MasterSeed::new(14));
+        let (obs, node) = WindowedObserver::new(ms(100.0), None);
+        let obs_id = b.add_node(Box::new(node));
+        let (_, cohort) = FlowCohort::new(obs_id, TAU, &[ms(0.0), ms(3.0)], 500);
+        let law = Box::new(linkpad_stats::dist::Uniform::new(300.0, 901.0).unwrap());
+        b.add_node(Box::new(cohort.with_packet_size_law(law)));
+        let mut sim = b.build().unwrap();
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let series = obs.window_series();
+        let (count, bytes) = series
+            .iter()
+            .fold((0u64, 0u64), |(c, by), w| (c + w.count, by + w.bytes));
+        assert!(count > 100);
+        let mean = bytes as f64 / count as f64;
+        // U[300, 901) floored to whole bytes has mean ≈ 600.
+        assert!((mean - 600.0).abs() < 25.0, "mean wire size {mean}");
     }
 }

@@ -66,7 +66,9 @@ pub mod time;
 pub mod trace;
 
 pub use attr::{AttributionReport, AttributionRow, AttributionSampler};
-pub use cohort::{CohortHandle, CohortJitter, FlowCohort, COHORT_FLOW};
+pub use cohort::{
+    CohortHandle, CohortJitter, FlowCohort, LawSchedule, MemberSchedule, COHORT_FLOW,
+};
 pub use engine::{Context, RunStats, Sim, SimBuilder};
 pub use equeue::EventQueue;
 pub use fault::{FaultGateHandle, FaultPlan, LossModel, LossyGate, OutageSchedule};

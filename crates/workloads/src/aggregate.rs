@@ -30,10 +30,12 @@
 //! microbench.
 
 use crate::scenario::{AggregateHandles, BuiltScenario, ScenarioBuilder, ScenarioError};
-use crate::spec::ScheduleSpec;
 use crate::switching::SwitchingSource;
 use linkpad_core::gateway::{ReceiverGateway, SenderGateway};
-use linkpad_sim::cohort::{CohortHandle, CohortJitter, FlowCohort, COHORT_FLOW};
+use linkpad_core::schedule::{AdaptiveCohortSchedule, LinkSchedule};
+use linkpad_sim::cohort::{
+    CohortHandle, CohortJitter, FlowCohort, LawSchedule, MemberSchedule, COHORT_FLOW,
+};
 use linkpad_sim::engine::{Context, SimBuilder};
 use linkpad_sim::fault::{FaultPlan, LossyGate};
 use linkpad_sim::node::{Node, NodeId};
@@ -354,8 +356,11 @@ pub(crate) fn build_aggregate(
         if k == 0 {
             return Err(ScenarioError::EmptyCohort);
         }
-        if builder.schedule() != ScheduleSpec::Cit {
-            return Err(ScenarioError::CohortRequiresCit);
+        if let Err(reason) = builder.schedule().cohort_support() {
+            return Err(ScenarioError::CohortUnsupported {
+                schedule: builder.schedule().name(),
+                reason,
+            });
         }
     }
     if let Some(plan) = spec.faults {
@@ -464,26 +469,33 @@ pub(crate) fn build_aggregate(
     };
 
     // Sender side: the target flow through its egress tap, everything
-    // else straight into the trunk.
+    // else straight into the trunk. Clock phases spread over the
+    // schedule's emission period (τ for the timer families, 1/rate for
+    // constant-rate, the stationary mean for adaptive padding) so
+    // cohorts and real gateway pairs lay their clocks out identically.
+    let period = builder.schedule().mean_interval(tau);
     let mut gateways = Vec::new();
     let mut cohorts: Vec<CohortHandle> = Vec::new();
     let mut target_rate_log = None;
     let (sender_tap, gateway) = if has_target {
         let (sender_tap, stap) = Tap::on_padded_flow(Some(trunk_ingress));
         let stap_id = b.add_node(Box::new(stap.with_label("tap@gw1")));
-        let phase = spec.phases.phase_secs(0, 0, spec.flows, tau);
+        let phase = spec.phases.phase_secs(0, 0, spec.flows, period);
         let (gw, gw1) = SenderGateway::new(
             stap_id,
             builder.schedule().to_schedule(tau)?,
             d.jitter,
             d.packet_size,
         );
-        let gw1_id = b.add_node(Box::new(
-            gw1.with_discipline(builder.discipline())
-                .with_flow(FlowId(0))
-                .with_start_phase(SimDuration::from_secs_f64(phase))
-                .with_label("gw1-0"),
-        ));
+        let mut gw1 = gw1
+            .with_discipline(builder.discipline())
+            .with_flow(FlowId(0))
+            .with_start_phase(SimDuration::from_secs_f64(phase))
+            .with_label("gw1-0");
+        if let Some(law) = builder.payload_model().size_law(d.packet_size)? {
+            gw1 = gw1.with_packet_size_law(law);
+        }
+        let gw1_id = b.add_node(Box::new(gw1));
         // The target optionally runs the rate-switching drive (the
         // hidden state the aggregate adversary estimates); without a
         // switching spec it follows the builder's payload law.
@@ -528,19 +540,22 @@ pub(crate) fn build_aggregate(
         None => {
             for f in start.max(1)..start + count {
                 let flow = FlowId(f as u32);
-                let phase = spec.phases.phase_secs(f, f, spec.flows, tau);
+                let phase = spec.phases.phase_secs(f, f, spec.flows, period);
                 let (gw, gw1) = SenderGateway::new(
                     trunk_ingress,
                     builder.schedule().to_schedule(tau)?,
                     d.jitter,
                     d.packet_size,
                 );
-                let gw1_id = b.add_node(Box::new(
-                    gw1.with_discipline(builder.discipline())
-                        .with_flow(flow)
-                        .with_start_phase(SimDuration::from_secs_f64(phase))
-                        .with_label(format!("gw1-{f}")),
-                ));
+                let mut gw1 = gw1
+                    .with_discipline(builder.discipline())
+                    .with_flow(flow)
+                    .with_start_phase(SimDuration::from_secs_f64(phase))
+                    .with_label(format!("gw1-{f}"));
+                if let Some(law) = builder.payload_model().size_law(d.packet_size)? {
+                    gw1 = gw1.with_packet_size_law(law);
+                }
+                let gw1_id = b.add_node(Box::new(gw1));
                 gateways.push(gw);
                 b.add_node(Box::new(DistSource::new(
                     gw1_id,
@@ -571,37 +586,59 @@ pub(crate) fn build_aggregate(
                 blocking_mean: d.jitter.blocking_mean,
                 arrival_prob: (builder.payload().rate() * tau).clamp(0.0, 1.0),
             };
+            // Deterministic schedules (CIT, constant-rate) run the exact
+            // comb at the schedule's own emission period; stochastic
+            // schedules run the per-member heap, with phases spread over
+            // the same period in both modes.
+            let deterministic = builder.schedule().is_deterministic();
             let mut group: Vec<SimDuration> = Vec::with_capacity(k);
             let mut group_id = None;
-            let mut flush =
-                |group: &mut Vec<SimDuration>, group_id: &mut Option<usize>, b: &mut SimBuilder| {
-                    let Some(g) = group_id.take() else { return };
-                    let (h, cohort) = FlowCohort::new(
-                        trunk_ingress,
-                        SimDuration::from_secs_f64(tau),
-                        group,
-                        d.packet_size,
-                    );
-                    b.add_node(Box::new(
-                        cohort.with_jitter(jitter).with_label(format!("cohort-{g}")),
-                    ));
-                    cohorts.push(h);
-                    group.clear();
+            let mut flush = |group: &mut Vec<SimDuration>,
+                             group_id: &mut Option<usize>,
+                             b: &mut SimBuilder|
+             -> Result<(), ScenarioError> {
+                let Some(g) = group_id.take() else {
+                    return Ok(());
                 };
+                let (h, cohort) = FlowCohort::new(
+                    trunk_ingress,
+                    SimDuration::from_secs_f64(period),
+                    group,
+                    d.packet_size,
+                );
+                let mut cohort = cohort.with_jitter(jitter).with_label(format!("cohort-{g}"));
+                if !deterministic {
+                    let sched: Box<dyn MemberSchedule> =
+                        match builder.schedule().to_schedule(tau)? {
+                            LinkSchedule::Law(law) => Box::new(LawSchedule::new(law.into_law())),
+                            LinkSchedule::Adaptive(_) => {
+                                Box::new(AdaptiveCohortSchedule::new(group.len() as u32, tau)?)
+                            }
+                        };
+                    cohort = cohort.with_member_schedule(sched);
+                }
+                if let Some(law) = builder.payload_model().size_law(d.packet_size)? {
+                    cohort = cohort.with_packet_size_law(law);
+                }
+                b.add_node(Box::new(cohort));
+                cohorts.push(h);
+                group.clear();
+                Ok(())
+            };
             for f in start.max(1)..start + count {
                 let member = f - 1;
                 if group_id != Some(member / k) {
-                    flush(&mut group, &mut group_id, &mut b);
+                    flush(&mut group, &mut group_id, &mut b)?;
                     group_id = Some(member / k);
                 }
                 group.push(SimDuration::from_secs_f64(spec.phases.phase_secs(
                     f,
                     member % k,
                     k,
-                    tau,
+                    period,
                 )));
             }
-            flush(&mut group, &mut group_id, &mut b);
+            flush(&mut group, &mut group_id, &mut b)?;
         }
     }
 

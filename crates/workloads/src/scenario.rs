@@ -17,7 +17,7 @@
 use crate::aggregate::{AggregateSpec, PhaseSpec, SwitchingSpec};
 use crate::cross::{cross_interval_law, cross_rate_for_utilization, SizeMix};
 use crate::demux::FlowDemux;
-use crate::spec::{HopSpec, PayloadSpec, ScheduleSpec};
+use crate::spec::{HopSpec, PayloadModel, PayloadSpec, ScheduleSpec};
 use crate::switching::RateLog;
 use linkpad_core::calibration::CalibratedDefaults;
 use linkpad_core::gateway::{
@@ -64,10 +64,15 @@ pub enum ScenarioError {
     EmptyAggregate,
     /// An aggregate cohort was configured with zero flows per cohort.
     EmptyCohort,
-    /// Cohort mode requires the CIT schedule: the one-node superposition
-    /// is exact only when every member flow ticks on a deterministic
-    /// τ comb (VIT clocks drift per flow — see DESIGN.md).
-    CohortRequiresCit,
+    /// A cohort was configured with a defense the one-node superposition
+    /// cannot model (today: reactive adaptive padding, whose padding
+    /// clock couples to per-member client traffic — see DESIGN.md).
+    CohortUnsupported {
+        /// Display name of the offending schedule spec.
+        schedule: &'static str,
+        /// Why cohort aggregation cannot model it.
+        reason: &'static str,
+    },
     /// An aggregate flow range lies outside the configured population.
     InvalidFlowRange {
         /// First global flow of the requested range.
@@ -110,11 +115,10 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::EmptyCohort => {
                 write!(f, "aggregate cohorts need at least one flow each")
             }
-            ScenarioError::CohortRequiresCit => {
+            ScenarioError::CohortUnsupported { schedule, reason } => {
                 write!(
                     f,
-                    "flow cohorts require the CIT schedule (superposition is \
-                     exact only for deterministic padding combs)"
+                    "flow cohorts do not support the {schedule} schedule: {reason}"
                 )
             }
             ScenarioError::InvalidFlowRange {
@@ -162,6 +166,7 @@ pub struct ScenarioBuilder {
     seed: u64,
     payload: PayloadSpec,
     schedule: ScheduleSpec,
+    payload_model: PayloadModel,
     hops: Vec<HopSpec>,
     size_mix: SizeMix,
     hop_propagation: f64,
@@ -193,6 +198,7 @@ impl ScenarioBuilder {
                 rate: defaults.rate_low,
             },
             schedule: ScheduleSpec::Cit,
+            payload_model: PayloadModel::Fixed,
             hops: vec![HopSpec::quiet()],
             size_mix: SizeMix::InternetTrimodal,
             hop_propagation: 0.5e-3,
@@ -287,10 +293,12 @@ impl ScenarioBuilder {
     /// [`FlowCohort`](linkpad_sim::cohort::FlowCohort)s of up to
     /// `cohort_size` flows each — one node and one pending timer per
     /// cohort instead of ~10 nodes per flow, the lever that takes the
-    /// family to 10⁶ concurrent flows. Requires the CIT schedule (build
-    /// fails with [`ScenarioError::CohortRequiresCit`] otherwise); QoS
-    /// instrumentation then exists only for the target flow. No effect
-    /// outside the aggregate family.
+    /// family to 10⁶ concurrent flows. Requires a schedule with
+    /// stochastic-cohort support (build fails with
+    /// [`ScenarioError::CohortUnsupported`] otherwise — today only
+    /// reactive adaptive padding is excluded); QoS instrumentation then
+    /// exists only for the target flow. No effect outside the aggregate
+    /// family.
     pub fn with_cohorts(mut self, cohort_size: usize) -> Self {
         if let Some(spec) = &mut self.aggregate {
             spec.cohort_size = Some(cohort_size);
@@ -364,6 +372,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Set the wire payload-size model (default [`PayloadModel::Fixed`],
+    /// the calibrated constant packet size). Applies to every padded
+    /// sender the builder materializes — the lab pair, aggregate
+    /// per-flow gateways, and cohorts.
+    pub fn with_payload_model(mut self, model: PayloadModel) -> Self {
+        self.payload_model = model;
+        self
+    }
+
     /// Replace the hop list.
     pub fn with_hops(mut self, hops: Vec<HopSpec>) -> Self {
         self.hops = hops;
@@ -410,6 +427,11 @@ impl ScenarioBuilder {
     /// The schedule spec currently configured.
     pub fn schedule(&self) -> ScheduleSpec {
         self.schedule
+    }
+
+    /// The payload-size model currently configured.
+    pub fn payload_model(&self) -> PayloadModel {
+        self.payload_model
     }
 
     /// Number of hops in the unprotected path.
@@ -526,7 +548,11 @@ impl ScenarioBuilder {
             d.jitter,
             d.packet_size,
         );
-        let gw1_id = b.add_node(Box::new(gw1.with_discipline(self.discipline)));
+        let mut gw1 = gw1.with_discipline(self.discipline);
+        if let Some(law) = self.payload_model.size_law(d.packet_size)? {
+            gw1 = gw1.with_packet_size_law(law);
+        }
+        let gw1_id = b.add_node(Box::new(gw1));
         b.add_node(Box::new(DistSource::new(
             gw1_id,
             FlowId::PADDED,

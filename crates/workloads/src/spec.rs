@@ -4,8 +4,8 @@
 //! boxed trait objects and are not `Clone`, so configuration travels as
 //! plain-data *specs* that are materialized into live objects per run.
 
-use linkpad_core::schedule::PaddingSchedule;
-use linkpad_stats::dist::{ContinuousDist, Deterministic, Exponential};
+use linkpad_core::schedule::{AdaptivePadding, LinkSchedule, PaddingSchedule};
+use linkpad_stats::dist::{Categorical, ContinuousDist, Deterministic, Exponential, Uniform};
 use linkpad_stats::StatsError;
 
 /// Payload traffic law for the protected flow (rate in packets/second).
@@ -65,29 +65,101 @@ pub enum ScheduleSpec {
     },
     /// VIT with exponential intervals (σ_T = τ) — ablation.
     VitExponential,
+    /// Constant-rate link padding: a periodic timer at `rate` packets
+    /// per second (σ_T = 0; the period is `1/rate`, not τ).
+    ConstantRate {
+        /// Padded-packet rate, packets per second.
+        rate: f64,
+    },
+    /// Adaptive padding: the Idle/Burst/Gap state machine at base
+    /// period τ (canonical gap laws scaled from τ).
+    AdaptivePadding {
+        /// React to client traffic by opening a burst immediately.
+        /// Reactive machines couple the padding clock to per-member
+        /// client traffic, so they have **no stochastic-cohort
+        /// support** — cohort builds reject them with
+        /// `ScenarioError::CohortUnsupported`.
+        reactive: bool,
+    },
 }
 
 impl ScheduleSpec {
-    /// Materialize against a mean period `tau` (seconds).
-    pub fn to_schedule(&self, tau: f64) -> Result<PaddingSchedule, StatsError> {
+    /// Materialize against a mean period `tau` (seconds) into the
+    /// gateway-facing [`LinkSchedule`] (a stateless law for the timer
+    /// families, the stateful machine for adaptive padding).
+    pub fn to_schedule(&self, tau: f64) -> Result<LinkSchedule, StatsError> {
         match *self {
-            ScheduleSpec::Cit => PaddingSchedule::cit(tau),
+            ScheduleSpec::Cit => PaddingSchedule::cit(tau).map(Into::into),
             ScheduleSpec::VitTruncatedNormal { sigma_t } => {
-                PaddingSchedule::vit_truncated_normal(tau, sigma_t)
+                PaddingSchedule::vit_truncated_normal(tau, sigma_t).map(Into::into)
             }
-            ScheduleSpec::VitUniform { sigma_t } => PaddingSchedule::vit_uniform(tau, sigma_t),
-            ScheduleSpec::VitExponential => PaddingSchedule::vit_exponential(tau),
+            ScheduleSpec::VitUniform { sigma_t } => {
+                PaddingSchedule::vit_uniform(tau, sigma_t).map(Into::into)
+            }
+            ScheduleSpec::VitExponential => PaddingSchedule::vit_exponential(tau).map(Into::into),
+            ScheduleSpec::ConstantRate { rate } => {
+                PaddingSchedule::constant_rate(rate).map(Into::into)
+            }
+            ScheduleSpec::AdaptivePadding { reactive } => if reactive {
+                AdaptivePadding::reactive(tau)
+            } else {
+                AdaptivePadding::new(tau)
+            }
+            .map(Into::into),
         }
     }
 
     /// The designed σ_T this spec yields at period `tau`.
     pub fn sigma_t(&self, tau: f64) -> f64 {
         match *self {
-            ScheduleSpec::Cit => 0.0,
+            ScheduleSpec::Cit | ScheduleSpec::ConstantRate { .. } => 0.0,
             ScheduleSpec::VitTruncatedNormal { sigma_t } | ScheduleSpec::VitUniform { sigma_t } => {
                 sigma_t
             }
             ScheduleSpec::VitExponential => tau,
+            ScheduleSpec::AdaptivePadding { .. } => AdaptivePadding::new(tau)
+                .map(|m| m.sigma_t())
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Mean emission interval this spec yields at base period `tau`:
+    /// τ for the timer families, `1/rate` for constant-rate, the
+    /// stationary machine mean for adaptive padding. The quantity the
+    /// flow-count estimator's `window_over_interval` must use.
+    pub fn mean_interval(&self, tau: f64) -> f64 {
+        match *self {
+            ScheduleSpec::Cit
+            | ScheduleSpec::VitTruncatedNormal { .. }
+            | ScheduleSpec::VitUniform { .. }
+            | ScheduleSpec::VitExponential => tau,
+            ScheduleSpec::ConstantRate { rate } => 1.0 / rate,
+            ScheduleSpec::AdaptivePadding { .. } => AdaptivePadding::new(tau)
+                .map(|m| m.mean_interval_secs())
+                .unwrap_or(tau),
+        }
+    }
+
+    /// Whether emission instants are a deterministic function of the
+    /// configuration (no RNG draws on the timer path) — the regimes
+    /// where cohort superposition is bit-exact.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, ScheduleSpec::Cit | ScheduleSpec::ConstantRate { .. })
+    }
+
+    /// Whether cohort aggregation supports this defence. Every law
+    /// family runs in a cohort (deterministic combs for CIT and
+    /// constant-rate, the per-member heap otherwise), as does
+    /// non-reactive adaptive padding; *reactive* adaptive padding
+    /// couples the padding clock to per-member client traffic, which
+    /// the cohort's shared Bernoulli absorption model cannot represent.
+    pub fn cohort_support(&self) -> Result<(), &'static str> {
+        match self {
+            ScheduleSpec::AdaptivePadding { reactive: true } => Err(
+                "reactive adaptive padding responds to per-member client traffic, \
+                 which cohort aggregation does not model",
+            ),
+            _ => Ok(()),
         }
     }
 
@@ -98,6 +170,103 @@ impl ScheduleSpec {
             ScheduleSpec::VitTruncatedNormal { .. } => "VIT-tn",
             ScheduleSpec::VitUniform { .. } => "VIT-u",
             ScheduleSpec::VitExponential => "VIT-exp",
+            ScheduleSpec::ConstantRate { .. } => "constant-rate",
+            ScheduleSpec::AdaptivePadding { reactive: false } => "adaptive",
+            ScheduleSpec::AdaptivePadding { reactive: true } => "adaptive-reactive",
+        }
+    }
+}
+
+/// On-the-wire packet-size model: how the defence pads or varies the
+/// size of every emitted packet (payload and dummy alike — remark 3's
+/// "all packets look identical" constraint applies per defence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PayloadModel {
+    /// Every packet is exactly the scenario's base packet size
+    /// (the historical behaviour; no size law installed, zero draws).
+    Fixed,
+    /// Every packet padded up to a fixed MTU — deterministic, so
+    /// bit-exactness is preserved while the byte rate shifts.
+    MtuPadded {
+        /// Wire size of every packet, bytes.
+        mtu: u32,
+    },
+    /// Sizes uniform over `lo..=hi` whole bytes (stochastic).
+    Uniform {
+        /// Smallest wire size, bytes (≥ 1).
+        lo: u32,
+        /// Largest wire size, bytes (≥ `lo`).
+        hi: u32,
+    },
+    /// The canonical empirical packet-size mix
+    /// `{64 B: 0.5, 550 B: 0.3, 1500 B: 0.2}` (stochastic).
+    Sampled,
+}
+
+impl PayloadModel {
+    /// Materialize the wire-size law against the scenario's base packet
+    /// size. `None` means "no law": every packet is exactly `base`
+    /// bytes and the emit path makes zero size draws.
+    pub fn size_law(&self, base: u32) -> Result<Option<Box<dyn ContinuousDist>>, StatsError> {
+        match *self {
+            PayloadModel::Fixed => {
+                let _ = base;
+                Ok(None)
+            }
+            PayloadModel::MtuPadded { mtu } => {
+                if mtu == 0 {
+                    return Err(StatsError::NonPositive {
+                        what: "payload model MTU",
+                        value: 0.0,
+                    });
+                }
+                Ok(Some(Box::new(Deterministic::new(f64::from(mtu))?)))
+            }
+            PayloadModel::Uniform { lo, hi } => {
+                if lo == 0 || hi < lo {
+                    return Err(StatsError::NonPositive {
+                        what: "payload model uniform size range",
+                        value: f64::from(hi) - f64::from(lo),
+                    });
+                }
+                // Half-open [lo, hi+1) floored at the emit site yields
+                // whole bytes uniform over lo..=hi.
+                Ok(Some(Box::new(Uniform::new(
+                    f64::from(lo),
+                    f64::from(hi) + 1.0,
+                )?)))
+            }
+            PayloadModel::Sampled => Ok(Some(Box::new(Categorical::new(&[
+                (64.0, 0.5),
+                (550.0, 0.3),
+                (1500.0, 0.2),
+            ])?))),
+        }
+    }
+
+    /// Mean wire size in bytes under this model (with base size `base`).
+    pub fn mean_bytes(&self, base: u32) -> f64 {
+        match *self {
+            PayloadModel::Fixed => f64::from(base),
+            PayloadModel::MtuPadded { mtu } => f64::from(mtu),
+            PayloadModel::Uniform { lo, hi } => (f64::from(lo) + f64::from(hi)) / 2.0,
+            PayloadModel::Sampled => 64.0 * 0.5 + 550.0 * 0.3 + 1500.0 * 0.2,
+        }
+    }
+
+    /// Whether sizes are drawn from the RNG (breaks bit-exact cohort
+    /// equivalence; distributional contracts still hold).
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, PayloadModel::Uniform { .. } | PayloadModel::Sampled)
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PayloadModel::Fixed => "fixed",
+            PayloadModel::MtuPadded { .. } => "mtu-padded",
+            PayloadModel::Uniform { .. } => "uniform",
+            PayloadModel::Sampled => "sampled",
         }
     }
 }
@@ -215,6 +384,90 @@ mod tests {
             ScheduleSpec::VitTruncatedNormal { sigma_t: 1e-3 }.name(),
             "VIT-tn"
         );
+        assert_eq!(
+            ScheduleSpec::ConstantRate { rate: 125.0 }.name(),
+            "constant-rate"
+        );
+        assert_eq!(
+            ScheduleSpec::AdaptivePadding { reactive: false }.name(),
+            "adaptive"
+        );
+        assert_eq!(
+            ScheduleSpec::AdaptivePadding { reactive: true }.name(),
+            "adaptive-reactive"
+        );
+    }
+
+    #[test]
+    fn constant_rate_spec_materializes_a_comb() {
+        let s = ScheduleSpec::ConstantRate { rate: 125.0 };
+        let sched = s.to_schedule(0.010).unwrap();
+        assert_eq!(sched.sigma_t(), 0.0);
+        assert!((sched.mean_interval_secs() - 0.008).abs() < 1e-12);
+        assert!((s.mean_interval(0.010) - 0.008).abs() < 1e-12);
+        assert!(s.is_deterministic());
+        assert!(s.cohort_support().is_ok());
+        assert!(ScheduleSpec::ConstantRate { rate: 0.0 }
+            .to_schedule(0.010)
+            .is_err());
+    }
+
+    #[test]
+    fn adaptive_spec_materializes_the_machine() {
+        let s = ScheduleSpec::AdaptivePadding { reactive: false };
+        let sched = s.to_schedule(0.010).unwrap();
+        assert!(sched.sigma_t() > 0.0);
+        let mean = sched.mean_interval_secs();
+        assert!((s.mean_interval(0.010) - mean).abs() < 1e-12);
+        assert!(!s.is_deterministic());
+        assert!(s.cohort_support().is_ok());
+        // Reactive machines have no stochastic-cohort support.
+        assert!(ScheduleSpec::AdaptivePadding { reactive: true }
+            .cohort_support()
+            .is_err());
+    }
+
+    #[test]
+    fn payload_models_materialize_and_report_means() {
+        assert!(PayloadModel::Fixed.size_law(500).unwrap().is_none());
+        assert_eq!(PayloadModel::Fixed.mean_bytes(500), 500.0);
+        assert!(!PayloadModel::Fixed.is_stochastic());
+
+        let mtu = PayloadModel::MtuPadded { mtu: 1500 };
+        let law = mtu.size_law(500).unwrap().unwrap();
+        let mut rng = MasterSeed::new(3).stream(0);
+        assert_eq!(law.sample(&mut rng), 1500.0);
+        assert_eq!(mtu.mean_bytes(500), 1500.0);
+        assert!(!mtu.is_stochastic());
+
+        let uni = PayloadModel::Uniform { lo: 300, hi: 900 };
+        let law = uni.size_law(500).unwrap().unwrap();
+        for _ in 0..200 {
+            let v = law.sample(&mut rng).floor();
+            assert!((300.0..=900.0).contains(&v));
+        }
+        assert_eq!(uni.mean_bytes(500), 600.0);
+        assert!(uni.is_stochastic());
+
+        let mix = PayloadModel::Sampled;
+        let law = mix.size_law(500).unwrap().unwrap();
+        for _ in 0..200 {
+            let v = law.sample(&mut rng);
+            assert!(v == 64.0 || v == 550.0 || v == 1500.0);
+        }
+        assert!((mix.mean_bytes(500) - 497.0).abs() < 1e-9);
+        assert_eq!(mix.name(), "sampled");
+    }
+
+    #[test]
+    fn invalid_payload_models_error() {
+        assert!(PayloadModel::MtuPadded { mtu: 0 }.size_law(500).is_err());
+        assert!(PayloadModel::Uniform { lo: 0, hi: 10 }
+            .size_law(500)
+            .is_err());
+        assert!(PayloadModel::Uniform { lo: 900, hi: 300 }
+            .size_law(500)
+            .is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use linkpad_obs::{EventLog, HarnessEvent};
 use linkpad_workloads::scenario::ScenarioBuilder;
 use linkpad_workloads::shard::{window_metrics, ShardedAggregate};
+use linkpad_workloads::spec::PayloadModel;
 
 fn observer_builder(seed: u64, flows: usize, shards: usize) -> ScenarioBuilder {
     ScenarioBuilder::aggregate(seed, flows)
@@ -107,6 +108,74 @@ fn sharded_merged_counters_equal_the_unsharded_run_bit_for_bit() {
         }
         assert_eq!(by_hand.counters(), single_counters, "{shards} shards");
     }
+}
+
+#[test]
+fn variable_payload_sharded_merge_byte_counts_are_bit_identical() {
+    let secs = 2.05; // end mid-window
+    let builder = |shards: usize, model: PayloadModel| {
+        observer_builder(89, 13, shards).with_payload_model(model)
+    };
+
+    // Deterministic variable payloads (MTU padding): every emission is
+    // 1500 B on the wire, so the merged byte counter must superpose
+    // exactly for every shard count — the bytes channel inherits the
+    // count channel's superposition contract bit-for-bit.
+    let mtu = PayloadModel::MtuPadded { mtu: 1500 };
+    let single = single_metrics(&builder(1, mtu), secs);
+    let want_bytes = single.counter("trunk.window_bytes").expect("bytes counter");
+    let want_count = single.counter("trunk.window_count").expect("count counter");
+    assert_eq!(
+        want_bytes,
+        want_count * 1500,
+        "MTU padding pads every packet"
+    );
+    assert_ne!(want_bytes, want_count * 500, "sizes differ from the base");
+    for shards in [1usize, 2, 3, 5] {
+        let run = ShardedAggregate::new(builder(shards, mtu))
+            .expect("valid")
+            .run_for_secs(secs)
+            .expect("runs");
+        assert_eq!(
+            run.merged_metrics().counters(),
+            single.counters(),
+            "{shards} shards: merged byte counters must superpose exactly"
+        );
+    }
+
+    // Stochastic sizes: shard workers own distinct RNG streams, so the
+    // cross-shard contract is S=1 bit-exactness against the unsharded
+    // sim (per-window counts *and* bytes) plus thread-schedule
+    // invariance at S>1 — not cross-S equality.
+    let sampled = PayloadModel::Sampled;
+    let mut unsharded = builder(1, sampled).build().expect("builds");
+    unsharded.run_for_secs(secs);
+    let obs = unsharded
+        .aggregate
+        .as_ref()
+        .expect("aggregate family")
+        .trunk_observer
+        .clone()
+        .expect("observer configured");
+    let run1 = ShardedAggregate::new(builder(1, sampled))
+        .expect("valid")
+        .run_for_secs(secs)
+        .expect("runs");
+    assert_eq!(
+        run1.windows,
+        obs.window_series(),
+        "S=1 sampled-payload windows (incl. bytes) are the unsharded sim's"
+    );
+    let a = ShardedAggregate::new(builder(3, sampled))
+        .expect("valid")
+        .run_for_secs_with_threads(secs, 1)
+        .expect("runs");
+    let b = ShardedAggregate::new(builder(3, sampled))
+        .expect("valid")
+        .run_for_secs_with_threads(secs, 4)
+        .expect("runs");
+    assert_eq!(a.windows, b.windows, "sampled-payload thread invariance");
+    assert_eq!(a.merged_metrics(), b.merged_metrics());
 }
 
 #[test]

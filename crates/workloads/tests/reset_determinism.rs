@@ -13,6 +13,7 @@
 use linkpad_sim::fault::{FaultPlan, LossModel, OutageSchedule};
 use linkpad_sim::time::SimDuration;
 use linkpad_workloads::scenario::{BuiltScenario, ScenarioBuilder, TapPosition};
+use linkpad_workloads::spec::{PayloadModel, ScheduleSpec};
 use proptest::prelude::*;
 
 /// The faulted-aggregate configuration: bursty Gilbert–Elliott trunk
@@ -83,6 +84,41 @@ fn families(seed: u64) -> Vec<(&'static str, ScenarioBuilder)> {
                 .with_phases(linkpad_workloads::aggregate::PhaseSpec::Uniform { seed: 7 }),
         ),
         (
+            // Constant-rate link padding in stochastic-cohort mode:
+            // the deterministic comb at the schedule's own period
+            // (8 ms, not τ), desynchronized phases.
+            "aggregate-constant-rate-cohorts",
+            ScenarioBuilder::aggregate(seed, 9)
+                .with_payload_rate(10.0)
+                .with_trunk_observer(0.05)
+                .with_cohorts(3)
+                .with_schedule(ScheduleSpec::ConstantRate { rate: 125.0 })
+                .with_phases(linkpad_workloads::aggregate::PhaseSpec::Uniform { seed: 13 }),
+        ),
+        (
+            // Adaptive padding in cohort mode: per-member Idle/Burst
+            // state machines behind the cohort's next-fire heap — the
+            // reset hook must rewind every machine and the heap.
+            "aggregate-adaptive-cohorts",
+            ScenarioBuilder::aggregate(seed, 9)
+                .with_payload_rate(10.0)
+                .with_trunk_observer(0.05)
+                .with_cohorts(3)
+                .with_schedule(ScheduleSpec::AdaptivePadding { reactive: false })
+                .with_phases(linkpad_workloads::aggregate::PhaseSpec::Uniform { seed: 17 }),
+        ),
+        (
+            // Variable payload sizes: per-emission size draws on the
+            // gateway and cohort paths must replay under reset.
+            "aggregate-variable-payload-cohorts",
+            ScenarioBuilder::aggregate(seed, 9)
+                .with_payload_rate(10.0)
+                .with_trunk_observer(0.05)
+                .with_cohorts(3)
+                .with_payload_model(PayloadModel::Sampled)
+                .with_phases(linkpad_workloads::aggregate::PhaseSpec::Uniform { seed: 19 }),
+        ),
+        (
             // Fault injection: the lossy trunk gate's RNG and
             // Gilbert–Elliott chain state, the outage schedule and the
             // observer's gap handling must all replay under reset —
@@ -124,8 +160,8 @@ fn assert_reset_matches_fresh(seed: u64, other: u64, count: usize) {
 }
 
 proptest! {
-    // Each case builds 3 families × 2 taps × 3 runs; keep the case count
-    // modest so the suite stays in CI budget.
+    // Each case builds every family × 2 taps × 3 runs; keep the case
+    // count modest so the suite stays in CI budget.
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
